@@ -1,0 +1,164 @@
+// Command amesterd plays the role of the service processor in the paper's
+// measurement setup: it runs the simulated Power 720 under a chosen
+// schedule and serves its sensors over the AMESTER line protocol, so any
+// number of measurement clients can sample power, voltage, frequency and
+// CPM state at the 32 ms cadence.
+//
+// Server:
+//
+//	amesterd -listen 127.0.0.1:7007 -workload raytrace -threads 8 -mode undervolt
+//
+// Client (one-shot dump or watch):
+//
+//	amesterd -connect 127.0.0.1:7007
+//	amesterd -connect 127.0.0.1:7007 -watch power_w,p0_undervolt_mv -samples 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"agsim/internal/amester"
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/server"
+	"agsim/internal/telemetry"
+	"agsim/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve a simulated server's telemetry on this address")
+	connect := flag.String("connect", "", "connect to a running amesterd and read sensors")
+	name := flag.String("workload", "raytrace", "benchmark to run (server mode)")
+	threads := flag.Int("threads", 8, "thread count (server mode)")
+	mode := flag.String("mode", "undervolt", "guardband mode: static | undervolt | overclock")
+	borrow := flag.Bool("borrow", true, "balance threads across sockets (server mode)")
+	watch := flag.String("watch", "", "comma-separated sensors to stream (client mode)")
+	samples := flag.Int("samples", 10, "samples to stream in watch mode")
+	flag.Parse()
+
+	switch {
+	case *listen != "" && *connect == "":
+		if err := serve(*listen, *name, *threads, *mode, *borrow); err != nil {
+			fmt.Fprintln(os.Stderr, "amesterd:", err)
+			os.Exit(1)
+		}
+	case *connect != "" && *listen == "":
+		if err := client(*connect, *watch, *samples); err != nil {
+			fmt.Fprintln(os.Stderr, "amesterd:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: amesterd -listen ADDR [server flags] | amesterd -connect ADDR [-watch sensors]")
+		os.Exit(2)
+	}
+}
+
+func serve(addr, name string, threads int, modeName string, borrow bool) error {
+	d, err := workload.Get(name)
+	if err != nil {
+		return err
+	}
+	var mode firmware.Mode
+	switch modeName {
+	case "static":
+		mode = firmware.Static
+	case "undervolt":
+		mode = firmware.Undervolt
+	case "overclock":
+		mode = firmware.Overclock
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	srv := server.MustNew(server.DefaultConfig(uint64(time.Now().UnixNano())))
+	var placements []server.Placement
+	if borrow {
+		placements = server.BorrowedPlacements(threads, srv.Sockets())
+	} else {
+		placements = server.ConsolidatedPlacements(threads)
+	}
+	if _, err := srv.Submit("job", d, placements, 1e9); err != nil {
+		return err
+	}
+	srv.SetMode(mode)
+
+	svc := amester.NewService(telemetry.ServerProbes(srv)...)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	svc.Start(l)
+	defer svc.Close()
+	fmt.Printf("amesterd: serving %d threads of %s (%s, borrow=%v) on %s\n",
+		threads, name, modeName, borrow, l.Addr())
+
+	// Run the simulation forever, publishing on the firmware cadence.
+	// Wall-clock pacing keeps remote watch output humane: one publish per
+	// 32 ms of real time.
+	ticker := time.NewTicker(time.Duration(telemetry.Interval * float64(time.Second)))
+	defer ticker.Stop()
+	stepsPerTick := int(telemetry.Interval / chip.DefaultStepSec)
+	for range ticker.C {
+		for i := 0; i < stepsPerTick; i++ {
+			srv.Step(chip.DefaultStepSec)
+		}
+		svc.Publish()
+	}
+	return nil
+}
+
+func client(addr, watch string, samples int) error {
+	c, err := amester.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if watch == "" {
+		all, err := c.GetAll()
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-24s %12.3f\n", n, all[n])
+		}
+		return nil
+	}
+
+	sensors := strings.Split(watch, ",")
+	fmt.Println(strings.Join(sensors, "\t"))
+	lastSeq := uint64(0)
+	for printed := 0; printed < samples; {
+		seq, err := c.Seq()
+		if err != nil {
+			return err
+		}
+		if seq == lastSeq {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		lastSeq = seq
+		row := make([]string, len(sensors))
+		for i, s := range sensors {
+			v, err := c.Get(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			row[i] = fmt.Sprintf("%.3f", v)
+		}
+		fmt.Println(strings.Join(row, "\t"))
+		printed++
+	}
+	return nil
+}

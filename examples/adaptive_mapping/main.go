@@ -1,0 +1,91 @@
+// Adaptive mapping: profile the chip, train the paper's MIPS-based
+// frequency predictor (Fig. 16), and use it to vet co-runner placements for
+// a frequency-sensitive critical application before they ever run.
+//
+//	go run ./examples/adaptive_mapping
+package main
+
+import (
+	"fmt"
+
+	"agsim/internal/chip"
+	"agsim/internal/core"
+	"agsim/internal/firmware"
+	"agsim/internal/units"
+	"agsim/internal/workload"
+)
+
+// profile measures the settled boost frequency and chip MIPS with n copies
+// of each named workload.
+func profile(names ...string) (units.MIPS, units.Megahertz) {
+	c := chip.MustNew(chip.DefaultConfig("P0", 5))
+	for i, name := range names {
+		c.Place(i, workload.NewThread(workload.MustGet(name), 1e9, nil))
+	}
+	c.SetMode(firmware.Overclock)
+	c.Settle(2.5)
+	var mips, freq float64
+	const steps = 500
+	for i := 0; i < steps; i++ {
+		c.Step(chip.DefaultStepSec)
+		mips += float64(c.TotalMIPS())
+		freq += float64(c.CoreFreq(0))
+	}
+	return units.MIPS(mips / steps), units.Megahertz(freq / steps)
+}
+
+func fill(name string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = name
+	}
+	return out
+}
+
+func main() {
+	// 1. Train the predictor from a handful of profiled chip loads — the
+	// profiling a datacenter middleware accumulates for free.
+	predictor := &core.FreqPredictor{}
+	fmt.Println("training points (chip MIPS -> settled frequency):")
+	for _, tc := range [][]string{
+		fill("mcf", 8), fill("ocean_cp", 8), fill("sphinx3", 8),
+		fill("dealII", 8), fill("hmmer", 8), fill("coremark", 8), fill("lu_cb", 8),
+	} {
+		mips, freq := profile(tc...)
+		predictor.Observe(mips, freq)
+		fmt.Printf("  %-10s %8.0f MIPS -> %4.0f MHz\n", tc[0], float64(mips), float64(freq))
+	}
+	if err := predictor.Train(); err != nil {
+		panic(err)
+	}
+	rel, _ := predictor.RelRMSE()
+	fmt.Printf("model: f = %.0f %+.4f*MIPS  (relative RMSE %.2f%%)\n\n",
+		predictor.Fit().Intercept, predictor.Fit().Slope, rel*100)
+
+	// 2. Vet hypothetical colocations for a critical app that needs
+	// 4450 MHz to hold its SLA.
+	const needMHz = 4450
+	critical, _ := profile("websearch")
+	fmt.Printf("critical app alone: %.0f MIPS; SLA needs %d MHz\n", float64(critical), needMHz)
+	for _, cand := range []string{"mcf", "radix", "sphinx3", "hmmer", "lu_cb", "coremark"} {
+		// The co-runner would fill the remaining seven cores.
+		d := workload.MustGet(cand)
+		coMIPS := units.MIPS(7 * float64(d.MIPSPerThread(4400, 1, 1)))
+		predicted, err := predictor.Predict(critical + coMIPS)
+		if err != nil {
+			panic(err)
+		}
+		verdict := "OK"
+		if float64(predicted) < needMHz {
+			verdict = "REJECT (malicious colocation)"
+		}
+		fmt.Printf("  with 7x %-10s predicted %4.0f MHz  %s\n", cand, float64(predicted), verdict)
+	}
+
+	// 3. Verify the prediction for one accepted and one rejected mix.
+	for _, cand := range []string{"mcf", "lu_cb"} {
+		names := append([]string{"websearch"}, fill(cand, 7)...)
+		_, actual := profile(names...)
+		fmt.Printf("measured with 7x %-10s %4.0f MHz\n", cand, float64(actual))
+	}
+}

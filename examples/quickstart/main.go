@@ -1,0 +1,50 @@
+// Quickstart: build one simulated POWER7+ chip, run a workload under the
+// three guardband policies, and see what adaptive guardbanding buys.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/workload"
+)
+
+func main() {
+	bench := workload.MustGet("raytrace")
+	fmt.Printf("workload: %s (%s), IPC %.1f, %d%% memory-bound\n\n",
+		bench.Name, bench.Suite, bench.IPC, int(bench.MemBoundFraction(4200)*100))
+
+	fmt.Println("mode        cores   power     freq      undervolt")
+	for _, mode := range []firmware.Mode{firmware.Static, firmware.Undervolt, firmware.Overclock} {
+		for _, n := range []int{1, 8} {
+			// A fresh chip per configuration: process variation is seeded,
+			// so results are reproducible.
+			c := chip.MustNew(chip.DefaultConfig("P0", 42))
+			for i := 0; i < n; i++ {
+				c.Place(i, workload.NewThread(bench, 1e9, nil))
+			}
+			c.SetMode(mode)
+
+			// Let the electrical and firmware loops converge, then average
+			// the sensors over one second.
+			c.Settle(2.5)
+			var power, freq, uv float64
+			const steps = 1000
+			for i := 0; i < steps; i++ {
+				c.Step(chip.DefaultStepSec)
+				power += float64(c.ChipPower())
+				freq += float64(c.CoreFreq(0))
+				uv += float64(c.UndervoltMV())
+			}
+			fmt.Printf("%-11s %5d   %6.1f W  %5.0f MHz  %5.1f mV\n",
+				mode, n, power/steps, freq/steps, uv/steps)
+		}
+	}
+
+	fmt.Println("\nThe paper's core finding, visible above: undervolting saves ~13% at")
+	fmt.Println("one active core but only ~3% at eight, because the VRM loadline and")
+	fmt.Println("the chip's IR drop eat the guardband as current grows.")
+}

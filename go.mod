@@ -1,0 +1,3 @@
+module agsim
+
+go 1.24

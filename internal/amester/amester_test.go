@@ -1,0 +1,192 @@
+package amester
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/telemetry"
+	"agsim/internal/workload"
+)
+
+func startService(t *testing.T, probes ...telemetry.Probe) (*Service, string) {
+	t.Helper()
+	svc := NewService(probes...)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start(l)
+	t.Cleanup(func() { svc.Close() })
+	return svc, l.Addr().String()
+}
+
+func TestServiceValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for nil reader")
+			}
+		}()
+		NewService(telemetry.Probe{Name: "x"})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for duplicate")
+			}
+		}()
+		r := func() float64 { return 0 }
+		NewService(telemetry.Probe{Name: "x", Read: r}, telemetry.Probe{Name: "x", Read: r})
+	}()
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	v := 1.0
+	svc, addr := startService(t,
+		telemetry.Probe{Name: "power_w", Read: func() float64 { return v }},
+		telemetry.Probe{Name: "freq_mhz", Read: func() float64 { return 4200 }},
+	)
+	svc.Publish()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "freq_mhz" || names[1] != "power_w" {
+		t.Errorf("List = %v", names)
+	}
+	got, err := c.Get("power_w")
+	if err != nil || got != 1 {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("expected error for unknown sensor")
+	}
+
+	// Snapshot semantics: new probe values appear only after Publish.
+	v = 42
+	if got, _ := c.Get("power_w"); got != 1 {
+		t.Errorf("unpublished value leaked: %v", got)
+	}
+	seqBefore, _ := c.Seq()
+	svc.Publish()
+	if got, _ := c.Get("power_w"); got != 42 {
+		t.Errorf("published value missing: %v", got)
+	}
+	seqAfter, _ := c.Seq()
+	if seqAfter != seqBefore+1 {
+		t.Errorf("seq %d -> %d", seqBefore, seqAfter)
+	}
+
+	all, err := c.GetAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all["power_w"] != 42 || all["freq_mhz"] != 4200 {
+		t.Errorf("GetAll = %v", all)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, addr := startService(t, telemetry.Probe{Name: "x", Read: func() float64 { return 0 }})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("BOGUS\nGET\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "ERR") {
+		t.Errorf("response = %q", string(buf[:n]))
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	svc, addr := startService(t, telemetry.Probe{Name: "x", Read: func() float64 { return 7 }})
+	svc.Publish()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				if v, err := c.Get("x"); err != nil || v != 7 {
+					t.Errorf("Get = %v, %v", v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEndToEndWithSimulatedChip(t *testing.T) {
+	// The real workflow: a simulated chip steps while the service
+	// publishes on the firmware cadence and a remote client samples power,
+	// just as the paper's AMESTER host did.
+	c := chip.MustNew(chip.DefaultConfig("P0", 51))
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 4; i++ {
+		c.Place(i, workload.NewThread(d, 1e9, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+
+	svc, addr := startService(t, telemetry.ChipProbes("", c)...)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var power []float64
+	since := 0.0
+	for i := 0; i < 3000; i++ {
+		c.Step(chip.DefaultStepSec)
+		since += chip.DefaultStepSec
+		if since >= telemetry.Interval {
+			since = 0
+			svc.Publish()
+			v, err := client.Get("power_w")
+			if err != nil {
+				t.Fatal(err)
+			}
+			power = append(power, v)
+		}
+	}
+	if len(power) < 80 {
+		t.Fatalf("only %d samples", len(power))
+	}
+	last := power[len(power)-1]
+	if last < 40 || last > 160 {
+		t.Errorf("sampled power = %v", last)
+	}
+	// Undervolting must be visible remotely.
+	if uv, err := client.Get("undervolt_mv"); err != nil || uv <= 0 {
+		t.Errorf("remote undervolt = %v, %v", uv, err)
+	}
+}

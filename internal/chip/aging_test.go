@@ -1,0 +1,104 @@
+package chip
+
+import (
+	"testing"
+
+	"agsim/internal/firmware"
+)
+
+// Aging tests: the static guardband absorbs wear silently until it runs
+// out; adaptive guardbanding senses it through the CPMs and compensates.
+
+func TestAgingErodesCPMReadings(t *testing.T) {
+	c := MustNew(DefaultConfig("p0", 101))
+	placeN(c, "raytrace", 2)
+	c.SetMode(firmware.Static)
+	c.Settle(1)
+	fresh := c.CoreCPMMean(0)
+	c.AgeBy(60)
+	c.Settle(1)
+	aged := c.CoreCPMMean(0)
+	if aged >= fresh-1.5 {
+		t.Errorf("60 mV of aging moved mean CPM only %.2f -> %.2f (expect ~3 bits)", fresh, aged)
+	}
+	if c.AgingMV() != 60 {
+		t.Errorf("AgingMV = %v", c.AgingMV())
+	}
+}
+
+func TestAgingShrinksUndervolt(t *testing.T) {
+	measureUV := func(age float64) float64 {
+		c := MustNew(DefaultConfig("p0", 103))
+		placeN(c, "raytrace", 2)
+		c.AgeBy(age)
+		c.SetMode(firmware.Undervolt)
+		c.Settle(3)
+		sum := 0.0
+		for i := 0; i < 500; i++ {
+			c.Step(DefaultStepSec)
+			sum += float64(c.UndervoltMV())
+		}
+		return sum / 500
+	}
+	freshUV := measureUV(0)
+	agedUV := measureUV(40)
+	// The firmware gives back roughly the aged millivolts.
+	if agedUV > freshUV-20 {
+		t.Errorf("aging 40 mV only shrank undervolt %.0f -> %.0f", freshUV, agedUV)
+	}
+	if agedUV < 0 {
+		t.Errorf("negative undervolt %v", agedUV)
+	}
+}
+
+func TestHeavyAgingViolatesStaticButNotAdaptive(t *testing.T) {
+	// Enough wear to exceed the light-load static margin entirely.
+	const wear = 130
+
+	static := MustNew(DefaultConfig("p0", 107))
+	placeN(static, "raytrace", 2)
+	static.AgeBy(wear)
+	static.SetMode(firmware.Static)
+	static.Settle(2)
+	if static.MarginViolations() == 0 {
+		t.Error("statically guardbanded part survived wear beyond its margin")
+	}
+
+	adaptive := MustNew(DefaultConfig("p0", 107))
+	placeN(adaptive, "raytrace", 2)
+	adaptive.AgeBy(wear)
+	adaptive.SetMode(firmware.Undervolt)
+	adaptive.Settle(3)
+	before := adaptive.MarginViolations() // transient while converging
+	for i := 0; i < 2000; i++ {
+		adaptive.Step(DefaultStepSec)
+	}
+	if got := adaptive.MarginViolations() - before; got != 0 {
+		t.Errorf("adaptive guardbanding violated %d times in steady state under wear", got)
+	}
+	// It survives by giving up frequency: the settled clock sits below
+	// nominal.
+	if f := adaptive.CoreFreq(0); f >= adaptive.Law().FNom {
+		t.Errorf("aged adaptive chip still at %v, expected a graceful slowdown", f)
+	}
+}
+
+func TestFreshChipHasNoViolations(t *testing.T) {
+	c := MustNew(DefaultConfig("p0", 109))
+	placeN(c, "lu_cb", 8)
+	c.SetMode(firmware.Static)
+	c.Settle(3)
+	if v := c.MarginViolations(); v != 0 {
+		t.Errorf("fresh chip reported %d margin violations", v)
+	}
+}
+
+func TestAgeByPanicsOnNegative(t *testing.T) {
+	c := MustNew(DefaultConfig("p0", 113))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.AgeBy(-1)
+}

@@ -1,0 +1,145 @@
+package chip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agsim/internal/firmware"
+	"agsim/internal/workload"
+)
+
+// Failure-injection and property tests for the assembled chip: the model
+// must stay safe when sensors lie and stay physical for arbitrary loads.
+
+func TestStuckCurrentSensorStaysSafe(t *testing.T) {
+	// Freeze the VRM current sensor while the chip is lightly loaded, then
+	// raise the load. The firmware's load reserve now uses a stale low
+	// current and would undervolt too deep on its own — the CPM loop is
+	// the safety net and must keep the worst core above requirement.
+	c := MustNew(DefaultConfig("p0", 83))
+	d := workload.MustGet("lu_cb")
+	c.Place(0, workload.NewThread(d, 1e9, nil))
+	c.SetMode(firmware.Undervolt)
+	c.Settle(2)
+	c.Rail().StickSensor()
+	for i := 1; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e9, nil))
+	}
+	c.Settle(3)
+	law := c.Law()
+	for i := 0; i < 2000; i++ {
+		c.Step(DefaultStepSec)
+		for core := 0; core < c.Cores(); core++ {
+			vmin := c.CoreVoltageMin(core)
+			floor := law.VReq(c.CoreFreq(core)) + law.ResidualMV - 25
+			if vmin < floor {
+				t.Fatalf("stuck sensor let core %d sag to %v (floor %v)", core, vmin, floor)
+			}
+		}
+	}
+	// The CPM loop should have held the undervolt shallower than the
+	// stale-current budget would allow.
+	budget := c.Controller().AuthorityMV - c.Controller().LoadReserveMilliohm*float64(c.Rail().SenseCurrent())
+	if float64(c.UndervoltMV()) > budget+1 {
+		t.Errorf("undervolt %v exceeded even the stale budget %v", c.UndervoltMV(), budget)
+	}
+}
+
+func TestKilledCPMMidRunRecovers(t *testing.T) {
+	c := MustNew(DefaultConfig("p0", 89))
+	d := workload.MustGet("ocean_cp")
+	placeN(c, "ocean_cp", 4)
+	_ = d
+	c.SetMode(firmware.Undervolt)
+	c.Settle(2)
+	deep := float64(c.UndervoltMV())
+	if deep <= 0 {
+		t.Fatal("precondition: chip should undervolt")
+	}
+	c.KillCPM(2, 3)
+	c.Settle(1)
+	if c.SetPoint() != c.Law().VNom {
+		t.Errorf("voltage after CPM death = %v, want nominal", c.SetPoint())
+	}
+	// The chip keeps operating: threads still retire work.
+	before := c.CoreMIPS(0)
+	c.Settle(0.2)
+	if c.CoreMIPS(0) <= 0 || before <= 0 {
+		t.Error("chip stopped retiring work after sensor death")
+	}
+}
+
+func TestOvercurrentFoldbackIsVisible(t *testing.T) {
+	// Shrink the rail's current limit below the chip's demand; the rail
+	// folds back and core voltages collapse measurably (rather than the
+	// model silently delivering unbounded power).
+	cfg := DefaultConfig("p0", 97)
+	cfg.RailMaxCurrent = 40
+	c := MustNew(cfg)
+	placeN(c, "lu_cb", 8)
+	c.SetMode(firmware.Static)
+	c.Settle(1)
+	if v := c.CoreVoltageDC(0); v > 1150 {
+		t.Errorf("overcurrent foldback missing: core at %v", v)
+	}
+}
+
+func TestChipPhysicalInvariantsProperty(t *testing.T) {
+	names := workload.Names()
+	f := func(seedRaw uint64, wlRaw, nRaw uint8, modeRaw uint8) bool {
+		name := names[int(wlRaw)%len(names)]
+		n := 1 + int(nRaw)%8
+		mode := []firmware.Mode{firmware.Static, firmware.Undervolt, firmware.Overclock}[int(modeRaw)%3]
+		c := MustNew(DefaultConfig("prop", seedRaw))
+		placeN(c, name, n)
+		c.SetMode(mode)
+		c.Settle(1.5)
+		law := c.Law()
+		for i := 0; i < 100; i++ {
+			c.Step(DefaultStepSec)
+			if c.ChipPower() <= 0 || math.IsNaN(float64(c.ChipPower())) {
+				return false
+			}
+			if uv := float64(c.UndervoltMV()); uv < -1e-9 || uv > float64(law.VNom-law.VMin)+1e-9 {
+				return false
+			}
+			for core := 0; core < c.Cores(); core++ {
+				vmin, vdc := c.CoreVoltageMin(core), c.CoreVoltageDC(core)
+				if vmin > vdc || vdc > c.RailVoltage() || c.RailVoltage() > c.SetPoint() {
+					return false
+				}
+				fr := c.CoreFreq(core)
+				if fr < law.FMin || fr > law.FCeil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12} // each case simulates 1.6 s
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (float64, float64) {
+		c := MustNew(DefaultConfig("det", 1234))
+		placeN(c, "bodytrack", 6)
+		c.SetMode(firmware.Undervolt)
+		c.Settle(2)
+		var p, f float64
+		for i := 0; i < 500; i++ {
+			c.Step(DefaultStepSec)
+			p += float64(c.ChipPower())
+			f += float64(c.CoreFreq(0))
+		}
+		return p, f
+	}
+	p1, f1 := run()
+	p2, f2 := run()
+	if p1 != p2 || f1 != f2 {
+		t.Errorf("same-seed runs diverged: power %v vs %v, freq %v vs %v", p1, p2, f1, f2)
+	}
+}

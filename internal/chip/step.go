@@ -1,0 +1,313 @@
+package chip
+
+import (
+	"fmt"
+
+	"agsim/internal/cpm"
+	"agsim/internal/didt"
+	"agsim/internal/firmware"
+	"agsim/internal/power"
+	"agsim/internal/units"
+)
+
+// DefaultStepSec is the simulation step: 1 ms resolves the 32 ms firmware
+// tick while keeping full-benchmark runs cheap.
+const DefaultStepSec = 0.001
+
+// Step advances the chip by dtSec seconds, closing the electrical and
+// control loops once. The previous step's voltages seed the power
+// computation (successive relaxation); the loop settles within a few steps,
+// far faster than the 32 ms firmware cadence that matters for results.
+func (c *Chip) Step(dtSec float64) {
+	if dtSec <= 0 {
+		panic(fmt.Sprintf("chip %s: non-positive step %v", c.cfg.Name, dtSec))
+	}
+
+	// 1. Workload conditions and per-core power at last-known voltages.
+	coreCurrents := make([]units.Ampere, len(c.cores))
+	var chipPower units.Watt
+	var profiles []didt.Profile
+	for i, co := range c.cores {
+		act, util := co.workloadDemand()
+		f := co.dpll.Freq()
+		p := c.cfg.Power.Core(co.state, co.voltageDC, f, act, util, co.tempC)
+		co.lastPower = p
+		chipPower += p
+		coreCurrents[i] = units.Current(p, co.voltageDC)
+		if co.state == power.Active {
+			profiles = append(profiles, co.didtProfile())
+		}
+	}
+	uncoreP := c.cfg.Power.Uncore(c.lastRailV)
+	chipPower += uncoreP
+	uncoreI := units.Current(uncoreP, c.lastRailV)
+
+	// 2. Power delivery: loadline at the VRM, then the on-chip PDN.
+	var total units.Ampere
+	for _, i := range coreCurrents {
+		total += i
+	}
+	total += uncoreI
+	railV := c.rail.Output(total)
+	drops := c.plane.Drops(coreCurrents, uncoreI)
+
+	// 3. Chip-wide di/dt noise for this step.
+	sample := c.noise.Step(dtSec, profiles)
+
+	mode := c.ctrl.Mode()
+	adaptive := mode == firmware.Undervolt || mode == firmware.Overclock
+	for i, co := range c.cores {
+		co.voltageDC = railV - drops[i]
+		if co.voltageDC < 1 {
+			co.voltageDC = 1 // rail collapse; keep the model defined
+		}
+		co.voltageMin = co.voltageDC - units.Millivolt(sample.TypicalMV)
+
+		// Aging raises the circuit's requirement; everything margin-facing
+		// (CPMs, DPLLs, the violation check) sees the aged voltage while
+		// power still follows the real one.
+		agedMin := co.voltageMin - units.Millivolt(c.agingMV)
+		if co.state != power.Gated && c.cfg.Law.MarginMV(agedMin, co.dpll.Freq()) < 0 {
+			c.marginViolations++
+		}
+
+		// 4. Droop reaction: with adaptive guardbanding on, the DPLL
+		// sheds frequency fast enough to absorb worst-case events — and
+		// because frequency falls with voltage, the CPM keeps reading at
+		// its calibration point through the droop. Only an event that
+		// outruns the DPLL (or any event with the mechanism disabled)
+		// eats visibly into margin and latches the sticky CPMs.
+		droopLatches := false
+		if sample.Events > 0 && co.state != power.Gated {
+			extra := sample.WorstEventMV - sample.TypicalMV
+			if extra > 0 {
+				if adaptive {
+					droopLatches = !co.dpll.AbsorbDroop(agedMin, extra)
+				} else {
+					droopLatches = true
+				}
+			}
+		}
+
+		// 5. CPM observation at the bottom of the ripple; an uncovered
+		// worst-case event is additionally latched by the sticky
+		// mechanism.
+		if co.state != power.Gated {
+			f := co.dpll.Freq()
+			for j, s := range co.cpms {
+				co.lastCPM[j] = s.Value(agedMin, f)
+			}
+			if droopLatches {
+				droopV := agedMin + units.Millivolt(sample.TypicalMV-sample.WorstEventMV)
+				for _, s := range co.cpms {
+					s.Value(droopV, f) // sticky latch only
+				}
+			}
+		}
+
+		// 6. DPLL fast loop: track margin in the adaptive modes.
+		switch mode {
+		case firmware.Overclock:
+			if co.state != power.Gated {
+				co.dpll.TrackMargin(agedMin)
+			}
+		case firmware.Undervolt:
+			// The CPM-DPLL loop would overclock on spare margin; the
+			// firmware's job is to remove that margin so frequency sits
+			// at the target. Model the fast loop as margin tracking
+			// capped at the target frequency.
+			if co.state != power.Gated {
+				target := c.cfg.Law.FMax(agedMin - c.cfg.Law.ResidualMV)
+				if target > c.cfg.Law.FNom {
+					target = c.cfg.Law.FNom
+				}
+				co.dpll.SlewToward(target)
+			}
+		}
+
+		// 7. Advance the threads at the step's conditions.
+		co.advanceThreads(dtSec)
+	}
+
+	// 8. Bookkeeping: energy, thermals, telemetry state. The rail power
+	// sensor sits at the regulator output, so measured power includes the
+	// resistive dissipation of the delivery path itself (loadline plus
+	// PDN) on top of the silicon's consumption.
+	pathLoss := units.Watt((float64(c.rail.SetPoint()-railV)*float64(total) +
+		float64(c.plane.GlobalDropMV(total))*float64(uncoreI)) / 1000)
+	for i := range coreCurrents {
+		pathLoss += units.Watt(float64(drops[i]) * float64(coreCurrents[i]) / 1000)
+	}
+	chipPower += pathLoss
+	c.lastChipPower = chipPower
+	c.lastCurrent = total
+	c.lastRailV = railV
+	copy(c.lastDrops, drops)
+	c.lastSample = sample
+	c.energyJ += float64(chipPower) * dtSec
+	c.stepThermal(dtSec, chipPower)
+	c.timeSec += dtSec
+
+	// 9. Firmware voltage loop on its 32 ms tick.
+	c.sinceTick += dtSec
+	if c.sinceTick >= firmware.TickSeconds {
+		c.sinceTick = 0
+		c.firmwareTick()
+	}
+}
+
+// workloadDemand summarizes the core's current switching activity and
+// pipeline utilization from its placed threads.
+func (co *Core) workloadDemand() (activity, utilization float64) {
+	if co.state != power.Active {
+		return 0, 0
+	}
+	smt := float64(len(co.threads))
+	var actSum, utilSum float64
+	live := 0
+	for _, th := range co.threads {
+		if th.Done() {
+			continue
+		}
+		live++
+		actSum += th.ActivityNow()
+		utilSum += th.Desc.Utilization(co.dpll.Freq(), co.memFactor, smt)
+	}
+	if live == 0 {
+		return 0, 0
+	}
+	utilization = utilSum * co.issueThrottle
+	if utilization > 1 {
+		utilization = 1
+	}
+	return actSum / float64(live), utilization
+}
+
+// didtProfile derives the core's noise contribution from its threads,
+// scaled by issue throttling (fewer issued instructions mean gentler
+// current ramps).
+func (co *Core) didtProfile() didt.Profile {
+	var p didt.Profile
+	for _, th := range co.threads {
+		if th.Done() {
+			continue
+		}
+		d := th.Desc
+		if d.DidtTypicalMV > p.TypicalMV {
+			p.TypicalMV = d.DidtTypicalMV
+		}
+		if d.DidtWorstMV > p.WorstMV {
+			p.WorstMV = d.DidtWorstMV
+		}
+		if d.DroopRatePerSec > p.RatePerSec {
+			p.RatePerSec = d.DroopRatePerSec
+		}
+	}
+	p.TypicalMV *= co.issueThrottle
+	p.WorstMV *= co.issueThrottle
+	return p
+}
+
+// advanceThreads retires work on the core's threads for one step.
+func (co *Core) advanceThreads(dtSec float64) {
+	if co.state != power.Active {
+		co.lastMIPS = 0
+		return
+	}
+	smt := float64(len(co.threads))
+	f := co.dpll.Freq()
+	var mips float64
+	for _, th := range co.threads {
+		if th.Done() {
+			continue
+		}
+		retired, _ := th.Step(dtSec*co.issueThrottle, f, co.memFactor, smt)
+		mips += retired * 1000 / dtSec // GInst per step back to MIPS
+	}
+	co.lastMIPS = units.MIPS(mips)
+}
+
+// stepThermal advances the thermal model: a shared package rise from total
+// power plus each core's private rise from its own dissipation.
+func (c *Chip) stepThermal(dtSec float64, p units.Watt) {
+	alpha := dtSec / c.cfg.ThermalTauSec
+	if alpha > 1 {
+		alpha = 1
+	}
+	packageTarget := c.cfg.AmbientC + units.Celsius(c.cfg.ThermalResCPerW*float64(p))
+	c.tempC += units.Celsius(alpha * float64(packageTarget-c.tempC))
+	for _, co := range c.cores {
+		target := packageTarget + units.Celsius(c.cfg.ThermalResCoreCPerW*float64(co.lastPower))
+		co.tempC += units.Celsius(alpha * float64(target-co.tempC))
+	}
+}
+
+// firmwareTick gathers the chip-wide margin reading and lets the controller
+// command the rail, then clears the per-window sticky latches (the AMESTER
+// window semantics).
+func (c *Chip) firmwareTick() {
+	reading := c.marginReading()
+	next := c.ctrl.VoltageCommand(c.rail.SetPoint(), reading)
+	if c.ctrl.Mode() == firmware.Undervolt {
+		c.rail.Command(next)
+	}
+	c.clearStickies()
+}
+
+// marginReading summarizes the worst margin across all clocked cores.
+func (c *Chip) marginReading() firmware.MarginReading {
+	r := firmware.MarginReading{
+		MinCPM:       cpm.MaxValue,
+		MinStickyCPM: cpm.MaxValue,
+		MVPerBit:     21,
+		NoSensors:    true,
+		CurrentA:     float64(c.rail.SenseCurrent()),
+	}
+	for _, co := range c.cores {
+		if co.state == power.Gated {
+			continue
+		}
+		r.NoSensors = false
+		f := co.dpll.Freq()
+		for j, s := range co.cpms {
+			if s.Dead() {
+				r.AnyDead = true
+			}
+			if v := co.lastCPM[j]; v < r.MinCPM {
+				r.MinCPM = v
+				r.MVPerBit = s.MVPerBit(f)
+			}
+			if sv, ok := s.Sticky(); ok && sv < r.MinStickyCPM {
+				r.MinStickyCPM = sv
+			}
+		}
+	}
+	return r
+}
+
+func (c *Chip) clearStickies() {
+	for _, co := range c.cores {
+		for j, s := range co.cpms {
+			if v, ok := s.Sticky(); ok {
+				co.lastWindowSticky[j] = v
+			} else {
+				co.lastWindowSticky[j] = cpm.MaxValue
+			}
+			s.StickyReset()
+		}
+	}
+	c.lastWindowWorstDidt = c.noise.WorstSinceReset()
+	c.noise.StickyReset()
+}
+
+// Settle runs the chip for the given simulated seconds so the electrical
+// relaxation and the firmware loop converge before measurements begin.
+// Thread progress during settling is real work: callers measuring
+// run-to-completion times should settle with placeholder load or accept the
+// small head start.
+func (c *Chip) Settle(seconds float64) {
+	steps := int(seconds / DefaultStepSec)
+	for i := 0; i < steps; i++ {
+		c.Step(DefaultStepSec)
+	}
+}

@@ -1,0 +1,344 @@
+// Package cluster implements the datacenter layer the paper defers to
+// future work (§5.1.1): "the scheduler will consolidate workloads onto
+// fewer servers first, then on each server loadline borrowing can be used
+// to further improve cluster power consumption."
+//
+// The two-level policy reflects the paper's energy argument: a whole server
+// that can be suspended saves its platform power (memory, storage, NIC,
+// fans) — far more than adaptive guardbanding can recover — so jobs pack
+// onto as few nodes as possible. Within each powered node, however,
+// consolidating onto one socket wastes guardband, so threads spread across
+// the node's sockets with unused cores power-gated (loadline borrowing).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/server"
+	"agsim/internal/units"
+	"agsim/internal/workload"
+)
+
+// NodeConfig describes one server of the cluster.
+type NodeConfig struct {
+	Server server.Config
+	// PlatformIdleW is the non-CPU power of a powered-on node: memory,
+	// storage, network and cooling. The paper's §5.1.1 argument rests on
+	// this being large.
+	PlatformIdleW float64
+	// SuspendedW is the residual draw of a suspended node.
+	SuspendedW float64
+}
+
+// DefaultNodeConfig returns a Power 720-class node: two sockets plus
+// roughly 120 W of platform overhead (32 GB RAM, disks, fans, PSU losses).
+func DefaultNodeConfig(seed uint64) NodeConfig {
+	return NodeConfig{
+		Server:        server.DefaultConfig(seed),
+		PlatformIdleW: 120,
+		SuspendedW:    8,
+	}
+}
+
+// Node is one managed server.
+type Node struct {
+	Index int
+	cfg   NodeConfig
+	srv   *server.Server
+	on    bool
+
+	// jobs maps job id to its server job for release.
+	jobs map[string]*server.Job
+}
+
+// On reports whether the node is powered.
+func (n *Node) On() bool { return n.on }
+
+// Server exposes the node's server for telemetry (nil while suspended).
+func (n *Node) Server() *server.Server {
+	if !n.on {
+		return nil
+	}
+	return n.srv
+}
+
+// loadedCores returns the number of occupied cores.
+func (n *Node) loadedCores() int {
+	if !n.on {
+		return 0
+	}
+	total := 0
+	for si := 0; si < n.srv.Sockets(); si++ {
+		total += n.srv.Chip(si).ActiveCores()
+	}
+	return total
+}
+
+// capacity returns the node's total core count.
+func (n *Node) capacity() int {
+	return n.cfg.Server.Sockets * n.cfg.Server.CoresPerSocket
+}
+
+// Cluster is a set of nodes under the two-level AGS policy.
+type Cluster struct {
+	nodes []*Node
+	mode  firmware.Mode
+	seed  uint64
+}
+
+// New creates a cluster of n nodes from the template configuration; node
+// seeds derive from the template seed.
+func New(n int, template NodeConfig) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{mode: firmware.Undervolt, seed: template.Server.Seed}
+	for i := 0; i < n; i++ {
+		cfg := template
+		cfg.Server.Seed = template.Server.Seed + uint64(i)*104729
+		node := &Node{Index: i, cfg: cfg, jobs: map[string]*server.Job{}}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(n int, template NodeConfig) *Cluster {
+	c, err := New(n, template)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// SetMode selects the guardband mode applied to powered nodes.
+func (c *Cluster) SetMode(m firmware.Mode) {
+	c.mode = m
+	for _, n := range c.nodes {
+		if n.on {
+			n.srv.SetMode(m)
+		}
+	}
+}
+
+// powerOn boots a node: builds its server and applies the guardband mode.
+func (c *Cluster) powerOn(n *Node) error {
+	srv, err := server.New(n.cfg.Server)
+	if err != nil {
+		return err
+	}
+	n.srv = srv
+	n.on = true
+	n.srv.SetMode(c.mode)
+	n.srv.GateUnloadedCores() // everything gated until placed
+	return nil
+}
+
+// suspend powers a node down. Only empty nodes may suspend.
+func (c *Cluster) suspend(n *Node) {
+	if len(n.jobs) > 0 {
+		panic(fmt.Sprintf("cluster: suspending node %d with %d jobs", n.Index, len(n.jobs)))
+	}
+	n.srv = nil
+	n.on = false
+}
+
+// Submit places a job of the named workload with the given thread count
+// under the two-level policy and returns the chosen node index.
+func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGInst float64) (int, error) {
+	if threads < 1 {
+		return -1, fmt.Errorf("cluster: job %s needs at least one thread", id)
+	}
+	node := c.pick(threads)
+	if node == nil {
+		return -1, fmt.Errorf("cluster: no node has %d free cores for job %s", threads, id)
+	}
+	if !node.on {
+		if err := c.powerOn(node); err != nil {
+			return -1, err
+		}
+	}
+	placements, err := c.placeWithin(node, d, threads)
+	if err != nil {
+		return -1, err
+	}
+	j, err := node.srv.Submit(id, d, placements, workGInst)
+	if err != nil {
+		return -1, err
+	}
+	node.jobs[id] = j
+	node.srv.GateUnloadedCores() // power-gate everything unused
+	return node.Index, nil
+}
+
+// pick chooses the target node: consolidation-first means the most-loaded
+// powered node that still fits, before waking a suspended one.
+func (c *Cluster) pick(threads int) *Node {
+	candidates := make([]*Node, len(c.nodes))
+	copy(candidates, c.nodes)
+	sort.SliceStable(candidates, func(i, j int) bool {
+		// Powered nodes first, most-loaded first; suspended nodes last.
+		oi, oj := candidates[i], candidates[j]
+		if oi.on != oj.on {
+			return oi.on
+		}
+		return oi.loadedCores() > oj.loadedCores()
+	})
+	for _, n := range candidates {
+		if n.capacity()-n.loadedCores() >= threads {
+			return n
+		}
+	}
+	return nil
+}
+
+// placeWithin selects free cores balanced across the node's sockets —
+// loadline borrowing with respect to existing occupancy. Sharing-heavy jobs
+// stay on one socket when possible (the Fig. 14 lesson encoded in
+// core.ShouldBorrow).
+func (c *Cluster) placeWithin(n *Node, d workload.Descriptor, threads int) ([]server.Placement, error) {
+	srv := n.srv
+	free := make([][]int, srv.Sockets())
+	for si := 0; si < srv.Sockets(); si++ {
+		ch := srv.Chip(si)
+		for core := 0; core < ch.Cores(); core++ {
+			if len(ch.Core(core).Threads()) == 0 {
+				free[si] = append(free[si], core)
+			}
+		}
+	}
+
+	borrow := d.Sharing < 0.6
+	if !borrow {
+		// Try to keep the job on a single socket; fall back to spreading
+		// when no socket has room.
+		for si := range free {
+			if len(free[si]) >= threads {
+				ps := make([]server.Placement, threads)
+				for i := 0; i < threads; i++ {
+					ps[i] = server.Placement{Socket: si, Core: free[si][i]}
+				}
+				return ps, nil
+			}
+		}
+	}
+
+	// Balanced spread: repeatedly take a core from the socket with the
+	// most free cores.
+	ps := make([]server.Placement, 0, threads)
+	for len(ps) < threads {
+		best := -1
+		for si := range free {
+			if len(free[si]) == 0 {
+				continue
+			}
+			if best < 0 || len(free[si]) > len(free[best]) {
+				best = si
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("cluster: node %d ran out of cores mid-placement", n.Index)
+		}
+		ps = append(ps, server.Placement{Socket: best, Core: free[best][0]})
+		free[best] = free[best][1:]
+	}
+	return ps, nil
+}
+
+// Release removes a finished (or cancelled) job and suspends the node if it
+// empties.
+func (c *Cluster) Release(id string) error {
+	for _, n := range c.nodes {
+		if j, ok := n.jobs[id]; ok {
+			n.srv.Remove(j)
+			delete(n.jobs, id)
+			if len(n.jobs) == 0 {
+				c.suspend(n)
+			} else {
+				n.srv.GateUnloadedCores()
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown job %s", id)
+}
+
+// Step advances all powered nodes.
+func (c *Cluster) Step(dtSec float64) {
+	for _, n := range c.nodes {
+		if n.on {
+			n.srv.Step(dtSec)
+		}
+	}
+}
+
+// Settle advances the cluster for the given simulated seconds.
+func (c *Cluster) Settle(seconds float64) {
+	steps := int(seconds / chip.DefaultStepSec)
+	for i := 0; i < steps; i++ {
+		c.Step(chip.DefaultStepSec)
+	}
+}
+
+// ReapFinished releases every job whose threads have completed, returning
+// the released ids.
+func (c *Cluster) ReapFinished() []string {
+	var done []string
+	for _, n := range c.nodes {
+		for id, j := range n.jobs {
+			if j.Done() {
+				done = append(done, id)
+			}
+		}
+	}
+	sort.Strings(done)
+	for _, id := range done {
+		if err := c.Release(id); err != nil {
+			panic(err) // reaping a job we just enumerated cannot fail
+		}
+	}
+	return done
+}
+
+// TotalPower returns the cluster draw: chips plus platform overheads and
+// suspended-node floors.
+func (c *Cluster) TotalPower() units.Watt {
+	var total units.Watt
+	for _, n := range c.nodes {
+		if n.on {
+			total += n.srv.TotalPower() + units.Watt(n.cfg.PlatformIdleW)
+		} else {
+			total += units.Watt(n.cfg.SuspendedW)
+		}
+	}
+	return total
+}
+
+// PoweredNodes returns how many nodes are on.
+func (c *Cluster) PoweredNodes() int {
+	count := 0
+	for _, n := range c.nodes {
+		if n.on {
+			count++
+		}
+	}
+	return count
+}
+
+// Jobs returns the live job count.
+func (c *Cluster) Jobs() int {
+	count := 0
+	for _, n := range c.nodes {
+		count += len(n.jobs)
+	}
+	return count
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+
+	"agsim/internal/firmware"
+	"agsim/internal/workload"
+)
+
+func newCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := New(nodes, DefaultNodeConfig(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, DefaultNodeConfig(1)); err == nil {
+		t.Error("expected error for zero nodes")
+	}
+}
+
+func TestConsolidationFirstAcrossNodes(t *testing.T) {
+	c := newCluster(t, 3)
+	d := workload.MustGet("swaptions")
+	n1, err := c.Submit("a", d, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := c.Submit("b", d, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Errorf("second job went to node %d, want consolidation on node %d", n2, n1)
+	}
+	if c.PoweredNodes() != 1 {
+		t.Errorf("powered nodes = %d, want 1", c.PoweredNodes())
+	}
+	// A third job that does not fit wakes a second node.
+	n3, err := c.Submit("c", d, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 == n1 {
+		t.Error("oversized job placed on the full node")
+	}
+	if c.PoweredNodes() != 2 {
+		t.Errorf("powered nodes = %d, want 2", c.PoweredNodes())
+	}
+}
+
+func TestBorrowingWithinNode(t *testing.T) {
+	c := newCluster(t, 1)
+	d := workload.MustGet("raytrace") // low sharing: should spread
+	if _, err := c.Submit("a", d, 6, 100); err != nil {
+		t.Fatal(err)
+	}
+	srv := c.Node(0).Server()
+	a0 := srv.Chip(0).ActiveCores()
+	a1 := srv.Chip(1).ActiveCores()
+	if a0+a1 != 6 {
+		t.Fatalf("active cores = %d+%d", a0, a1)
+	}
+	if diff := a0 - a1; diff < -1 || diff > 1 {
+		t.Errorf("borrowing imbalance: %d vs %d", a0, a1)
+	}
+}
+
+func TestSharingHeavyJobStaysOnOneSocket(t *testing.T) {
+	c := newCluster(t, 1)
+	d := workload.MustGet("lu_ncb") // sharing-heavy: keep consolidated
+	if _, err := c.Submit("a", d, 6, 100); err != nil {
+		t.Fatal(err)
+	}
+	srv := c.Node(0).Server()
+	a0 := srv.Chip(0).ActiveCores()
+	a1 := srv.Chip(1).ActiveCores()
+	if a0 != 6 && a1 != 6 {
+		t.Errorf("sharing-heavy job split %d/%d, want single socket", a0, a1)
+	}
+}
+
+func TestSharingHeavyJobSpreadsOnlyWhenForced(t *testing.T) {
+	c := newCluster(t, 1)
+	filler := workload.MustGet("swaptions")
+	if _, err := c.Submit("fill", filler, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	// 11 cores left, at most 6 free on one socket: a 7-thread sharing
+	// job must spread, but still be admitted.
+	d := workload.MustGet("radiosity")
+	if _, err := c.Submit("big", d, 7, 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs() != 2 {
+		t.Errorf("jobs = %d", c.Jobs())
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	c := newCluster(t, 2)
+	d := workload.MustGet("mcf")
+	for i, id := range []string{"a", "b"} {
+		if _, err := c.Submit(id, d, 16, 100); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if _, err := c.Submit("overflow", d, 1, 100); err == nil {
+		t.Error("expected capacity error")
+	}
+	if _, err := c.Submit("zero", d, 0, 100); err == nil {
+		t.Error("expected thread-count error")
+	}
+}
+
+func TestReleaseSuspendsEmptyNode(t *testing.T) {
+	c := newCluster(t, 2)
+	d := workload.MustGet("swaptions")
+	if _, err := c.Submit("a", d, 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.PoweredNodes() != 0 {
+		t.Errorf("powered nodes after release = %d", c.PoweredNodes())
+	}
+	if err := c.Release("a"); err == nil {
+		t.Error("double release should fail")
+	}
+	// Suspended cluster draws only the suspended floors.
+	cfg := DefaultNodeConfig(1)
+	want := 2 * cfg.SuspendedW
+	if got := float64(c.TotalPower()); got != want {
+		t.Errorf("suspended power = %v, want %v", got, want)
+	}
+}
+
+func TestPlatformPowerAccounting(t *testing.T) {
+	c := newCluster(t, 2)
+	d := workload.MustGet("mcf")
+	if _, err := c.Submit("a", d, 2, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(1)
+	cfg := DefaultNodeConfig(1)
+	total := float64(c.TotalPower())
+	chips := float64(c.Node(0).Server().TotalPower())
+	want := chips + cfg.PlatformIdleW + cfg.SuspendedW
+	if total < want-0.01 || total > want+0.01 {
+		t.Errorf("total power = %v, want %v", total, want)
+	}
+}
+
+func TestReapFinished(t *testing.T) {
+	c := newCluster(t, 1)
+	c.SetMode(firmware.Static)
+	d := workload.MustGet("coremark")
+	// Tiny job: finishes in well under a second of simulated time.
+	if _, err := c.Submit("tiny", d, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(1.0)
+	done := c.ReapFinished()
+	if len(done) != 1 || done[0] != "tiny" {
+		t.Fatalf("reaped %v", done)
+	}
+	if c.Jobs() != 0 || c.PoweredNodes() != 0 {
+		t.Error("cluster not empty after reap")
+	}
+}
+
+func TestClusterBeatsNaiveSpreadOnPower(t *testing.T) {
+	// The §5.1.1 argument: two 4-thread jobs on ONE node (consolidated
+	// across nodes, borrowed within) must beat the same jobs on TWO nodes,
+	// because platform power dominates.
+	consolidated := newCluster(t, 2)
+	d := workload.MustGet("raytrace")
+	if _, err := consolidated.Submit("a", d, 4, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := consolidated.Submit("b", d, 4, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	consolidated.Settle(2.5)
+
+	// Force the naive spread by using two one-node clusters.
+	spread := 0.0
+	for i := 0; i < 2; i++ {
+		c := newCluster(t, 1)
+		if _, err := c.Submit("j", d, 4, 1e6); err != nil {
+			t.Fatal(err)
+		}
+		c.Settle(2.5)
+		spread += float64(c.TotalPower())
+	}
+	if got := float64(consolidated.TotalPower()); got >= spread {
+		t.Errorf("consolidated cluster %v W not below naive spread %v W", got, spread)
+	}
+}
+
+func TestModeAppliesToLateNodes(t *testing.T) {
+	c := newCluster(t, 2)
+	c.SetMode(firmware.Undervolt)
+	d := workload.MustGet("raytrace")
+	if _, err := c.Submit("a", d, 8, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(2.5)
+	if uv := float64(c.Node(0).Server().Chip(0).UndervoltMV()); uv <= 0 {
+		t.Errorf("late-powered node ignored mode: undervolt %v", uv)
+	}
+	if c.Node(1).Server() != nil {
+		t.Error("suspended node exposed a server")
+	}
+}

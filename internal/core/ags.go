@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+
+	"agsim/internal/qos"
+	"agsim/internal/rng"
+	"agsim/internal/server"
+	"agsim/internal/units"
+	"agsim/internal/workload"
+)
+
+// AGS is the composed adaptive guardband scheduler: the paper's two
+// techniques run together against one server. It owns placement (loadline
+// borrowing for batch work), runtime rebalancing, and QoS protection for
+// critical applications (the Fig. 18 loop, backed by the MIPS-based
+// frequency predictor). This is the deployable face of the library: submit
+// jobs, call Step, read the reports.
+type AGS struct {
+	srv *server.Server
+
+	borrowing  *Borrowing
+	rebalancer *Rebalancer
+
+	predictor *FreqPredictor
+
+	// critical tracks each protected application.
+	critical map[string]*protectedApp
+
+	// quantumSec is the scheduling quantum for QoS evaluation.
+	quantumSec float64
+	sinceSec   float64
+
+	// clockSec is the scheduler's view of simulated time, for event
+	// timestamps.
+	clockSec float64
+	events   *EventLog
+}
+
+// protectedApp is one critical application under QoS protection.
+type protectedApp struct {
+	job     *server.Job
+	mapper  *AdaptiveMapper
+	tracker *qos.Tracker
+	socket  int
+	core    int
+}
+
+// AGSConfig assembles the orchestrator.
+type AGSConfig struct {
+	// OnCoresTotal is the responsiveness floor (cores kept powered).
+	OnCoresTotal int
+	// QuantumSec is the QoS evaluation quantum; zero selects the QoS
+	// window length.
+	QuantumSec float64
+	// Predictor must be trained (profile the platform first, or reuse the
+	// Fig. 16 experiment's model).
+	Predictor *FreqPredictor
+	Seed      uint64
+}
+
+// NewAGS wraps a server with the scheduler.
+func NewAGS(srv *server.Server, cfg AGSConfig) (*AGS, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("core: nil server")
+	}
+	if cfg.Predictor == nil {
+		return nil, fmt.Errorf("core: AGS needs a trained frequency predictor")
+	}
+	if _, err := cfg.Predictor.Predict(0); err != nil {
+		return nil, err
+	}
+	cores := 0
+	for si := 0; si < srv.Sockets(); si++ {
+		cores += srv.Chip(si).Cores()
+	}
+	if cfg.OnCoresTotal <= 0 || cfg.OnCoresTotal > cores {
+		cfg.OnCoresTotal = cores
+	}
+	b, err := NewBorrowing(srv.Sockets(), srv.Chip(0).Cores(), cfg.OnCoresTotal)
+	if err != nil {
+		return nil, err
+	}
+	quantum := cfg.QuantumSec
+	if quantum <= 0 {
+		quantum = qos.DefaultConfig().WindowSec
+	}
+	return &AGS{
+		srv:        srv,
+		borrowing:  b,
+		rebalancer: NewRebalancer(),
+		predictor:  cfg.Predictor,
+		critical:   map[string]*protectedApp{},
+		quantumSec: quantum,
+		events:     NewEventLog(256),
+	}, nil
+}
+
+// SubmitBatch places a batch job under the loadline-borrowing policy
+// (balanced across sockets unless the workload is sharing-heavy, in which
+// case it stays on the least-loaded socket).
+func (a *AGS) SubmitBatch(id string, d workload.Descriptor, threads int, workGInst float64) (*server.Job, error) {
+	placements, err := a.placeBatch(d, threads)
+	if err != nil {
+		return nil, err
+	}
+	j, err := a.srv.Submit(id, d, placements, workGInst)
+	if err != nil {
+		return nil, err
+	}
+	a.events.Record(Event{AtSec: a.clockSec, Kind: EventPlace, Job: id,
+		Detail: fmt.Sprintf("%d threads of %s across %d sockets", threads, d.Name, len(j.Sockets()))})
+	a.regate()
+	return j, nil
+}
+
+// SubmitCritical places a latency-sensitive application on a dedicated core
+// and arms the Fig. 18 protection loop for it.
+func (a *AGS) SubmitCritical(id string, d workload.Descriptor, spec AppSpec, qcfg qos.Config, seed uint64) (*server.Job, error) {
+	placements, err := a.placeBatch(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	j, err := a.srv.Submit(id, d, placements, 1e9)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := NewAdaptiveMapper(spec, a.predictor)
+	if err != nil {
+		a.srv.Remove(j)
+		return nil, err
+	}
+	a.critical[id] = &protectedApp{
+		job:     j,
+		mapper:  mapper,
+		tracker: qos.NewTracker(qcfg, rng.New(seed, "ags/"+id)),
+		socket:  placements[0].Socket,
+		core:    placements[0].Core,
+	}
+	a.events.Record(Event{AtSec: a.clockSec, Kind: EventPlace, Job: id,
+		Detail: fmt.Sprintf("critical %s on P%d core %d, target p90 %.2fs",
+			d.Name, placements[0].Socket, placements[0].Core, spec.QoSTarget)})
+	a.regate()
+	return j, nil
+}
+
+// placeBatch finds free cores under the borrowing policy given current
+// occupancy.
+func (a *AGS) placeBatch(d workload.Descriptor, threads int) ([]server.Placement, error) {
+	free := make([][]int, a.srv.Sockets())
+	total := 0
+	for si := 0; si < a.srv.Sockets(); si++ {
+		ch := a.srv.Chip(si)
+		for core := 0; core < ch.Cores(); core++ {
+			if len(ch.Core(core).Threads()) == 0 {
+				free[si] = append(free[si], core)
+				total++
+			}
+		}
+	}
+	if total < threads {
+		return nil, fmt.Errorf("core: need %d free cores, have %d", threads, total)
+	}
+	if !ShouldBorrow(d) {
+		for si := range free {
+			if len(free[si]) >= threads {
+				ps := make([]server.Placement, threads)
+				for i := range ps {
+					ps[i] = server.Placement{Socket: si, Core: free[si][i]}
+				}
+				return ps, nil
+			}
+		}
+		// No single socket fits; fall through to spreading.
+	}
+	ps := make([]server.Placement, 0, threads)
+	for len(ps) < threads {
+		best := -1
+		for si := range free {
+			if len(free[si]) == 0 {
+				continue
+			}
+			if best < 0 || len(free[si]) > len(free[best]) {
+				best = si
+			}
+		}
+		ps = append(ps, server.Placement{Socket: best, Core: free[best][0]})
+		free[best] = free[best][1:]
+	}
+	return ps, nil
+}
+
+// regate reapplies the power-gating posture for the responsiveness floor.
+func (a *AGS) regate() {
+	loaded := 0
+	for si := 0; si < a.srv.Sockets(); si++ {
+		loaded += a.srv.Chip(si).ActiveCores()
+	}
+	keepTotal := a.borrowing.OnCoresTotal - loaded
+	if keepTotal < 0 {
+		keepTotal = 0
+	}
+	keep := make([]int, a.srv.Sockets())
+	for si := range keep {
+		share := keepTotal / a.srv.Sockets()
+		if si < keepTotal%a.srv.Sockets() {
+			share++
+		}
+		keep[si] = share
+	}
+	a.srv.GateUnloadedCores(keep...)
+}
+
+// QoSReport is the per-quantum outcome for one critical application.
+type QoSReport struct {
+	ID            string
+	P90Sec        float64
+	Violated      bool
+	ViolationRate float64
+	// Alert is non-empty when the mapper wants a colocation change; the
+	// embedding scheduler decides what to evict (the AGS layer cannot kill
+	// arbitrary batch jobs on its own authority).
+	Alert string
+}
+
+// Step advances the server and the protection loops by dtSec, returning any
+// QoS reports that completed this step.
+func (a *AGS) Step(dtSec float64) []QoSReport {
+	a.clockSec += dtSec
+	a.srv.Step(dtSec)
+	if a.rebalancer.Tick(a.srv, dtSec) {
+		a.events.Record(Event{AtSec: a.clockSec, Kind: EventMigrate,
+			Detail: fmt.Sprintf("rebalanced toward socket balance (migration #%d)", a.rebalancer.Migrations())})
+	}
+
+	a.sinceSec += dtSec
+	if a.sinceSec < a.quantumSec {
+		return nil
+	}
+	a.sinceSec = 0
+
+	var reports []QoSReport
+	for id, app := range a.critical {
+		ch := a.srv.Chip(app.socket)
+		own := ch.CoreMIPS(app.core)
+		if own <= 0 {
+			continue // app idle this quantum
+		}
+		res := app.tracker.RunWindow(own)
+		decision := app.mapper.Tick(Observation{
+			QoSMetric: res.P90Sec,
+			Violated:  res.Violated,
+			Freq:      ch.CoreFreq(app.core),
+			OwnMIPS:   own,
+		}, a.candidates(app))
+		rep := QoSReport{
+			ID:            id,
+			P90Sec:        res.P90Sec,
+			Violated:      res.Violated,
+			ViolationRate: app.mapper.ViolationRate(),
+		}
+		if res.Violated {
+			a.events.Record(Event{AtSec: a.clockSec, Kind: EventQoSViolation, Job: id,
+				Detail: fmt.Sprintf("window p90 %.3fs (rate %.0f%%)", res.P90Sec, app.mapper.ViolationRate()*100)})
+		}
+		if decision.Swap {
+			rep.Alert = decision.Reason
+			a.events.Record(Event{AtSec: a.clockSec, Kind: EventSwapAdvice, Job: id,
+				Detail: decision.Reason})
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// candidates enumerates the batch jobs sharing the critical app's socket as
+// replaceable co-runners.
+func (a *AGS) candidates(app *protectedApp) []Candidate {
+	var out []Candidate
+	for _, j := range a.srv.Jobs() {
+		if j == app.job {
+			continue
+		}
+		var mips units.MIPS
+		shares := false
+		for _, p := range j.Placements {
+			if p.Socket == app.socket {
+				shares = true
+				mips += a.srv.Chip(p.Socket).CoreMIPS(p.Core)
+			}
+		}
+		if shares {
+			out = append(out, Candidate{
+				Name:         j.ID,
+				MIPS:         mips,
+				BandwidthGBs: j.Desc.BandwidthGBs(mips),
+			})
+		}
+	}
+	return out
+}
+
+// Server exposes the managed server.
+func (a *AGS) Server() *server.Server { return a.srv }
+
+// Rebalancer exposes the runtime borrowing loop (for statistics).
+func (a *AGS) Rebalancer() *Rebalancer { return a.rebalancer }
+
+// Events exposes the scheduler's decision log.
+func (a *AGS) Events() *EventLog { return a.events }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"agsim/internal/firmware"
+	"agsim/internal/qos"
+	"agsim/internal/server"
+	"agsim/internal/workload"
+)
+
+func newAGS(t *testing.T) *AGS {
+	t.Helper()
+	srv := server.MustNew(server.DefaultConfig(41))
+	srv.SetMode(firmware.Undervolt)
+	a, err := NewAGS(srv, AGSConfig{OnCoresTotal: 16, Predictor: trainedPredictor(t), Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAGSValidation(t *testing.T) {
+	srv := server.MustNew(server.DefaultConfig(1))
+	if _, err := NewAGS(nil, AGSConfig{Predictor: &FreqPredictor{}}); err == nil {
+		t.Error("expected error for nil server")
+	}
+	if _, err := NewAGS(srv, AGSConfig{}); err == nil {
+		t.Error("expected error for nil predictor")
+	}
+	var untrained FreqPredictor
+	if _, err := NewAGS(srv, AGSConfig{Predictor: &untrained}); err == nil {
+		t.Error("expected error for untrained predictor")
+	}
+}
+
+func TestSubmitBatchBalances(t *testing.T) {
+	a := newAGS(t)
+	if _, err := a.SubmitBatch("b", workload.MustGet("raytrace"), 6, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	srv := a.Server()
+	a0, a1 := srv.Chip(0).ActiveCores(), srv.Chip(1).ActiveCores()
+	if d := a0 - a1; d < -1 || d > 1 {
+		t.Errorf("batch not balanced: %d vs %d", a0, a1)
+	}
+}
+
+func TestSubmitBatchKeepsSharingHeavyTogether(t *testing.T) {
+	a := newAGS(t)
+	if _, err := a.SubmitBatch("b", workload.MustGet("radiosity"), 5, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	srv := a.Server()
+	if srv.Chip(0).ActiveCores() != 5 && srv.Chip(1).ActiveCores() != 5 {
+		t.Error("sharing-heavy batch split across sockets")
+	}
+}
+
+func TestSubmitBatchCapacity(t *testing.T) {
+	a := newAGS(t)
+	if _, err := a.SubmitBatch("b", workload.MustGet("mcf"), 16, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitBatch("c", workload.MustGet("mcf"), 1, 1e9); err == nil {
+		t.Error("expected capacity error")
+	}
+}
+
+func TestCriticalAppProtection(t *testing.T) {
+	a := newAGS(t)
+	cfg := qos.DefaultConfig()
+	if _, err := a.SubmitCritical("web", workload.MustGet("websearch"), AppSpec{
+		Name: "web", Critical: true, QoSTarget: cfg.TargetP90Sec,
+	}, cfg, 41); err != nil {
+		t.Fatal(err)
+	}
+	// A hostile co-runner fills the rest of the machine.
+	if _, err := a.SubmitBatch("hog", workload.MustGet("lu_cb"), 15, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	a.Server().Settle(2)
+	// Shrink the evidence window so the test needs fewer quanta.
+	a.critical["web"].mapper.WindowQuanta = 5
+
+	var reports []QoSReport
+	alerted := false
+	for i := 0; i < 150000; i++ { // up to 150 s: a dozen QoS quanta
+		rs := a.Step(0.001)
+		reports = append(reports, rs...)
+		for _, r := range rs {
+			if r.Alert != "" {
+				alerted = true
+			}
+		}
+		if alerted {
+			break
+		}
+	}
+	if len(reports) == 0 {
+		t.Fatal("no QoS reports produced")
+	}
+	for _, r := range reports {
+		if r.ID != "web" {
+			t.Errorf("report for unknown app %q", r.ID)
+		}
+		if r.P90Sec <= 0 {
+			t.Errorf("empty p90 in %+v", r)
+		}
+	}
+	if !alerted {
+		t.Error("mapper never alerted despite hostile colocation")
+	}
+}
+
+func TestAGSQuantumDefaults(t *testing.T) {
+	srv := server.MustNew(server.DefaultConfig(43))
+	a, err := NewAGS(srv, AGSConfig{Predictor: trainedPredictor(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.quantumSec != qos.DefaultConfig().WindowSec {
+		t.Errorf("quantum = %v", a.quantumSec)
+	}
+	if a.borrowing.OnCoresTotal != 16 {
+		t.Errorf("default on-cores = %d", a.borrowing.OnCoresTotal)
+	}
+}
+
+func TestCandidatesSeeSocketMates(t *testing.T) {
+	a := newAGS(t)
+	cfg := qos.DefaultConfig()
+	if _, err := a.SubmitCritical("web", workload.MustGet("websearch"), AppSpec{
+		Name: "web", Critical: true, QoSTarget: cfg.TargetP90Sec,
+	}, cfg, 47); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SubmitBatch("mate", workload.MustGet("coremark"), 4, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	a.Server().Settle(1)
+	app := a.critical["web"]
+	cands := a.candidates(app)
+	found := false
+	for _, c := range cands {
+		if c.Name == "mate" {
+			found = true
+			if c.MIPS <= 0 {
+				t.Errorf("socket-mate MIPS = %v", c.MIPS)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("socket-mate not enumerated: %v", cands)
+	}
+}
+
+func TestEventLogRecordsDecisions(t *testing.T) {
+	a := newAGS(t)
+	if _, err := a.SubmitBatch("b", workload.MustGet("raytrace"), 6, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	evs := a.Events().Events()
+	if len(evs) != 1 || evs[0].Kind != EventPlace || evs[0].Job != "b" {
+		t.Fatalf("events = %v", evs)
+	}
+	if a.Events().Total() != 1 {
+		t.Errorf("Total = %d", a.Events().Total())
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{AtSec: float64(i), Kind: EventMigrate})
+	}
+	evs := l.Events()
+	if l.Len() != 3 || l.Total() != 5 {
+		t.Fatalf("Len=%d Total=%d", l.Len(), l.Total())
+	}
+	if evs[0].AtSec != 2 || evs[2].AtSec != 4 {
+		t.Errorf("ring order wrong: %v", evs)
+	}
+	if l.Dump() == "" {
+		t.Error("empty dump")
+	}
+}
+
+func TestNewEventLogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEventLog(0)
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies scheduler events.
+type EventKind int
+
+// Scheduler event kinds.
+const (
+	// EventPlace records a job placement decision.
+	EventPlace EventKind = iota
+	// EventMigrate records a runtime rebalancing migration.
+	EventMigrate
+	// EventQoSViolation records a critical application missing its target.
+	EventQoSViolation
+	// EventSwapAdvice records the Fig. 18 loop asking for a colocation
+	// change.
+	EventSwapAdvice
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPlace:
+		return "place"
+	case EventMigrate:
+		return "migrate"
+	case EventQoSViolation:
+		return "qos-violation"
+	case EventSwapAdvice:
+		return "swap-advice"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduler decision or observation, timestamped in simulated
+// seconds.
+type Event struct {
+	AtSec  float64
+	Kind   EventKind
+	Job    string
+	Detail string
+}
+
+// String renders the event as an operator log line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%9.3fs] %-13s %-12s %s", e.AtSec, e.Kind, e.Job, e.Detail)
+}
+
+// EventLog is a bounded ring of scheduler events: always available for
+// operator inspection, never unbounded.
+type EventLog struct {
+	cap    int
+	events []Event
+	start  int
+	total  int
+}
+
+// NewEventLog creates a log holding the most recent capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: event log capacity %d", capacity))
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Record appends an event, evicting the oldest beyond capacity.
+func (l *EventLog) Record(e Event) {
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
+	} else {
+		l.events[l.start] = e
+		l.start = (l.start + 1) % l.cap
+	}
+	l.total++
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int { return len(l.events) }
+
+// Total returns the number of events ever recorded.
+func (l *EventLog) Total() int { return l.total }
+
+// Events returns the retained events oldest-first.
+func (l *EventLog) Events() []Event {
+	out := make([]Event, 0, len(l.events))
+	for i := 0; i < len(l.events); i++ {
+		out = append(out, l.events[(l.start+i)%len(l.events)])
+	}
+	return out
+}
+
+// Dump renders the retained events as a log transcript.
+func (l *EventLog) Dump() string {
+	var sb strings.Builder
+	for _, e := range l.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+
+	"agsim/internal/stats"
+	"agsim/internal/units"
+)
+
+// FreqQoSModel is the per-application frequency→QoS model of the Fig. 18
+// scheduler: it accumulates (frequency, QoS metric) observations from the
+// critical application's own execution log and answers "what frequency do
+// I need for this QoS target?".
+//
+// The QoS metric is latency-like (lower is better, p90 seconds for
+// WebSearch). Near an operating point the relationship is locally linear,
+// which is all the scheduler needs: it asks for the frequency at which the
+// fitted line crosses the target, then adds the line's own error as
+// headroom.
+type FreqQoSModel struct {
+	freqs, metrics []float64
+}
+
+// ErrInsufficientData is returned when the model has too few or too
+// degenerate observations to answer.
+var ErrInsufficientData = errors.New("core: freq-QoS model has insufficient data")
+
+// Observe appends one logged operating point.
+func (m *FreqQoSModel) Observe(f units.Megahertz, metric float64) {
+	m.freqs = append(m.freqs, float64(f))
+	m.metrics = append(m.metrics, metric)
+}
+
+// Samples returns the number of logged points.
+func (m *FreqQoSModel) Samples() int { return len(m.freqs) }
+
+// Sensitive reports whether the application's QoS actually depends on
+// frequency — the Fig. 18 branch that routes frequency-insensitive
+// (memory-bound) applications to the memory-contention path instead. The
+// test is a negative correlation between frequency and the latency metric
+// strong enough to act on.
+func (m *FreqQoSModel) Sensitive() bool {
+	if len(m.freqs) < 8 {
+		return false
+	}
+	return stats.Pearson(m.freqs, m.metrics) < -0.3
+}
+
+// RequiredFrequency returns the lowest frequency whose predicted metric
+// meets the target, with one RMSE of headroom.
+func (m *FreqQoSModel) RequiredFrequency(target float64) (units.Megahertz, error) {
+	fit, err := stats.Fit(m.freqs, m.metrics)
+	if err != nil || fit.Slope >= 0 {
+		// A non-negative slope means latency does not improve with
+		// frequency; there is no frequency answer to give.
+		return 0, ErrInsufficientData
+	}
+	// Solve fit.Predict(f) + RMSE = target.
+	f := (target - fit.RMSE - fit.Intercept) / fit.Slope
+	return units.Megahertz(f), nil
+}

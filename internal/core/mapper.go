@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"agsim/internal/units"
+)
+
+// This file implements the adaptive-mapping scheduler of paper §5.2 —
+// the end-to-end feedback loop drawn in Fig. 18. Every scheduling quantum
+// the mapper examines each critical application, logs its QoS and
+// frequency, and when the violation rate crosses the threshold selects a
+// replacement co-runner using the MIPS-based frequency predictor (for
+// frequency-sensitive applications) or the memory-contention predictor
+// (for bandwidth-sensitive ones).
+
+// AppSpec is the job-description entry the scheduler indexes "during every
+// scheduling interval" (§5.2.1).
+type AppSpec struct {
+	Name string
+	// Critical marks latency-sensitive applications with an SLA.
+	Critical bool
+	// QoSTarget is the latency bound (p90 seconds for WebSearch).
+	QoSTarget float64
+}
+
+// Candidate is a co-runner the scheduler may place next to a critical
+// application, profiled by the throughput and bandwidth it would add.
+type Candidate struct {
+	Name string
+	// MIPS is the chip-MIPS contribution of the candidate's threads.
+	MIPS units.MIPS
+	// BandwidthGBs is the candidate's memory traffic, consumed by the
+	// memory-contention path.
+	BandwidthGBs float64
+}
+
+// Observation is one scheduling quantum's log entry for a critical
+// application.
+type Observation struct {
+	// QoSMetric is the measured latency statistic for the quantum.
+	QoSMetric float64
+	// Violated reports whether the quantum missed the application's
+	// target.
+	Violated bool
+	// Freq is the chip frequency during the quantum.
+	Freq units.Megahertz
+	// OwnMIPS is the critical application's own throughput contribution.
+	OwnMIPS units.MIPS
+}
+
+// Decision is the mapper's verdict for one quantum.
+type Decision struct {
+	// Swap is true when the current co-runner should be replaced.
+	Swap bool
+	// Candidate is the chosen replacement when Swap is true.
+	Candidate Candidate
+	// Reason explains the decision for operator logs.
+	Reason string
+}
+
+// AdaptiveMapper is the Fig. 18 scheduler state for one critical
+// application.
+type AdaptiveMapper struct {
+	Spec AppSpec
+
+	// ViolationThreshold is the violation-rate fraction above which the
+	// mapper acts (the paper swaps when violations exceed 25% of windows).
+	ViolationThreshold float64
+
+	// WindowQuanta is how many recent quanta the violation rate is
+	// computed over.
+	WindowQuanta int
+
+	predictor *FreqPredictor
+	freqQoS   FreqQoSModel
+
+	recent []bool // violation flags, newest last
+}
+
+// NewAdaptiveMapper builds a mapper for one critical application using a
+// trained (or trainable) frequency predictor.
+func NewAdaptiveMapper(spec AppSpec, predictor *FreqPredictor) (*AdaptiveMapper, error) {
+	if !spec.Critical {
+		return nil, fmt.Errorf("core: adaptive mapping is for critical applications; %q is not", spec.Name)
+	}
+	if spec.QoSTarget <= 0 {
+		return nil, fmt.Errorf("core: application %q has no QoS target", spec.Name)
+	}
+	if predictor == nil {
+		return nil, fmt.Errorf("core: nil frequency predictor")
+	}
+	return &AdaptiveMapper{
+		Spec:               spec,
+		ViolationThreshold: 0.25,
+		WindowQuanta:       20,
+		predictor:          predictor,
+	}, nil
+}
+
+// FreqQoS exposes the learned frequency-QoS model (for tests and
+// diagnostics).
+func (m *AdaptiveMapper) FreqQoS() *FreqQoSModel { return &m.freqQoS }
+
+// ViolationRate returns the violation fraction over the recent window.
+func (m *AdaptiveMapper) ViolationRate() float64 {
+	if len(m.recent) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range m.recent {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.recent))
+}
+
+// Tick runs one scheduling quantum of the Fig. 18 loop: log the
+// observation, then decide whether to swap the co-runner given the
+// available candidates. Candidates must describe complete co-runner
+// configurations (the threads that would fill the chip's other cores).
+func (m *AdaptiveMapper) Tick(obs Observation, candidates []Candidate) Decision {
+	// "Log QoS, frequency" and "Append to freq-QoS model".
+	m.freqQoS.Observe(obs.Freq, obs.QoSMetric)
+	m.recent = append(m.recent, obs.Violated)
+	if len(m.recent) > m.WindowQuanta {
+		m.recent = m.recent[len(m.recent)-m.WindowQuanta:]
+	}
+
+	// "Violation rate > threshold?"
+	if len(m.recent) < m.WindowQuanta || m.ViolationRate() <= m.ViolationThreshold {
+		return Decision{Reason: "QoS within threshold"}
+	}
+	if len(candidates) == 0 {
+		return Decision{Reason: "QoS violated but no candidates available"}
+	}
+
+	// "QoS sensitive to frequency?"
+	var d Decision
+	if m.freqQoS.Sensitive() {
+		d = m.swapByFrequency(obs, candidates)
+	} else {
+		d = m.swapByMemory(candidates)
+	}
+	if d.Swap {
+		// The evidence that damned the old co-runner says nothing about
+		// the new one: start a fresh violation window so the scheduler
+		// does not thrash on stale history.
+		m.recent = nil
+	}
+	return d
+}
+
+// swapByFrequency is the shaded path of Fig. 18: find the desired
+// frequency from the freq-QoS model, then pick the co-runner the frequency
+// predictor says will still deliver it. Among satisfying candidates the
+// highest-MIPS one wins (throughput should not be thrown away); with none
+// satisfying, the lowest-MIPS candidate is the best effort — the paper's
+// "replace the current co-runner with the one that has lowest MIPS".
+func (m *AdaptiveMapper) swapByFrequency(obs Observation, candidates []Candidate) Decision {
+	desired, err := m.freqQoS.RequiredFrequency(m.Spec.QoSTarget)
+	if err != nil {
+		// Not enough signal to aim precisely; fall back to minimum MIPS.
+		return Decision{
+			Swap:      true,
+			Candidate: minMIPS(candidates),
+			Reason:    "insufficient freq-QoS data; choosing gentlest co-runner",
+		}
+	}
+
+	var best *Candidate
+	for i := range candidates {
+		c := &candidates[i]
+		predicted, err := m.predictor.Predict(obs.OwnMIPS + c.MIPS)
+		if err != nil {
+			return Decision{
+				Swap:      true,
+				Candidate: minMIPS(candidates),
+				Reason:    "frequency predictor untrained; choosing gentlest co-runner",
+			}
+		}
+		if predicted < desired {
+			continue
+		}
+		if best == nil || c.MIPS > best.MIPS {
+			best = c
+		}
+	}
+	if best == nil {
+		return Decision{
+			Swap:      true,
+			Candidate: minMIPS(candidates),
+			Reason:    fmt.Sprintf("no candidate sustains %.0f MHz; choosing gentlest co-runner", float64(desired)),
+		}
+	}
+	return Decision{
+		Swap:      true,
+		Candidate: *best,
+		Reason:    fmt.Sprintf("predicted frequency sustains %.0f MHz target", float64(desired)),
+	}
+}
+
+// swapByMemory is Fig. 18's unshaded alternative path for
+// frequency-insensitive applications: pick the candidate with the least
+// memory traffic.
+func (m *AdaptiveMapper) swapByMemory(candidates []Candidate) Decision {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.BandwidthGBs < best.BandwidthGBs {
+			best = c
+		}
+	}
+	return Decision{Swap: true, Candidate: best, Reason: "memory contention predictor: least-bandwidth co-runner"}
+}
+
+func minMIPS(candidates []Candidate) Candidate {
+	sorted := make([]Candidate, len(candidates))
+	copy(sorted, candidates)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].MIPS < sorted[j].MIPS })
+	return sorted[0]
+}

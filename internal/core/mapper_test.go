@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"agsim/internal/units"
+)
+
+func trainedPredictor(t *testing.T) *FreqPredictor {
+	t.Helper()
+	var p FreqPredictor
+	// The Fig. 16 law: f = 4600 - 2.5e-3 * MIPS.
+	for mips := 5000.0; mips <= 85000; mips += 5000 {
+		p.Observe(units.MIPS(mips), units.Megahertz(4600-0.0025*mips))
+	}
+	if err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return &p
+}
+
+func spec() AppSpec {
+	return AppSpec{Name: "websearch", Critical: true, QoSTarget: 0.5}
+}
+
+var testCandidates = []Candidate{
+	{Name: "heavy", MIPS: 70000, BandwidthGBs: 3},
+	{Name: "medium", MIPS: 28000, BandwidthGBs: 2},
+	{Name: "light", MIPS: 13000, BandwidthGBs: 1},
+}
+
+func TestNewAdaptiveMapperValidation(t *testing.T) {
+	p := trainedPredictor(t)
+	if _, err := NewAdaptiveMapper(AppSpec{Name: "batch"}, p); err == nil {
+		t.Error("expected error for non-critical app")
+	}
+	if _, err := NewAdaptiveMapper(AppSpec{Name: "x", Critical: true}, p); err == nil {
+		t.Error("expected error for missing target")
+	}
+	if _, err := NewAdaptiveMapper(spec(), nil); err == nil {
+		t.Error("expected error for nil predictor")
+	}
+}
+
+// feed drives the mapper with synthetic quanta: violating windows at low
+// frequency, compliant windows at high frequency, so the freq-QoS model
+// learns a real negative slope. It returns the first swap decision if one
+// occurs, otherwise the last decision (the mapper clears its evidence
+// window after a swap, so later ticks legitimately report compliance).
+func feed(m *AdaptiveMapper, quanta int, violating bool) Decision {
+	var last Decision
+	for i := 0; i < quanta; i++ {
+		f := units.Megahertz(4560 - float64(i%5)*10)
+		metric := 0.40
+		if violating {
+			f = units.Megahertz(4430 - float64(i%5)*10)
+			metric = 0.55 + float64(i%5)*0.01
+		}
+		d := m.Tick(Observation{
+			QoSMetric: metric,
+			Violated:  violating,
+			Freq:      f,
+			OwnMIPS:   4000,
+		}, testCandidates)
+		if d.Swap && !last.Swap {
+			last = d
+		} else if !last.Swap {
+			last = d
+		}
+	}
+	return last
+}
+
+func TestNoSwapWhileCompliant(t *testing.T) {
+	m, err := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := feed(m, 40, false); d.Swap {
+		t.Errorf("compliant app triggered swap: %+v", d)
+	}
+	if m.ViolationRate() != 0 {
+		t.Errorf("violation rate = %v", m.ViolationRate())
+	}
+}
+
+func TestSwapOnSustainedViolation(t *testing.T) {
+	m, err := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Teach the model both regimes, ending in sustained violation.
+	feed(m, 15, false)
+	d := feed(m, 25, true)
+	if !d.Swap {
+		t.Fatalf("sustained violation did not trigger swap: %+v", d)
+	}
+	if d.Candidate.Name == "heavy" {
+		t.Errorf("mapper chose the heavy co-runner: %+v", d)
+	}
+}
+
+func TestEvidenceWindowClearsOnSwap(t *testing.T) {
+	m, _ := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	feed(m, 15, false)
+	var d Decision
+	for i := 0; i < m.WindowQuanta+5 && !d.Swap; i++ {
+		d = m.Tick(Observation{QoSMetric: 0.6, Violated: true, Freq: 4430, OwnMIPS: 4000}, testCandidates)
+	}
+	if !d.Swap {
+		t.Fatal("no swap")
+	}
+	// Immediately after the swap the evidence window is empty, so the new
+	// co-runner gets a fresh chance.
+	if m.ViolationRate() != 0 {
+		t.Errorf("violation window not cleared after swap: %v", m.ViolationRate())
+	}
+}
+
+func TestWarmupWindowSuppressesEarlySwaps(t *testing.T) {
+	m, _ := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	// Even all-violating quanta must not trigger before a full window of
+	// evidence exists.
+	for i := 0; i < m.WindowQuanta-1; i++ {
+		d := m.Tick(Observation{QoSMetric: 0.6, Violated: true, Freq: 4430, OwnMIPS: 4000}, testCandidates)
+		if d.Swap {
+			t.Fatalf("swap at quantum %d before window filled", i)
+		}
+	}
+}
+
+func TestNoCandidatesNoSwap(t *testing.T) {
+	m, _ := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	feed(m, 15, false)
+	var d Decision
+	for i := 0; i < 25; i++ {
+		d = m.Tick(Observation{QoSMetric: 0.6, Violated: true, Freq: 4430, OwnMIPS: 4000}, nil)
+	}
+	if d.Swap {
+		t.Errorf("swap with no candidates: %+v", d)
+	}
+}
+
+func TestFrequencyPathPrefersHighestSatisfyingMIPS(t *testing.T) {
+	m, _ := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	// Teach a freq-QoS model whose required frequency (~4480) is met by
+	// light (predicted 4557) and medium (4520) but not heavy (4415).
+	for f := 4400.0; f <= 4560; f += 10 {
+		metric := 0.5 + (4480-f)*0.001 // crosses target at ~4480 MHz
+		m.FreqQoS().Observe(units.Megahertz(f), metric)
+	}
+	var d Decision
+	for i := 0; i < m.WindowQuanta+1 && !d.Swap; i++ {
+		d = m.Tick(Observation{QoSMetric: 0.55, Violated: true, Freq: 4430, OwnMIPS: 4000}, testCandidates)
+	}
+	if !d.Swap {
+		t.Fatalf("no swap: %+v", d)
+	}
+	if d.Candidate.Name == "heavy" {
+		t.Errorf("chose heavy: %+v", d)
+	}
+	// The mapper should not needlessly throw away throughput by always
+	// picking the gentlest candidate when a stronger one satisfies the
+	// target; either medium or light is acceptable depending on headroom,
+	// but heavy never is.
+}
+
+func TestMemoryPathPicksLeastBandwidth(t *testing.T) {
+	m, _ := NewAdaptiveMapper(spec(), trainedPredictor(t))
+	// Frequency-insensitive history: metric uncorrelated with frequency.
+	for i := 0; i < 30; i++ {
+		m.FreqQoS().Observe(units.Megahertz(4400+float64(i%5)*50), 0.55)
+	}
+	var d Decision
+	for i := 0; i < m.WindowQuanta+1 && !d.Swap; i++ {
+		d = m.Tick(Observation{QoSMetric: 0.55, Violated: true, Freq: 4500, OwnMIPS: 4000}, testCandidates)
+	}
+	if !d.Swap || d.Candidate.Name != "light" {
+		t.Errorf("memory path decision = %+v, want light (least bandwidth)", d)
+	}
+}
+
+func TestFreqQoSModel(t *testing.T) {
+	var m FreqQoSModel
+	if m.Sensitive() {
+		t.Error("empty model cannot be sensitive")
+	}
+	if _, err := m.RequiredFrequency(0.5); err == nil {
+		t.Error("expected error with no data")
+	}
+	for f := 4400.0; f <= 4600; f += 20 {
+		m.Observe(units.Megahertz(f), 0.5+(4500-f)*0.002)
+	}
+	if !m.Sensitive() {
+		t.Error("clearly frequency-dependent model not sensitive")
+	}
+	req, err := m.RequiredFrequency(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing point is 4500; headroom pushes slightly above.
+	if req < 4490 || req > 4560 {
+		t.Errorf("RequiredFrequency = %v, want ~4500+headroom", req)
+	}
+	// Positive-slope data has no frequency answer.
+	var inv FreqQoSModel
+	for f := 4400.0; f <= 4600; f += 20 {
+		inv.Observe(units.Megahertz(f), (f-4400)*0.001)
+	}
+	if _, err := inv.RequiredFrequency(0.5); err == nil {
+		t.Error("positive slope should refuse")
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"agsim/internal/units"
+)
+
+// Packer generalizes adaptive mapping from reactive co-runner swaps to
+// proactive colocation planning: given a critical application's frequency
+// requirement and the chip's free cores, choose batch co-runners that
+// maximize throughput while the MIPS-based predictor still guarantees the
+// required frequency. It answers the question a datacenter scheduler asks
+// *before* placing anything — the preventive counterpart of the paper's
+// Fig. 18 loop.
+type Packer struct {
+	predictor *FreqPredictor
+}
+
+// NewPacker builds a packer over a trained predictor.
+func NewPacker(p *FreqPredictor) (*Packer, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil predictor")
+	}
+	if _, err := p.Predict(0); err != nil {
+		return nil, fmt.Errorf("core: packer needs a trained predictor: %w", err)
+	}
+	return &Packer{predictor: p}, nil
+}
+
+// MIPSBudget inverts the frequency model: the largest total chip MIPS at
+// which the predicted frequency still meets the requirement. An
+// unreachable requirement yields 0 budget.
+func (pk *Packer) MIPSBudget(required units.Megahertz) units.MIPS {
+	fit := pk.predictor.Fit()
+	if fit.Slope >= 0 {
+		// Degenerate population (frequency not falling with MIPS): no
+		// meaningful budget bound; treat as unconstrained.
+		return units.MIPS(math.Inf(1))
+	}
+	budget := (float64(required) - fit.Intercept) / fit.Slope
+	if budget < 0 {
+		return 0
+	}
+	return units.MIPS(budget)
+}
+
+// Pack selects up to `slots` co-runners (with repetition) from the
+// candidates, maximizing total co-runner MIPS subject to the predictor
+// keeping criticalMIPS + ΣMIPS within the budget for requiredFreq. Slots
+// left empty stay idle. The returned total includes only co-runner MIPS.
+//
+// The selection is an exact small knapsack over 100-MIPS quanta: the slot
+// and candidate counts on an eight-core chip keep it trivially cheap, and
+// exactness matters because greedy packing misses mixes (e.g. two mediums
+// beating one heavy plus idle).
+func (pk *Packer) Pack(criticalMIPS units.MIPS, requiredFreq units.Megahertz, slots int, candidates []Candidate) ([]Candidate, units.MIPS, error) {
+	if slots < 0 {
+		return nil, 0, fmt.Errorf("core: negative slot count %d", slots)
+	}
+	budgetTotal := pk.MIPSBudget(requiredFreq)
+	if math.IsInf(float64(budgetTotal), 1) {
+		// Unconstrained: fill every slot with the biggest candidate.
+		if len(candidates) == 0 || slots == 0 {
+			return nil, 0, nil
+		}
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if c.MIPS > best.MIPS {
+				best = c
+			}
+		}
+		out := make([]Candidate, slots)
+		for i := range out {
+			out[i] = best
+		}
+		return out, units.MIPS(float64(best.MIPS) * float64(slots)), nil
+	}
+	budget := float64(budgetTotal) - float64(criticalMIPS)
+	if budget <= 0 || slots == 0 || len(candidates) == 0 {
+		return nil, 0, nil // nothing fits: leave the chip to the critical app
+	}
+
+	const quantum = 100.0 // MIPS per DP cell
+	cells := int(budget/quantum) + 1
+	type cell struct {
+		reachable bool
+		// choice[s] chains the picked candidate index per slot.
+		from   int // previous cell index
+		picked int // candidate index, -1 for idle
+	}
+	// dp[s][b]: after s slots, total quantized MIPS b is reachable.
+	dp := make([][]cell, slots+1)
+	for i := range dp {
+		dp[i] = make([]cell, cells)
+	}
+	dp[0][0].reachable = true
+	costs := make([]int, len(candidates))
+	for i, c := range candidates {
+		costs[i] = int(math.Ceil(float64(c.MIPS) / quantum))
+	}
+	for s := 0; s < slots; s++ {
+		for b := 0; b < cells; b++ {
+			if !dp[s][b].reachable {
+				continue
+			}
+			// Idle slot.
+			if !dp[s+1][b].reachable {
+				dp[s+1][b] = cell{reachable: true, from: b, picked: -1}
+			}
+			for ci, cost := range costs {
+				nb := b + cost
+				if nb < cells && !dp[s+1][nb].reachable {
+					dp[s+1][nb] = cell{reachable: true, from: b, picked: ci}
+				}
+			}
+		}
+	}
+	best := -1
+	for b := cells - 1; b >= 0; b-- {
+		if dp[slots][b].reachable {
+			best = b
+			break
+		}
+	}
+	if best < 0 {
+		return nil, 0, nil
+	}
+	// Walk the choice chain back.
+	var picks []Candidate
+	var total units.MIPS
+	b := best
+	for s := slots; s > 0; s-- {
+		c := dp[s][b]
+		if c.picked >= 0 {
+			picks = append(picks, candidates[c.picked])
+			total += candidates[c.picked].MIPS
+		}
+		b = c.from
+	}
+	sort.Slice(picks, func(i, j int) bool { return picks[i].MIPS > picks[j].MIPS })
+	return picks, total, nil
+}

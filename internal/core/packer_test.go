@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/units"
+)
+
+func testPacker(t *testing.T) *Packer {
+	t.Helper()
+	pk, err := NewPacker(trainedPredictor(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk
+}
+
+func TestNewPackerValidation(t *testing.T) {
+	if _, err := NewPacker(nil); err == nil {
+		t.Error("expected error for nil predictor")
+	}
+	var untrained FreqPredictor
+	if _, err := NewPacker(&untrained); err == nil {
+		t.Error("expected error for untrained predictor")
+	}
+}
+
+func TestMIPSBudgetInvertsPredictor(t *testing.T) {
+	pk := testPacker(t)
+	// The trained model is f = 4600 - 2.5e-3*MIPS: 4450 MHz allows 60k.
+	budget := pk.MIPSBudget(4450)
+	if math.Abs(float64(budget)-60000) > 500 {
+		t.Errorf("budget = %v, want ~60000", budget)
+	}
+	// The prediction at the budget meets the requirement.
+	f, err := pk.predictor.Predict(budget)
+	if err != nil || float64(f) < 4450-1 {
+		t.Errorf("Predict(budget) = %v, %v", f, err)
+	}
+	if b := pk.MIPSBudget(5000); b != 0 {
+		t.Errorf("unreachable requirement budget = %v, want 0", b)
+	}
+}
+
+func TestPackRespectsBudget(t *testing.T) {
+	pk := testPacker(t)
+	picks, total, err := pk.Pack(4000, 4450, 7, testCandidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) == 0 {
+		t.Fatal("nothing packed despite headroom")
+	}
+	predicted, err := pk.predictor.Predict(4000 + total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(predicted) < 4450-1 {
+		t.Errorf("packed chip predicted at %v, below the 4450 requirement", predicted)
+	}
+	if len(picks) > 7 {
+		t.Errorf("overfilled: %d picks", len(picks))
+	}
+}
+
+func TestPackBeatsGreedy(t *testing.T) {
+	pk := testPacker(t)
+	// Budget ~30k of co-runner MIPS with candidates 28k/13k: greedy takes
+	// 28k then nothing (13k would overflow); but 13k+13k = 26k < 28k...
+	// make the counterexample real: candidates 22k and 13k, budget 27k:
+	// greedy 22k; optimal 13k+13k = 26k.
+	cands := []Candidate{{Name: "big", MIPS: 22000}, {Name: "small", MIPS: 13000}}
+	// Required frequency giving budget ≈ 31k total; critical uses 4k.
+	required := units.Megahertz(4600 - 0.0025*31000)
+	picks, total, err := pk.Pack(4000, required, 7, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(total) < 26000-200 {
+		t.Errorf("packer found %v MIPS; the 13k+13k mix reaches 26k (picks %v)", total, picks)
+	}
+}
+
+func TestPackTightBudgetLeavesIdle(t *testing.T) {
+	pk := testPacker(t)
+	// Require almost the intercept frequency: essentially no co-runner
+	// budget beyond the critical app itself.
+	picks, total, err := pk.Pack(4000, 4589, 7, testCandidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 0 || total != 0 {
+		t.Errorf("tight budget still packed %v (%v MIPS)", picks, total)
+	}
+}
+
+func TestPackEdgeCases(t *testing.T) {
+	pk := testPacker(t)
+	if _, _, err := pk.Pack(4000, 4450, -1, testCandidates); err == nil {
+		t.Error("expected error for negative slots")
+	}
+	if picks, total, err := pk.Pack(4000, 4450, 0, testCandidates); err != nil || len(picks) != 0 || total != 0 {
+		t.Errorf("zero slots: %v %v %v", picks, total, err)
+	}
+	if picks, _, err := pk.Pack(4000, 4450, 7, nil); err != nil || len(picks) != 0 {
+		t.Errorf("no candidates: %v %v", picks, err)
+	}
+}
+
+func TestPackUnconstrainedPopulation(t *testing.T) {
+	// A predictor trained on a flat population (slope >= 0) cannot bound
+	// MIPS; the packer fills every slot with the biggest candidate.
+	var p FreqPredictor
+	p.Observe(10000, 4500)
+	p.Observe(20000, 4500)
+	p.Observe(30000, 4501)
+	if err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := NewPacker(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, total, err := pk.Pack(4000, 4450, 3, testCandidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 3 || picks[0].Name != "heavy" || total != 3*70000 {
+		t.Errorf("unconstrained pack = %v (%v)", picks, total)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"agsim/internal/stats"
+	"agsim/internal/units"
+)
+
+// FreqPredictor is the paper's MIPS-based frequency prediction model
+// (§5.2.1, Fig. 16): a linear fit from total chip MIPS to the frequency
+// the adaptive guardbanding hardware will settle at.
+//
+// The model works because chip power is, to first order, linear in total
+// MIPS, passive drop is linear in power, and the undervolt/boost budget is
+// linear in passive drop — so frequency ends up close to linear in MIPS.
+// The paper reports a relative RMSE of only 0.3%, and "the simplicity of
+// this model makes it a good choice for a scheduler".
+type FreqPredictor struct {
+	xs, ys []float64
+	fit    stats.LinearFit
+	ready  bool
+}
+
+// ErrUntrained is returned when prediction is requested before Train.
+var ErrUntrained = errors.New("core: frequency predictor not trained")
+
+// Observe records one profiled operating point: the chip's total MIPS and
+// the frequency adaptive guardbanding chose for it.
+func (p *FreqPredictor) Observe(chipMIPS units.MIPS, freq units.Megahertz) {
+	p.xs = append(p.xs, float64(chipMIPS))
+	p.ys = append(p.ys, float64(freq))
+	p.ready = false
+}
+
+// Samples returns the number of recorded observations.
+func (p *FreqPredictor) Samples() int { return len(p.xs) }
+
+// Train fits the linear model over the recorded observations.
+func (p *FreqPredictor) Train() error {
+	fit, err := stats.Fit(p.xs, p.ys)
+	if err != nil {
+		return fmt.Errorf("core: training frequency predictor: %w", err)
+	}
+	p.fit = fit
+	p.ready = true
+	return nil
+}
+
+// Fit returns the trained model parameters; it panics before Train
+// succeeds, because consuming an untrained fit is a scheduler bug.
+func (p *FreqPredictor) Fit() stats.LinearFit {
+	if !p.ready {
+		panic(ErrUntrained)
+	}
+	return p.fit
+}
+
+// Predict estimates the frequency adaptive guardbanding will settle at for
+// the given total chip MIPS.
+func (p *FreqPredictor) Predict(chipMIPS units.MIPS) (units.Megahertz, error) {
+	if !p.ready {
+		return 0, ErrUntrained
+	}
+	return units.Megahertz(p.fit.Predict(float64(chipMIPS))), nil
+}
+
+// RelRMSE returns the trained model's relative root-mean-square error,
+// the accuracy figure the paper quotes (0.3%).
+func (p *FreqPredictor) RelRMSE() (float64, error) {
+	if !p.ready {
+		return 0, ErrUntrained
+	}
+	return p.fit.RelRMSE, nil
+}

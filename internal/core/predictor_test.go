@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/rng"
+	"agsim/internal/units"
+)
+
+func TestPredictorLifecycle(t *testing.T) {
+	var p FreqPredictor
+	if _, err := p.Predict(1000); err != ErrUntrained {
+		t.Errorf("Predict before train: %v", err)
+	}
+	if _, err := p.RelRMSE(); err != ErrUntrained {
+		t.Errorf("RelRMSE before train: %v", err)
+	}
+	if err := p.Train(); err == nil {
+		t.Error("training with no data should fail")
+	}
+
+	r := rng.New(1, "pred")
+	for i := 0; i < 44; i++ {
+		mips := r.Uniform(5000, 85000)
+		f := 4600 - 0.0025*mips + r.Normal(0, 8)
+		p.Observe(units.MIPS(mips), units.Megahertz(f))
+	}
+	if p.Samples() != 44 {
+		t.Errorf("Samples = %d", p.Samples())
+	}
+	if err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4600 - 0.0025*40000
+	if math.Abs(float64(got)-want) > 15 {
+		t.Errorf("Predict(40000) = %v, want ~%v", got, want)
+	}
+	rel, err := p.RelRMSE()
+	if err != nil || rel > 0.01 {
+		t.Errorf("RelRMSE = %v, %v", rel, err)
+	}
+	// Fit accessor works once trained.
+	if p.Fit().Slope >= 0 {
+		t.Error("slope should be negative: more MIPS, less frequency")
+	}
+}
+
+func TestFitPanicsUntrained(t *testing.T) {
+	var p FreqPredictor
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Fit()
+}
+
+func TestObserveInvalidatesTraining(t *testing.T) {
+	var p FreqPredictor
+	p.Observe(1000, 4600)
+	p.Observe(2000, 4590)
+	if err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(3000, 4580)
+	if _, err := p.Predict(1500); err != ErrUntrained {
+		t.Errorf("stale model served predictions: %v", err)
+	}
+}

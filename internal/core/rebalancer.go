@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+
+	"agsim/internal/server"
+)
+
+// Rebalancer is the runtime form of loadline borrowing: the paper emulates
+// it with Linux taskset affinity on a live system (§5.1.2), moving threads
+// so active cores stay balanced across sockets. The rebalancer watches a
+// server, and whenever socket load is imbalanced it migrates the best
+// candidate job toward balance — skipping sharing-heavy jobs, which lose
+// more to cross-socket traffic than the loadline reclaims.
+type Rebalancer struct {
+	// IntervalSec is how often the rebalancer evaluates the schedule. The
+	// effects it chases are long-term (passive drop), so seconds-scale
+	// intervals suffice and keep migration costs negligible.
+	IntervalSec float64
+
+	since      float64
+	migrations int
+}
+
+// NewRebalancer returns a rebalancer with the default 1 s evaluation
+// interval.
+func NewRebalancer() *Rebalancer { return &Rebalancer{IntervalSec: 1} }
+
+// Migrations returns how many job migrations the rebalancer has performed.
+func (r *Rebalancer) Migrations() int { return r.migrations }
+
+// Tick advances the rebalancer's clock by dtSec and, when an evaluation is
+// due, performs at most one migration. It returns whether a migration
+// happened.
+func (r *Rebalancer) Tick(s *server.Server, dtSec float64) bool {
+	r.since += dtSec
+	if r.since < r.IntervalSec {
+		return false
+	}
+	r.since = 0
+	return r.rebalance(s)
+}
+
+// rebalance finds the most- and least-loaded sockets and, if they differ by
+// more than one active core, migrates a movable job to balanced placements.
+func (r *Rebalancer) rebalance(s *server.Server) bool {
+	loads := make([]int, s.Sockets())
+	for si := range loads {
+		loads[si] = s.Chip(si).ActiveCores()
+	}
+	max, min := 0, 0
+	for si, l := range loads {
+		if l > loads[max] {
+			max = si
+		}
+		if l < loads[min] {
+			min = si
+		}
+	}
+	if loads[max]-loads[min] <= 1 {
+		return false
+	}
+
+	j := r.pickMovable(s, max)
+	if j == nil {
+		return false
+	}
+	placements, ok := r.balancedPlacements(s, j)
+	if !ok {
+		return false
+	}
+	if err := s.Migrate(j, placements); err != nil {
+		// Another job occupies a computed slot (racing shapes); skip this
+		// round rather than failing the caller.
+		return false
+	}
+	r.migrations++
+	return true
+}
+
+// pickMovable returns the largest borrowing-eligible job with threads on
+// the overloaded socket.
+func (r *Rebalancer) pickMovable(s *server.Server, overloaded int) *server.Job {
+	var best *server.Job
+	for _, j := range s.Jobs() {
+		if !ShouldBorrow(j.Desc) {
+			continue
+		}
+		onSocket := 0
+		for _, p := range j.Placements {
+			if p.Socket == overloaded {
+				onSocket++
+			}
+		}
+		if onSocket == 0 {
+			continue
+		}
+		if best == nil || len(j.Threads) > len(best.Threads) {
+			best = j
+		}
+	}
+	return best
+}
+
+// balancedPlacements computes placements for job j spread across sockets,
+// treating j's current cores as free.
+func (r *Rebalancer) balancedPlacements(s *server.Server, j *server.Job) ([]server.Placement, bool) {
+	own := map[server.Placement]bool{}
+	for _, p := range j.Placements {
+		own[p] = true
+	}
+	free := make([][]int, s.Sockets())
+	for si := 0; si < s.Sockets(); si++ {
+		ch := s.Chip(si)
+		for core := 0; core < ch.Cores(); core++ {
+			p := server.Placement{Socket: si, Core: core}
+			if len(ch.Core(core).Threads()) == 0 || own[p] {
+				free[si] = append(free[si], core)
+			}
+		}
+	}
+
+	need := len(j.Threads)
+	placements := make([]server.Placement, 0, need)
+	for len(placements) < need {
+		// Take from the socket with the most free cores; ties break by
+		// index for determinism.
+		order := make([]int, s.Sockets())
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return len(free[order[a]]) > len(free[order[b]])
+		})
+		si := order[0]
+		if len(free[si]) == 0 {
+			return nil, false
+		}
+		placements = append(placements, server.Placement{Socket: si, Core: free[si][0]})
+		free[si] = free[si][1:]
+	}
+	return placements, true
+}

@@ -1,0 +1,176 @@
+// Package cpm models the POWER7+ critical path monitors: per-core timing
+// margin sensors built from synthetic delay paths feeding a 12-position
+// edge detector (paper §2.2, Fig. 2b).
+//
+// Each cycle an edge is launched through the synthetic paths; the position
+// it reaches in the edge detector by the next clock edge is the CPM output,
+// an integer 0..11. More supply voltage (at fixed frequency) means faster
+// propagation and a higher output; higher frequency (at fixed voltage)
+// means less cycle time and a lower output. The paper calibrates ~21 mV per
+// CPM bit at peak frequency (Fig. 6a) with 10-30 mV/bit spread across
+// sensors and frequencies (Fig. 6b), which this model reproduces through
+// per-sensor process-variation parameters.
+package cpm
+
+import (
+	"fmt"
+	"math"
+
+	"agsim/internal/rng"
+	"agsim/internal/units"
+	"agsim/internal/vf"
+)
+
+// Positions is the number of edge-detector positions (a 12-bit detector).
+const Positions = 12
+
+// MaxValue is the highest CPM output.
+const MaxValue = Positions - 1
+
+// CalibTarget is the output value the calibration procedure aims each CPM
+// at; with adaptive guardbanding active the control loop holds the worst
+// CPM here (paper §4.1: "CPMs typically hover around an output value of 2").
+const CalibTarget = 2
+
+// Sensor is one critical path monitor.
+type Sensor struct {
+	law vf.Law
+
+	// mvPerBitNom is this sensor's millivolts of supply slack per detector
+	// position at the nominal peak frequency; ~21 mV on average with
+	// process-variation spread across sensors.
+	mvPerBitNom float64
+
+	// pathOffsetMV shifts this sensor's synthetic path speed relative to
+	// the chip's true critical path (calibration error + local process
+	// variation). Positive means the sensor is pessimistic.
+	pathOffsetMV float64
+
+	// noiseMV is the cycle-to-cycle measurement noise.
+	noiseMV float64
+
+	r *rng.Source
+
+	// dead simulates a failed sensor for fail-safe testing: it always
+	// outputs 0 (worst case), which a correct controller treats as "no
+	// margin" and refuses to undervolt on.
+	dead bool
+
+	stickyMin int
+	hasSticky bool
+}
+
+// Config controls sensor construction.
+type Config struct {
+	Law vf.Law
+	// MeanMVPerBit is the population mean sensitivity at peak frequency
+	// (paper: ~21 mV/bit).
+	MeanMVPerBit float64
+	// MVPerBitSpread is the fractional process-variation spread of
+	// sensitivity across sensors (Fig. 6b shows roughly ±25%).
+	MVPerBitSpread float64
+	// PathOffsetSpreadMV is the standard deviation of per-sensor path
+	// calibration error.
+	PathOffsetSpreadMV float64
+	// NoiseMV is per-read measurement noise.
+	NoiseMV float64
+}
+
+// DefaultConfig returns the Fig. 6 calibration.
+func DefaultConfig(law vf.Law) Config {
+	return Config{
+		Law:                law,
+		MeanMVPerBit:       21,
+		MVPerBitSpread:     0.22,
+		PathOffsetSpreadMV: 4,
+		NoiseMV:            1.5,
+	}
+}
+
+// New creates one sensor with parameters drawn from the population
+// distribution in cfg using r (must not be nil: sensors are always
+// instantiated with process variation, a zero-variation chip hides
+// calibration bugs).
+func New(cfg Config, r *rng.Source) *Sensor {
+	if r == nil {
+		panic("cpm: nil randomness source")
+	}
+	if cfg.MeanMVPerBit <= 0 {
+		panic(fmt.Sprintf("cpm: non-positive MeanMVPerBit %v", cfg.MeanMVPerBit))
+	}
+	spread := cfg.MVPerBitSpread
+	mvPerBit := cfg.MeanMVPerBit * (1 + r.Uniform(-spread, spread))
+	return &Sensor{
+		law:          cfg.Law,
+		mvPerBitNom:  mvPerBit,
+		pathOffsetMV: r.Normal(0, cfg.PathOffsetSpreadMV),
+		noiseMV:      cfg.NoiseMV,
+		r:            r.Split("reads"),
+	}
+}
+
+// MVPerBit returns the sensor's sensitivity at frequency f. Delay elements
+// are a fixed fraction of the cycle, so the voltage worth of one detector
+// position scales with cycle time pressure: faster clocks leave fewer
+// millivolts per position.
+func (s *Sensor) MVPerBit(f units.Megahertz) float64 {
+	scale := float64(f) / float64(s.law.FNom)
+	v := s.mvPerBitNom * scale
+	// Sensitivity cannot collapse below a physical floor.
+	return math.Max(v, 5)
+}
+
+// Value returns the CPM output for on-chip voltage v at frequency f.
+// The mapping is the affine law Fig. 6a measures: the calibration target
+// position corresponds to the residual margin above the circuit's V_req,
+// and each additional MVPerBit of slack moves the edge one position.
+func (s *Sensor) Value(v units.Millivolt, f units.Megahertz) int {
+	if s.dead {
+		s.observeSticky(0)
+		return 0
+	}
+	marginMV := float64(s.law.MarginMV(v, f)) - float64(s.law.ResidualMV) + s.pathOffsetMV
+	marginMV += s.r.Normal(0, s.noiseMV)
+	raw := CalibTarget + int(math.Round(marginMV/s.MVPerBit(f)))
+	if raw < 0 {
+		raw = 0
+	}
+	if raw > MaxValue {
+		raw = MaxValue
+	}
+	s.observeSticky(raw)
+	return raw
+}
+
+func (s *Sensor) observeSticky(v int) {
+	if !s.hasSticky || v < s.stickyMin {
+		s.stickyMin = v
+		s.hasSticky = true
+	}
+}
+
+// Sticky returns the minimum output observed since the last StickyReset
+// (the paper's sticky-mode AMESTER read: "the worst-case, i.e. smallest,
+// output of each CPM during the past 32 ms"). The second result reports
+// whether any observation occurred.
+func (s *Sensor) Sticky() (int, bool) {
+	return s.stickyMin, s.hasSticky
+}
+
+// StickyReset clears the sticky latch.
+func (s *Sensor) StickyReset() { s.hasSticky = false; s.stickyMin = 0 }
+
+// Kill marks the sensor failed (stuck at worst-case output).
+func (s *Sensor) Kill() { s.dead = true }
+
+// Dead reports whether the sensor has been killed.
+func (s *Sensor) Dead() bool { return s.dead }
+
+// VoltageFromValue inverts the sensor mapping: given an observed output at
+// frequency f, estimate the on-chip voltage. This is the paper's §4.1
+// methodology of using CPMs as on-chip voltage "performance counters";
+// the estimate carries the sensor's quantization (±half a bit).
+func (s *Sensor) VoltageFromValue(value int, f units.Megahertz) units.Millivolt {
+	marginMV := float64(value-CalibTarget)*s.MVPerBit(f) - s.pathOffsetMV
+	return s.law.VReq(f) + s.law.ResidualMV + units.Millivolt(marginMV)
+}

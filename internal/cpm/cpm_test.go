@@ -1,0 +1,187 @@
+package cpm
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/rng"
+	"agsim/internal/units"
+	"agsim/internal/vf"
+)
+
+func quietSensor(t *testing.T, seed uint64) *Sensor {
+	t.Helper()
+	cfg := DefaultConfig(vf.Default())
+	cfg.NoiseMV = 0
+	cfg.PathOffsetSpreadMV = 0
+	cfg.MVPerBitSpread = 0
+	return New(cfg, rng.New(seed, "cpm-test"))
+}
+
+func TestValueMonotoneInVoltage(t *testing.T) {
+	s := quietSensor(t, 1)
+	prev := -1
+	for v := units.Millivolt(950); v <= 1280; v += 5 {
+		got := s.Value(v, 4200)
+		if got < prev {
+			t.Fatalf("CPM value decreased with voltage at %v: %d < %d", v, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestValueAntiMonotoneInFrequency(t *testing.T) {
+	s := quietSensor(t, 2)
+	prev := MaxValue + 1
+	for f := units.Megahertz(2800); f <= 4620; f += 28 {
+		got := s.Value(1200, f)
+		if got > prev {
+			t.Fatalf("CPM value increased with frequency at %v: %d > %d", f, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	s := quietSensor(t, 3)
+	if got := s.Value(600, 4620); got != 0 {
+		t.Errorf("starved sensor = %d, want 0", got)
+	}
+	if got := s.Value(2000, 2800); got != MaxValue {
+		t.Errorf("flooded sensor = %d, want %d", got, MaxValue)
+	}
+}
+
+func TestCalibrationTargetAtResidualMargin(t *testing.T) {
+	// When the core sits exactly at V_req + residual, the sensor must read
+	// its calibration target: that is what "calibrated" means.
+	law := vf.Default()
+	s := quietSensor(t, 4)
+	v := law.VReq(4200) + law.ResidualMV
+	if got := s.Value(v, 4200); got != CalibTarget {
+		t.Errorf("calibrated point reads %d, want %d", got, CalibTarget)
+	}
+}
+
+func TestSensitivityScalesWithFrequency(t *testing.T) {
+	s := quietSensor(t, 5)
+	atPeak := s.MVPerBit(4200)
+	if math.Abs(atPeak-21) > 0.01 {
+		t.Errorf("peak sensitivity = %v, want ~21 mV/bit (Fig. 6a)", atPeak)
+	}
+	atLow := s.MVPerBit(3600)
+	if atLow >= atPeak {
+		t.Errorf("sensitivity should shrink at lower frequency: %v vs %v", atLow, atPeak)
+	}
+	if s.MVPerBit(100) < 5 {
+		t.Error("sensitivity floor violated")
+	}
+}
+
+func TestPopulationSpread(t *testing.T) {
+	// Fig. 6b: per-sensor sensitivity varies (10-30 mV/bit band). Build a
+	// population and check spread without exceeding the band.
+	cfg := DefaultConfig(vf.Default())
+	r := rng.New(9, "population")
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 200; i++ {
+		s := New(cfg, r.Split(string(rune('a'+i%26))+"x"))
+		v := s.MVPerBit(4200)
+		minS = math.Min(minS, v)
+		maxS = math.Max(maxS, v)
+	}
+	if maxS-minS < 3 {
+		t.Errorf("population spread too tight: [%v, %v]", minS, maxS)
+	}
+	if minS < 10 || maxS > 30 {
+		t.Errorf("population outside Fig. 6b band: [%v, %v]", minS, maxS)
+	}
+}
+
+func TestVoltageFromValueInvertsMapping(t *testing.T) {
+	// §4.1 methodology: CPM output converts back to on-chip voltage within
+	// quantization error (±half a bit plus read noise).
+	cfg := DefaultConfig(vf.Default())
+	cfg.NoiseMV = 0
+	s := New(cfg, rng.New(11, "invert"))
+	for _, v := range []units.Millivolt{1050, 1100, 1150, 1200} {
+		val := s.Value(v, 4200)
+		if val == 0 || val == MaxValue {
+			continue // saturated, not invertible
+		}
+		est := s.VoltageFromValue(val, 4200)
+		if math.Abs(float64(est-v)) > s.MVPerBit(4200)/2+1e-9 {
+			t.Errorf("inversion at %v: estimated %v (err > half bit)", v, est)
+		}
+	}
+}
+
+func TestStickyTracksMinimum(t *testing.T) {
+	s := quietSensor(t, 12)
+	if _, ok := s.Sticky(); ok {
+		t.Fatal("fresh sensor should have no sticky observation")
+	}
+	s.Value(1250, 4200) // high margin
+	s.Value(1100, 4200) // droop
+	s.Value(1250, 4200) // recovered
+	min, ok := s.Sticky()
+	if !ok {
+		t.Fatal("sticky missing")
+	}
+	direct := quietSensor(t, 12).Value(1100, 4200)
+	if min != direct {
+		t.Errorf("sticky = %d, want the droop reading %d", min, direct)
+	}
+	s.StickyReset()
+	if _, ok := s.Sticky(); ok {
+		t.Error("sticky not cleared")
+	}
+}
+
+func TestDeadSensorReadsWorstCase(t *testing.T) {
+	s := quietSensor(t, 13)
+	s.Kill()
+	if !s.Dead() {
+		t.Fatal("Dead() false after Kill")
+	}
+	if got := s.Value(1250, 4200); got != 0 {
+		t.Errorf("dead sensor read %d, want 0", got)
+	}
+	if min, ok := s.Sticky(); !ok || min != 0 {
+		t.Errorf("dead sensor sticky = %d, %v", min, ok)
+	}
+}
+
+func TestReadNoiseBounded(t *testing.T) {
+	cfg := DefaultConfig(vf.Default())
+	s := New(cfg, rng.New(14, "noise"))
+	v := units.Millivolt(1200)
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		counts[s.Value(v, 4200)]++
+	}
+	if len(counts) < 1 || len(counts) > 4 {
+		t.Errorf("read noise produced %d distinct values, want a narrow band", len(counts))
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for nil rng")
+			}
+		}()
+		New(DefaultConfig(vf.Default()), nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for bad sensitivity")
+			}
+		}()
+		cfg := DefaultConfig(vf.Default())
+		cfg.MeanMVPerBit = 0
+		New(cfg, rng.New(1, "x"))
+	}()
+}

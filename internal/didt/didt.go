@@ -1,0 +1,173 @@
+// Package didt models inductive (di/dt) voltage noise on the shared Vdd
+// plane: the typical-case ripple of normal execution and the rare
+// worst-case droops caused by aligned current surges across cores.
+//
+// The model encodes the two multicore effects the paper reports in §4.3:
+//
+//   - Typical-case noise *shrinks* as cores are added, because
+//     microarchitectural activity staggers across cores and averages out
+//     ("noise smoothing"): amplitude scales as 1/sqrt(active cores).
+//   - Worst-case noise *grows slightly* with core count, because occasional
+//     random alignment of activity across cores produces larger combined
+//     surges, though such events are infrequent.
+package didt
+
+import (
+	"fmt"
+	"math"
+
+	"agsim/internal/rng"
+)
+
+// Profile is the noise character contributed by one active core, derived
+// from its workload descriptor.
+type Profile struct {
+	// TypicalMV is the single-core typical ripple amplitude.
+	TypicalMV float64
+	// WorstMV is the single-core worst-case droop magnitude.
+	WorstMV float64
+	// RatePerSec is the expected worst-case alignment event rate.
+	RatePerSec float64
+}
+
+// Params calibrates the multicore composition of per-core profiles.
+type Params struct {
+	// AlignmentGrowth controls how the worst-case droop grows with active
+	// core count n: worst = max_core WorstMV * (1 + AlignmentGrowth*(sqrt(n)-1)).
+	AlignmentGrowth float64
+	// SmoothingExponent controls typical-case smoothing: typical =
+	// mean TypicalMV / n^SmoothingExponent.
+	SmoothingExponent float64
+}
+
+// DefaultParams returns the calibration used by the reproduction.
+func DefaultParams() Params {
+	return Params{AlignmentGrowth: 0.35, SmoothingExponent: 0.5}
+}
+
+// Sample is the chip-wide noise state over one simulation step. Voltage
+// noise is global on the shared plane (paper §4.2), so one sample applies
+// to all cores.
+type Sample struct {
+	// TypicalMV is the ripple amplitude around the DC level; the DPLL
+	// rides at the bottom of this ripple.
+	TypicalMV float64
+	// WorstEventMV is the depth of the deepest worst-case droop that
+	// occurred during the step (0 when none did). Sticky-mode CPMs latch
+	// it; sample-mode reads almost never catch it.
+	WorstEventMV float64
+	// Events is the number of worst-case droop events in the step.
+	Events int
+}
+
+// Model generates noise samples for one chip.
+type Model struct {
+	p Params
+	r *rng.Source
+
+	// worstSeen tracks the deepest droop since the last StickyReset, which
+	// is what a sticky CPM read over a 32 ms window reports.
+	worstSeen float64
+}
+
+// New creates a model drawing randomness from r (must not be nil).
+func New(p Params, r *rng.Source) *Model {
+	if r == nil {
+		panic("didt: nil randomness source")
+	}
+	return &Model{p: p, r: r}
+}
+
+// Step produces the chip-wide noise sample for a step of dtSec seconds
+// given the profiles of the currently active cores. An empty profile list
+// (fully idle chip) yields a small floor ripple from background activity.
+func (m *Model) Step(dtSec float64, active []Profile) Sample {
+	if dtSec <= 0 {
+		panic(fmt.Sprintf("didt: non-positive step %v", dtSec))
+	}
+	const floorMV = 1.5 // clock grid and background ripple
+	n := len(active)
+	if n == 0 {
+		return Sample{TypicalMV: floorMV}
+	}
+
+	var sumTyp, maxWorst, sumRate float64
+	for _, p := range active {
+		sumTyp += p.TypicalMV
+		if p.WorstMV > maxWorst {
+			maxWorst = p.WorstMV
+		}
+		sumRate += p.RatePerSec
+	}
+	meanTyp := sumTyp / float64(n)
+
+	typ := meanTyp/math.Pow(float64(n), m.p.SmoothingExponent) + floorMV
+	// Small stochastic wobble so telemetry sees realistic variation.
+	typ *= 1 + 0.05*m.r.Normal(0, 1)
+	if typ < floorMV {
+		typ = floorMV
+	}
+
+	s := Sample{TypicalMV: typ}
+
+	// Worst-case alignment events: the per-core rates do not add linearly
+	// (events need cross-core coincidence); the combined rate saturates.
+	rate := sumRate / math.Sqrt(float64(n))
+	s.Events = m.r.Poisson(rate * dtSec)
+	if s.Events > 0 {
+		depth := maxWorst * (1 + m.p.AlignmentGrowth*(math.Sqrt(float64(n))-1))
+		// Event-to-event variation: droop depth is the worst of the
+		// events in the step, each within ±20% of the characteristic
+		// depth.
+		worst := 0.0
+		for i := 0; i < s.Events; i++ {
+			d := depth * m.r.Uniform(0.8, 1.2)
+			if d > worst {
+				worst = d
+			}
+		}
+		s.WorstEventMV = worst
+		if worst > m.worstSeen {
+			m.worstSeen = worst
+		}
+	}
+	return s
+}
+
+// WorstSinceReset returns the deepest droop since the last StickyReset;
+// zero if none occurred.
+func (m *Model) WorstSinceReset() float64 { return m.worstSeen }
+
+// StickyReset clears the latched worst droop, as reading a sticky CPM does.
+func (m *Model) StickyReset() { m.worstSeen = 0 }
+
+// ExpectedTypicalMV returns the deterministic typical-ripple amplitude for
+// the given profiles, used by analytical checks and the firmware's margin
+// accounting.
+func (p Params) ExpectedTypicalMV(active []Profile) float64 {
+	const floorMV = 1.5
+	if len(active) == 0 {
+		return floorMV
+	}
+	var sum float64
+	for _, pr := range active {
+		sum += pr.TypicalMV
+	}
+	mean := sum / float64(len(active))
+	return mean/math.Pow(float64(len(active)), p.SmoothingExponent) + floorMV
+}
+
+// ExpectedWorstMV returns the characteristic worst-case droop depth for the
+// given profiles.
+func (p Params) ExpectedWorstMV(active []Profile) float64 {
+	if len(active) == 0 {
+		return 0
+	}
+	var maxWorst float64
+	for _, pr := range active {
+		if pr.WorstMV > maxWorst {
+			maxWorst = pr.WorstMV
+		}
+	}
+	return maxWorst * (1 + p.AlignmentGrowth*(math.Sqrt(float64(len(active)))-1))
+}

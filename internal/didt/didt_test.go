@@ -1,0 +1,148 @@
+package didt
+
+import (
+	"testing"
+
+	"agsim/internal/rng"
+)
+
+func profiles(n int, typ, worst, rate float64) []Profile {
+	ps := make([]Profile, n)
+	for i := range ps {
+		ps[i] = Profile{TypicalMV: typ, WorstMV: worst, RatePerSec: rate}
+	}
+	return ps
+}
+
+func newModel() *Model {
+	return New(DefaultParams(), rng.New(7, "didt-test"))
+}
+
+func TestIdleChipFloor(t *testing.T) {
+	m := newModel()
+	s := m.Step(0.001, nil)
+	if s.TypicalMV <= 0 || s.TypicalMV > 3 {
+		t.Errorf("idle typical = %v, want small positive floor", s.TypicalMV)
+	}
+	if s.Events != 0 || s.WorstEventMV != 0 {
+		t.Errorf("idle chip produced droops: %+v", s)
+	}
+}
+
+func TestTypicalNoiseSmoothsWithCores(t *testing.T) {
+	// Paper §4.3: "typical-case di/dt noise gets smaller when core count
+	// scales" due to activity staggering.
+	p := DefaultParams()
+	one := p.ExpectedTypicalMV(profiles(1, 8, 25, 3))
+	eight := p.ExpectedTypicalMV(profiles(8, 8, 25, 3))
+	if eight >= one {
+		t.Errorf("typical noise did not smooth: 1 core %v, 8 cores %v", one, eight)
+	}
+	// And the measured samples should agree with the expectation on
+	// average.
+	m := newModel()
+	var sum1, sum8 float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum1 += m.Step(0.001, profiles(1, 8, 25, 3)).TypicalMV
+		sum8 += m.Step(0.001, profiles(8, 8, 25, 3)).TypicalMV
+	}
+	if sum8/n >= sum1/n {
+		t.Errorf("sampled typical noise did not smooth: %v vs %v", sum1/n, sum8/n)
+	}
+}
+
+func TestWorstCaseGrowsWithCores(t *testing.T) {
+	// Paper §4.3: "the worst-case di/dt noise increases slightly" with
+	// more active cores (alignment).
+	p := DefaultParams()
+	one := p.ExpectedWorstMV(profiles(1, 8, 25, 3))
+	eight := p.ExpectedWorstMV(profiles(8, 8, 25, 3))
+	if eight <= one {
+		t.Errorf("worst-case noise did not grow: 1 core %v, 8 cores %v", one, eight)
+	}
+	// Growth is "slight": under 2x from 1 to 8 cores.
+	if eight > 2*one {
+		t.Errorf("worst-case growth too strong: %v -> %v", one, eight)
+	}
+}
+
+func TestDroopEventsAreRare(t *testing.T) {
+	// Paper: "our droop frequency analysis indicates that such large
+	// worst-case droops occur infrequently". At a 3/s per-core rate the
+	// chip-level rate must stay within the same order of magnitude.
+	m := newModel()
+	events := 0
+	const steps = 10000 // 10 s at 1 ms
+	for i := 0; i < steps; i++ {
+		events += m.Step(0.001, profiles(8, 8, 25, 3)).Events
+	}
+	ratePerSec := float64(events) / 10.0
+	if ratePerSec < 1 || ratePerSec > 30 {
+		t.Errorf("droop rate = %v/s, want rare but present", ratePerSec)
+	}
+}
+
+func TestStickyLatchesWorstDroop(t *testing.T) {
+	m := newModel()
+	// Run until at least one droop happens.
+	var deepest float64
+	for i := 0; i < 100000 && deepest == 0; i++ {
+		s := m.Step(0.001, profiles(8, 8, 25, 3))
+		if s.WorstEventMV > deepest {
+			deepest = s.WorstEventMV
+		}
+	}
+	if deepest == 0 {
+		t.Fatal("no droop occurred in 100 s of simulated time")
+	}
+	if got := m.WorstSinceReset(); got < deepest {
+		t.Errorf("sticky worst %v below observed %v", got, deepest)
+	}
+	m.StickyReset()
+	if got := m.WorstSinceReset(); got != 0 {
+		t.Errorf("sticky not cleared: %v", got)
+	}
+}
+
+func TestDroopDepthBounded(t *testing.T) {
+	m := newModel()
+	p := DefaultParams()
+	expected := p.ExpectedWorstMV(profiles(8, 8, 25, 3))
+	for i := 0; i < 50000; i++ {
+		s := m.Step(0.001, profiles(8, 8, 25, 3))
+		if s.WorstEventMV > expected*1.2+1e-9 {
+			t.Fatalf("droop %v exceeds 1.2x characteristic depth %v", s.WorstEventMV, expected)
+		}
+	}
+}
+
+func TestStepPanicsOnBadDt(t *testing.T) {
+	m := newModel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Step(0, nil)
+}
+
+func TestNewPanicsOnNilRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(DefaultParams(), nil)
+}
+
+func TestHeterogeneousProfilesUseWorstCore(t *testing.T) {
+	p := DefaultParams()
+	mixed := []Profile{{TypicalMV: 4, WorstMV: 15, RatePerSec: 2}, {TypicalMV: 8, WorstMV: 28, RatePerSec: 5}}
+	if got := p.ExpectedWorstMV(mixed); got < 28 {
+		t.Errorf("worst-case must be driven by the noisiest core: %v", got)
+	}
+	if got := p.ExpectedWorstMV(nil); got != 0 {
+		t.Errorf("no active cores should have no worst case: %v", got)
+	}
+}

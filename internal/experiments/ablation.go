@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/server"
+	"agsim/internal/stress"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// This file holds ablation studies for the design choices DESIGN.md calls
+// out: each sweeps one model parameter and reports how the reproduction's
+// headline behaviours respond. They are not paper figures; they justify
+// the calibration and expose the sensitivity of the conclusions.
+
+// AblationLoadReserveResult sweeps the firmware's current-proportional
+// transient reserve — the constant that produces the paper's Fig. 10b law
+// (undervolt falls ~1 mV per mV of passive drop).
+type AblationLoadReserveResult struct {
+	// Table columns: reserve mΩ, 1-core saving %, 8-core saving %,
+	// loadline-borrowing improvement % at 8 cores.
+	Table *trace.Table
+}
+
+// AblationLoadReserve runs the reserve sweep.
+func AblationLoadReserve(o Options) AblationLoadReserveResult {
+	res := AblationLoadReserveResult{
+		Table: trace.NewTable("Ablation: firmware load reserve (mΩ)",
+			"saving@1core %", "saving@8core %", "LLB imp@8 %"),
+	}
+	reserves := []float64{0, 0.5, 1.08, 1.6}
+	if o.Quick {
+		reserves = []float64{0, 1.08}
+	}
+	const bench = "raytrace"
+	d := workload.MustGet(bench)
+	for _, k := range reserves {
+		saving := func(n int) float64 {
+			static := measureWithReserve(o, bench, n, firmware.Static, k)
+			uv := measureWithReserve(o, bench, n, firmware.Undervolt, k)
+			return improvementPct(static, uv)
+		}
+		llb := func() float64 {
+			plC, keepC := fig12Schedule(8, false)
+			plB, keepB := fig12Schedule(8, true)
+			cons := serverSteadyWithReserve(o, fmt.Sprintf("abl/cons/%.2f", k), d, plC, keepC, k)
+			borr := serverSteadyWithReserve(o, fmt.Sprintf("abl/borr/%.2f", k), d, plB, keepB, k)
+			return improvementPct(cons, borr)
+		}
+		res.Table.AddRow(fmt.Sprintf("k=%.2f", k), saving(1), saving(8), llb())
+	}
+	return res
+}
+
+func measureWithReserve(o Options, name string, n int, mode firmware.Mode, reserve float64) float64 {
+	c := newChip(o, fmt.Sprintf("abl-reserve/%s/%d/%v/%.2f", name, n, mode, reserve))
+	c.Controller().LoadReserveMilliohm = reserve
+	placeThreads(c, workload.MustGet(name), n)
+	c.SetMode(mode)
+	return measureChip(o, c).PowerW
+}
+
+func serverSteadyWithReserve(o Options, tag string, d workload.Descriptor, pl []server.Placement, keepOn []int, reserve float64) float64 {
+	s := server.MustNew(server.DefaultConfig(o.Seed ^ hash(tag)))
+	for si := 0; si < s.Sockets(); si++ {
+		s.Chip(si).Controller().LoadReserveMilliohm = reserve
+	}
+	s.MustSubmit("j", d, pl, 1e9)
+	s.GateUnloadedCores(keepOn...)
+	s.SetMode(firmware.Undervolt)
+	s.Settle(o.SettleSec)
+	steps := int(o.MeasureSec / chip.DefaultStepSec)
+	var power float64
+	for i := 0; i < steps; i++ {
+		s.Step(chip.DefaultStepSec)
+		power += float64(s.TotalPower())
+	}
+	return power / float64(steps)
+}
+
+// AblationDPLLAuthorityResult sweeps the DPLL's fast-slew droop authority:
+// without the 7%-in-10ns reaction the undervolted chip cannot survive
+// worst-case di/dt, which is the paper's core safety argument for adaptive
+// guardbanding.
+type AblationDPLLAuthorityResult struct {
+	// Table columns: authority fraction, droops absorbed, timing
+	// violations under the virus stressmark in undervolt mode.
+	Table *trace.Table
+	// ViolationsWithoutSlew and ViolationsWithSlew bracket the effect.
+	ViolationsWithoutSlew, ViolationsWithSlew int
+}
+
+// AblationDPLLAuthority runs the authority sweep.
+func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
+	res := AblationDPLLAuthorityResult{
+		Table: trace.NewTable("Ablation: DPLL fast-slew authority under virus stress",
+			"absorbed", "violations"),
+	}
+	authorities := []float64{0.005, 0.035, 0.07}
+	seconds := 8.0
+	if o.Quick {
+		authorities = []float64{0.005, 0.07}
+		seconds = 3
+	}
+	for _, a := range authorities {
+		c := chip.MustNew(chip.DefaultConfig("abl-dpll", o.Seed))
+		c.SetDroopSlewAuthority(a)
+		d := stress.Synthesize(stress.Virus)
+		for i := 0; i < c.Cores(); i++ {
+			c.Place(i, workload.NewThread(d, 1e9, nil))
+		}
+		c.SetMode(firmware.Undervolt)
+		c.Settle(2)
+		c.ResetDroopStats()
+		steps := int(seconds / chip.DefaultStepSec)
+		for i := 0; i < steps; i++ {
+			c.Step(chip.DefaultStepSec)
+		}
+		absorbed, violations := c.DroopStats()
+		res.Table.AddRow(fmt.Sprintf("slew=%.3f", a), float64(absorbed), float64(violations))
+		switch a {
+		case authorities[0]:
+			res.ViolationsWithoutSlew = violations
+		case 0.07:
+			res.ViolationsWithSlew = violations
+		}
+	}
+	return res
+}
+
+// AblationCPMVariationResult sweeps the per-sensor process-variation
+// spread: the worst of 40 calibration-offset sensors is what the firmware
+// follows, so more spread costs undervolt depth.
+type AblationCPMVariationResult struct {
+	// Table columns: offset spread mV, mean undervolt mV at 4 active
+	// cores.
+	Table *trace.Table
+	// UndervoltTight and UndervoltWide bracket the effect.
+	UndervoltTight, UndervoltWide float64
+}
+
+// AblationCPMVariation runs the spread sweep.
+func AblationCPMVariation(o Options) AblationCPMVariationResult {
+	res := AblationCPMVariationResult{
+		Table: trace.NewTable("Ablation: CPM calibration-offset spread", "undervolt mV"),
+	}
+	spreads := []float64{0, 4, 10}
+	if o.Quick {
+		spreads = []float64{0, 10}
+	}
+	for _, sp := range spreads {
+		cfg := chip.DefaultConfig("abl-cpm", o.Seed)
+		cfg.CPM.PathOffsetSpreadMV = sp
+		c := chip.MustNew(cfg)
+		placeThreads(c, workload.MustGet("raytrace"), 4)
+		c.SetMode(firmware.Undervolt)
+		st := measureChip(o, c)
+		res.Table.AddRow(fmt.Sprintf("spread=%.0fmV", sp), st.UndervoltMV)
+		switch sp {
+		case 0:
+			res.UndervoltTight = st.UndervoltMV
+		case 10:
+			res.UndervoltWide = st.UndervoltMV
+		}
+	}
+	return res
+}
+
+// AblationContentionResult sweeps the memory-contention exponent that
+// calibrates Fig. 14's bandwidth-relief winners.
+type AblationContentionResult struct {
+	// Table columns: exponent, radix split speedup.
+	Table *trace.Table
+}
+
+// AblationContention runs the exponent sweep.
+func AblationContention(o Options) AblationContentionResult {
+	res := AblationContentionResult{
+		Table: trace.NewTable("Ablation: memory contention exponent", "radix split speedup x"),
+	}
+	exponents := []float64{1.0, 1.4, 1.8}
+	if o.Quick {
+		exponents = []float64{1.0, 1.4}
+	}
+	d := workload.MustGet("radix")
+	for _, exp := range exponents {
+		runOne := func(pl []server.Placement) float64 {
+			cfg := server.DefaultConfig(o.Seed)
+			cfg.ContentionExponent = exp
+			s := server.MustNew(cfg)
+			s.MustSubmit("j", d, pl, d.WorkGInst*o.WorkScale)
+			s.SetMode(firmware.Static)
+			elapsed, done := s.RunUntilDone(3600)
+			if !done {
+				panic("ablation: radix did not finish")
+			}
+			return elapsed
+		}
+		tCons := runOne(server.ConsolidatedPlacements(8))
+		tSplit := runOne(server.BorrowedPlacements(8, 2))
+		res.Table.AddRow(fmt.Sprintf("exp=%.1f", exp), tCons/tSplit)
+	}
+	return res
+}

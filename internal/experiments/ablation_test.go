@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+func TestAblationLoadReserve(t *testing.T) {
+	r := AblationLoadReserve(QuickOptions())
+	zero, ok := r.Table.Row("k=0.00")
+	if !ok {
+		t.Fatal("missing k=0 row")
+	}
+	tuned, ok := r.Table.Row("k=1.08")
+	if !ok {
+		t.Fatal("missing k=1.08 row")
+	}
+	// Without the reserve the firmware undervolts to the CPM pin
+	// everywhere: savings at 8 cores exceed the tuned configuration, but
+	// the Fig. 5 heterogeneity collapse disappears — which is exactly why
+	// the reserve exists. Verify the direction.
+	if zero.Values[1] <= tuned.Values[1] {
+		t.Errorf("k=0 8-core saving %.1f should exceed tuned %.1f", zero.Values[1], tuned.Values[1])
+	}
+	// With the reserve the 1-core vs 8-core gap is pronounced.
+	if tuned.Values[0] <= tuned.Values[1]+3 {
+		t.Errorf("tuned config lost the core-scaling collapse: %.1f vs %.1f", tuned.Values[0], tuned.Values[1])
+	}
+}
+
+func TestAblationDPLLAuthority(t *testing.T) {
+	r := AblationDPLLAuthority(QuickOptions())
+	if r.ViolationsWithSlew != 0 {
+		t.Errorf("full authority still violated %d times", r.ViolationsWithSlew)
+	}
+	if r.ViolationsWithoutSlew == 0 {
+		t.Error("crippled DPLL produced no violations — the slew is not load-bearing")
+	}
+}
+
+func TestAblationCPMVariation(t *testing.T) {
+	r := AblationCPMVariation(QuickOptions())
+	if r.UndervoltWide > r.UndervoltTight {
+		t.Errorf("wider sensor spread deepened undervolt: %.1f vs %.1f", r.UndervoltWide, r.UndervoltTight)
+	}
+}
+
+func TestAblationContention(t *testing.T) {
+	r := AblationContention(QuickOptions())
+	linear, ok := r.Table.Row("exp=1.0")
+	if !ok {
+		t.Fatal("missing exp=1.0 row")
+	}
+	tuned, ok := r.Table.Row("exp=1.4")
+	if !ok {
+		t.Fatal("missing exp=1.4 row")
+	}
+	if tuned.Values[0] <= linear.Values[0] {
+		t.Errorf("superlinear contention should raise split speedup: %.2f vs %.2f",
+			tuned.Values[0], linear.Values[0])
+	}
+	if linear.Values[0] < 1 {
+		t.Errorf("split should never slow radix down: %.2f", linear.Values[0])
+	}
+}

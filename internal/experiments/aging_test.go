@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestAgingSweep(t *testing.T) {
+	r := AgingSweep(QuickOptions())
+	if r.StaticFailureOnsetMV == 0 {
+		t.Error("static guardband never failed across the wear sweep")
+	}
+	if r.StaticFailureOnsetMV < 60 {
+		t.Errorf("static part failed already at %v mV — guardband too thin", r.StaticFailureOnsetMV)
+	}
+	if r.AdaptiveViolations != 0 {
+		t.Errorf("adaptive policy violated %d times under wear", r.AdaptiveViolations)
+	}
+	// The adaptive response is monotone: undervolt shrinks with wear,
+	// and frequency never rises.
+	uv := r.Response.Lookup("undervolt").Ys()
+	for i := 1; i < len(uv); i++ {
+		if uv[i] > uv[i-1]+1 {
+			t.Errorf("undervolt rose with wear: %v", uv)
+		}
+	}
+	fr := r.Response.Lookup("frequency").Ys()
+	if fr[len(fr)-1] >= fr[0] {
+		t.Errorf("heavy wear did not cost frequency: %v", fr)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestDatacenterSweep(t *testing.T) {
+	r := DatacenterSweep(QuickOptions())
+	if r.SavingAtHalfLoad < 10 {
+		t.Errorf("AGS saving over naive = %.1f%%, want substantial (suspended nodes + borrowing)", r.SavingAtHalfLoad)
+	}
+	if !r.AGSBeatsConsolidateEverywhere {
+		t.Error("full AGS policy lost to consolidate-only somewhere in the sweep")
+	}
+	for _, name := range []string{"naive", "consolidate", "ags"} {
+		s := r.Power.Lookup(name)
+		if s == nil || len(s.Points) == 0 {
+			t.Fatalf("missing power series %q", name)
+		}
+		// Power must grow with offered load under every policy.
+		if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+			t.Errorf("%s power did not grow with load", name)
+		}
+		if e := r.Efficiency.Lookup(name); e == nil || len(e.Points) == 0 {
+			t.Fatalf("missing efficiency series %q", name)
+		}
+	}
+	// The headline: at every measured load, AGS draws less than naive.
+	naive, ags := r.Power.Lookup("naive"), r.Power.Lookup("ags")
+	for _, p := range ags.Points {
+		n, ok := naive.YAt(p.X)
+		if !ok {
+			continue
+		}
+		if p.Y >= n {
+			t.Errorf("AGS (%.1f W) not below naive (%.1f W) at %v jobs", p.Y, n, p.X)
+		}
+	}
+}

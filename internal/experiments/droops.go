@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"agsim/internal/chip"
+	"agsim/internal/didt"
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// DroopCensusResult reproduces the analysis the paper alludes to but does
+// not plot (§4.3: "our droop frequency analysis (not shown here) indicates
+// that such large worst-case droops occur infrequently"): the rate and
+// depth of worst-case di/dt events versus active core count, and how often
+// a 32 ms firmware window contains one.
+type DroopCensusResult struct {
+	// Rate: droop events per second vs active cores.
+	Rate *trace.Figure
+	// Depth: characteristic worst-event depth (mV) vs active cores.
+	Depth *trace.Figure
+
+	// RateAt8 is the eight-core event rate per second (expected: a few
+	// per second — rare at the microarchitectural scale).
+	RateAt8 float64
+	// DepthGrowth is depth at 8 cores over depth at 1 core (paper:
+	// worst-case noise "increases slightly", well under 2x).
+	DepthGrowth float64
+	// BusyWindowShareAt8 is the fraction of 32 ms firmware windows
+	// containing at least one event at eight cores.
+	BusyWindowShareAt8 float64
+}
+
+// droopProfile derives the didt profile n active bodytrack cores present.
+func droopProfiles(d workload.Descriptor, n int) []didt.Profile {
+	ps := make([]didt.Profile, n)
+	for i := range ps {
+		ps[i] = didt.Profile{
+			TypicalMV:  d.DidtTypicalMV,
+			WorstMV:    d.DidtWorstMV,
+			RatePerSec: d.DroopRatePerSec,
+		}
+	}
+	return ps
+}
+
+// DroopCensus runs the census with bodytrack, the noisiest profiled
+// workload.
+func DroopCensus(o Options) DroopCensusResult {
+	res := DroopCensusResult{
+		Rate:  trace.NewFigure("Droop census: events per second vs active cores"),
+		Depth: trace.NewFigure("Droop census: characteristic depth vs active cores"),
+	}
+	rate := res.Rate.NewSeries("bodytrack", "cores", "events/s")
+	depth := res.Depth.NewSeries("bodytrack", "cores", "mV")
+
+	seconds := 20.0
+	if o.Quick {
+		seconds = 6
+	}
+	d := workload.MustGet("bodytrack")
+	didtParams := didt.DefaultParams()
+	var depthAt1 float64
+	for _, n := range o.coreCounts() {
+		c := newChip(o, fmt.Sprintf("droops/%d", n))
+		placeThreads(c, d, n)
+		c.SetMode(firmware.Undervolt)
+		c.Settle(o.SettleSec)
+		c.ResetDroopStats()
+
+		steps := int(seconds / chip.DefaultStepSec)
+		busyWindows, windows := 0, 0
+		sinceWindow := 0.0
+		windowHadEvent := false
+		for i := 0; i < steps; i++ {
+			c.Step(chip.DefaultStepSec)
+			if c.Breakdown(0).WorstDidtMV > 0 {
+				windowHadEvent = true
+			}
+			sinceWindow += chip.DefaultStepSec
+			if sinceWindow >= firmware.TickSeconds {
+				sinceWindow = 0
+				windows++
+				if windowHadEvent {
+					busyWindows++
+				}
+				windowHadEvent = false
+			}
+		}
+		absorbed, violations := c.DroopStats()
+		// The DPLL counters tally per clocked core; divide for the
+		// chip-level event count.
+		perSec := float64(absorbed+violations) / float64(c.Cores()) / seconds
+		rate.Add(float64(n), perSec)
+
+		depthNow := didtParams.ExpectedWorstMV(droopProfiles(d, n))
+		depth.Add(float64(n), depthNow)
+
+		switch n {
+		case 1:
+			depthAt1 = depthNow
+		case 8:
+			res.RateAt8 = perSec
+			if windows > 0 {
+				res.BusyWindowShareAt8 = float64(busyWindows) / float64(windows)
+			}
+			if depthAt1 > 0 {
+				res.DepthGrowth = depthNow / depthAt1
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// DVFSResult compares conventional DVFS against adaptive guardbanding on
+// the energy/performance plane: DVFS trades frequency for voltage but
+// carries the full static guardband at every point, while undervolting
+// keeps nominal performance and reclaims the guardband itself. This is the
+// framing of the paper's Fig. 1 made quantitative.
+type DVFSResult struct {
+	// Plane: series "dvfs" (one point per P-state) and "adaptive" (one
+	// point), energy J vs execution seconds for the same fixed work.
+	Plane *trace.Figure
+
+	// AdaptiveSavingVsNominalPct is undervolting's energy saving against
+	// the top P-state at equal performance.
+	AdaptiveSavingVsNominalPct float64
+	// DVFSSecondsForAdaptiveEnergy is how much slower DVFS must run to
+	// match adaptive guardbanding's energy (interpolated; 0 when no
+	// P-state reaches it).
+	DVFSSecondsForAdaptiveEnergy float64
+}
+
+// DVFSComparison runs the comparison with four active raytrace threads.
+func DVFSComparison(o Options) DVFSResult {
+	const bench = "raytrace"
+	const threads = 4
+	const points = 6
+	res := DVFSResult{Plane: trace.NewFigure("Extension: DVFS vs adaptive guardbanding (energy vs time)")}
+	dvfs := res.Plane.NewSeries("dvfs", "s", "J")
+	adaptive := res.Plane.NewSeries("adaptive", "s", "J")
+
+	d := workload.MustGet(bench)
+	run := func(configure func(c *chip.Chip)) runResult {
+		c := newChip(o, fmt.Sprintf("dvfs/%p", &configure))
+		per := workload.SplitWork(d, threads) * o.WorkScale
+		threadsList := make([]*workload.Thread, threads)
+		for i := range threadsList {
+			threadsList[i] = workload.NewThread(d, 1e9, nil)
+			c.Place(i, threadsList[i])
+		}
+		configure(c)
+		c.Settle(o.SettleSec)
+		for _, th := range threadsList {
+			th.Reset(per)
+		}
+		c.ResetEnergy()
+		start := c.Time()
+		for !c.AllDone() {
+			c.Step(chip.DefaultStepSec)
+			if c.Time()-start > 3600 {
+				panic("experiments: DVFS comparison did not finish")
+			}
+		}
+		sec := c.Time() - start
+		return runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
+	}
+
+	var nominal runResult
+	var dvfsRuns []runResult
+	sweep := points
+	if o.Quick {
+		sweep = 3
+	}
+	for i := sweep - 1; i >= 0; i-- {
+		idx := i * (points - 1) / maxInt(sweep-1, 1)
+		r := run(func(c *chip.Chip) { c.SetPState(idx, points) })
+		dvfs.Add(r.Seconds, r.EnergyJ)
+		dvfsRuns = append(dvfsRuns, r)
+		if idx == points-1 {
+			nominal = r
+		}
+	}
+
+	ag := run(func(c *chip.Chip) { c.SetMode(firmware.Undervolt) })
+	adaptive.Add(ag.Seconds, ag.EnergyJ)
+
+	if nominal.EnergyJ > 0 {
+		res.AdaptiveSavingVsNominalPct = improvementPct(nominal.EnergyJ, ag.EnergyJ)
+	}
+	// Find where the DVFS curve crosses adaptive guardbanding's energy.
+	for _, r := range dvfsRuns {
+		if r.EnergyJ <= ag.EnergyJ {
+			res.DVFSSecondsForAdaptiveEnergy = r.Seconds
+			break
+		}
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

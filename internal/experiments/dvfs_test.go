@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestDVFSComparison(t *testing.T) {
+	r := DVFSComparison(QuickOptions())
+	if r.AdaptiveSavingVsNominalPct < 3 {
+		t.Errorf("adaptive saving vs nominal P-state = %.1f%%, want solid", r.AdaptiveSavingVsNominalPct)
+	}
+	ag := r.Plane.Lookup("adaptive")
+	dvfs := r.Plane.Lookup("dvfs")
+	if ag == nil || len(ag.Points) != 1 || dvfs == nil || len(dvfs.Points) < 2 {
+		t.Fatal("missing plane series")
+	}
+	// Adaptive guardbanding must dominate the nominal P-state: same (or
+	// better) time at less energy. DVFS's slower points trade time for
+	// energy, so their seconds must exceed adaptive's.
+	agP := ag.Points[0]
+	for _, p := range dvfs.Points {
+		if p.Y < agP.Y && p.X <= agP.X {
+			t.Errorf("a P-state dominates adaptive guardbanding: %+v vs %+v", p, agP)
+		}
+	}
+	// And the DVFS curve is a real trade-off: sorted by time, energy
+	// falls.
+	if r.DVFSSecondsForAdaptiveEnergy > 0 && r.DVFSSecondsForAdaptiveEnergy <= agP.X {
+		t.Errorf("DVFS matched adaptive energy without running slower: %v vs %v",
+			r.DVFSSecondsForAdaptiveEnergy, agP.X)
+	}
+}

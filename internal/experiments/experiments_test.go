@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run in Quick mode and assert the paper's qualitative
+// claims with generous tolerance bands; the full-fidelity numbers live in
+// EXPERIMENTS.md and the benchmark harness.
+
+func TestFig03(t *testing.T) {
+	r := Fig03CoreScaling(QuickOptions())
+	if r.SavingAt1 < 9 || r.SavingAt1 > 17 {
+		t.Errorf("saving at 1 core = %.1f%%, want ~13", r.SavingAt1)
+	}
+	if r.SavingAt8 < 1 || r.SavingAt8 > 8 {
+		t.Errorf("saving at 8 cores = %.1f%%, want ~3", r.SavingAt8)
+	}
+	if r.SavingAt8 >= r.SavingAt1 {
+		t.Error("saving must shrink with core count")
+	}
+	if r.EDPImprovementAt1 < 8 {
+		t.Errorf("EDP improvement at 1 core = %.1f%%, want substantial", r.EDPImprovementAt1)
+	}
+	// Both figures carry both modes across the sweep.
+	for _, name := range []string{"static", "adaptive"} {
+		if r.Power.Lookup(name) == nil || r.EDP.Lookup(name) == nil {
+			t.Fatalf("missing series %q", name)
+		}
+	}
+}
+
+func TestFig04(t *testing.T) {
+	r := Fig04FrequencyBoost(QuickOptions())
+	if r.BoostAt1 < 8 || r.BoostAt1 > 10.5 {
+		t.Errorf("boost at 1 core = %.1f%%, want ~10", r.BoostAt1)
+	}
+	if r.BoostAt8 >= r.BoostAt1-1 {
+		t.Errorf("boost should fall substantially by 8 cores: %.1f vs %.1f", r.BoostAt8, r.BoostAt1)
+	}
+	if r.SpeedupAt1 < 5 {
+		t.Errorf("speedup at 1 core = %.1f%%, want ~8", r.SpeedupAt1)
+	}
+	if r.SpeedupAt8 >= r.SpeedupAt1 {
+		t.Error("speedup must shrink with core count")
+	}
+}
+
+func TestFig05(t *testing.T) {
+	r := Fig05Heterogeneity(QuickOptions())
+	if r.AvgPowerAt1 < 10 || r.AvgPowerAt1 > 17 {
+		t.Errorf("avg power at 1 core = %.1f%%", r.AvgPowerAt1)
+	}
+	if r.AvgPowerAt8 >= r.AvgPowerAt1 {
+		t.Error("improvement must decrease with cores")
+	}
+	if r.MinAt8 < 0.5 {
+		t.Errorf("improvements must stay positive at 8 cores: %.1f", r.MinAt8)
+	}
+	if r.MaxFreqAt1 < 8.5 || r.MaxFreqAt1 > 10.5 {
+		t.Errorf("max frequency improvement = %.1f%%, want ~9.6", r.MaxFreqAt1)
+	}
+	// Heterogeneity: at 8 cores radix must beat swaptions substantially
+	// (the paper's fourth conclusion).
+	radix, _ := r.PowerImprovement.Lookup("radix").YAt(8)
+	swap, _ := r.PowerImprovement.Lookup("swaptions").YAt(8)
+	if radix < swap+4 {
+		t.Errorf("radix (%.1f) should beat swaptions (%.1f) by >4 points at 8 cores", radix, swap)
+	}
+}
+
+func TestFig06(t *testing.T) {
+	r := Fig06CPMCalibration(QuickOptions())
+	if r.MVPerBitAtPeak < 17 || r.MVPerBitAtPeak > 25 {
+		t.Errorf("mV/bit at peak = %.1f, want ~21", r.MVPerBitAtPeak)
+	}
+	if r.R2AtPeak < 0.98 {
+		t.Errorf("peak-frequency linearity R^2 = %.3f", r.R2AtPeak)
+	}
+	if r.SensitivityMin < 8 || r.SensitivityMax > 32 {
+		t.Errorf("sensitivity band [%.1f, %.1f] outside Fig. 6b's ~10-30", r.SensitivityMin, r.SensitivityMax)
+	}
+	if r.SensitivityMax-r.SensitivityMin < 3 {
+		t.Error("per-sensor spread too tight to be Fig. 6b")
+	}
+}
+
+func TestFig07(t *testing.T) {
+	r := Fig07VoltageDrop(QuickOptions())
+	if r.Core0DropAt8 <= r.Core0DropAt1 {
+		t.Error("drop must grow with active cores")
+	}
+	if r.Core0DropAt8 < 6 || r.Core0DropAt8 > 12 {
+		t.Errorf("core 0 drop at 8 cores = %.1f%%", r.Core0DropAt8)
+	}
+	if r.IdleCoreDropAt4 <= 1 {
+		t.Errorf("idle core must see global drop, got %.1f%%", r.IdleCoreDropAt4)
+	}
+	if r.ActivationJumpPct <= 0.3 {
+		t.Errorf("activation jump = %.2f%%, want localized rise", r.ActivationJumpPct)
+	}
+}
+
+func TestFig09(t *testing.T) {
+	r := Fig09Decomposition(QuickOptions())
+	if r.PassiveShareAt8 < 0.6 {
+		t.Errorf("passive share = %.2f, want dominant", r.PassiveShareAt8)
+	}
+	if r.TypTrend >= 0 {
+		t.Errorf("typical di/dt should smooth with cores, trend = %.2f", r.TypTrend)
+	}
+	if r.WorstTrend <= 0 {
+		t.Errorf("worst-case di/dt should grow with cores, trend = %.2f", r.WorstTrend)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r := Fig10PassiveDropCorrelation(QuickOptions())
+	if r.PowerPassiveR2 < 0.95 {
+		t.Errorf("power-drop R^2 = %.3f, want strong linear", r.PowerPassiveR2)
+	}
+	if r.UndervoltSlope > -0.6 || r.UndervoltSlope < -2 {
+		t.Errorf("undervolt slope = %.2f, want ~-1", r.UndervoltSlope)
+	}
+	if r.SavingMax <= r.SavingMin+3 {
+		t.Error("savings should span a band across workloads")
+	}
+	if r.BoostMax > 10.5 {
+		t.Errorf("boost exceeded the cap: %.1f%%", r.BoostMax)
+	}
+}
+
+func TestFig12(t *testing.T) {
+	r := Fig12LoadlineBorrowing(QuickOptions())
+	if r.ExtraUndervoltAt1 < 5 {
+		t.Errorf("extra undervolt at 1 core = %.0f mV, want positive (paper ~20)", r.ExtraUndervoltAt1)
+	}
+	if r.ExtraUndervoltAt8 < 20 {
+		t.Errorf("extra undervolt at 8 cores = %.0f mV, want substantial (paper ~40)", r.ExtraUndervoltAt8)
+	}
+	if r.ImprovementAt8 < 3 || r.ImprovementAt8 > 12 {
+		t.Errorf("improvement at 8 cores = %.1f%%, want ~8.5", r.ImprovementAt8)
+	}
+	// Borrowing must never be worse than the baseline in this sweep.
+	for _, p := range r.Power.Lookup("borrowing").Points {
+		base, _ := r.Power.Lookup("baseline").YAt(p.X)
+		if p.Y > base*1.01 {
+			t.Errorf("borrowing power %v above baseline %v at %v cores", p.Y, base, p.X)
+		}
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r := Fig13BorrowingSweep(QuickOptions())
+	if r.AvgBorrowingAt8 < r.AvgBaselineAt8+3 {
+		t.Errorf("borrowing (%.1f%%) should roughly double baseline (%.1f%%)",
+			r.AvgBorrowingAt8, r.AvgBaselineAt8)
+	}
+	if r.AvgBaselineAt8 < 2 || r.AvgBaselineAt8 > 10 {
+		t.Errorf("baseline avg = %.1f%%, want ~5.5", r.AvgBaselineAt8)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	r := Fig14FullSuite(QuickOptions())
+	luNcb, ok := r.Table.Row("lu_ncb")
+	if !ok {
+		t.Fatal("missing lu_ncb row")
+	}
+	if luNcb.Values[3] >= 0 {
+		t.Errorf("lu_ncb energy improvement = %.1f%%, want negative (sharing penalty)", luNcb.Values[3])
+	}
+	radix, ok := r.Table.Row("radix")
+	if !ok {
+		t.Fatal("missing radix row")
+	}
+	if radix.Values[3] < 40 {
+		t.Errorf("radix energy improvement = %.1f%%, want large (bandwidth relief)", radix.Values[3])
+	}
+	if r.LuCbPowerImprovement < 3 {
+		t.Errorf("lu_cb power improvement = %.1f%%, want solid (paper 12.7)", r.LuCbPowerImprovement)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r := Fig15Colocation(QuickOptions())
+	if r.WorstWithLuCb >= r.CoremarkOnly {
+		t.Error("lu_cb colocation must lower coremark frequency")
+	}
+	if r.BestWithMcf <= r.CoremarkOnly {
+		t.Error("mcf colocation must raise coremark frequency")
+	}
+	if r.SwingMHz < 100 {
+		t.Errorf("swing = %.0f MHz, want >100", r.SwingMHz)
+	}
+}
+
+func TestFig16(t *testing.T) {
+	r := Fig16MIPSPredictor(QuickOptions())
+	if r.RelRMSE > 0.01 {
+		t.Errorf("relative RMSE = %.4f, want <1%% (paper 0.3%%)", r.RelRMSE)
+	}
+	if r.SlopeMHzPerKMIPS >= 0 {
+		t.Error("slope must be negative: more MIPS, lower frequency")
+	}
+	if _, err := r.Predictor.Predict(40000); err != nil {
+		t.Errorf("predictor unusable: %v", err)
+	}
+}
+
+func TestFig17(t *testing.T) {
+	r := Fig17AdaptiveMapping(QuickOptions())
+	if r.ViolationHeavy <= r.ViolationLight {
+		t.Errorf("heavy (%.2f) must violate more than light (%.2f)", r.ViolationHeavy, r.ViolationLight)
+	}
+	if !r.SwapHappened {
+		t.Fatal("mapper never swapped the malicious co-runner")
+	}
+	if r.ChosenCoRunner == "heavy" {
+		t.Error("mapper chose the heavy co-runner")
+	}
+	if r.ViolationAfterSwap >= r.ViolationBeforeSwap {
+		t.Errorf("swap did not improve QoS: %.2f -> %.2f", r.ViolationBeforeSwap, r.ViolationAfterSwap)
+	}
+	if len(r.CDF.Series) != 3 {
+		t.Errorf("CDF series = %d, want 3", len(r.CDF.Series))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, ok := Lookup("fig3"); !ok {
+		t.Error("Lookup(fig3) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	e, _ := Lookup("fig16")
+	rep := e.Run(QuickOptions())
+	var sb strings.Builder
+	if err := rep.Write(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "relative RMSE") || !strings.Contains(out, "paper:") {
+		t.Errorf("report missing headline: %q", out)
+	}
+	if !strings.Contains(out, "Fig. 16") {
+		t.Errorf("report missing figure CSV: %q", out)
+	}
+}

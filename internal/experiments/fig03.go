@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+)
+
+// Fig03Result reproduces Fig. 3: raytrace chip power and energy-delay
+// product versus active core count, adaptive versus static guardband.
+type Fig03Result struct {
+	// Power has series "static" and "adaptive": chip watts vs cores.
+	Power *trace.Figure
+	// EDP has series "static" and "adaptive": kJ·s vs cores.
+	EDP *trace.Figure
+
+	// SavingAt1, SavingAt8: power saving percent at one and eight cores
+	// (paper: 13% and 3%).
+	SavingAt1, SavingAt8 float64
+	// EDPImprovementAt1: EDP improvement percent at one core (paper: up
+	// to 20%).
+	EDPImprovementAt1 float64
+}
+
+// Fig03CoreScaling runs the Fig. 3 experiment.
+func Fig03CoreScaling(o Options) Fig03Result {
+	const bench = "raytrace"
+	res := Fig03Result{
+		Power: trace.NewFigure("Fig. 3a: " + bench + " chip power vs active cores"),
+		EDP:   trace.NewFigure("Fig. 3b: " + bench + " EDP vs active cores"),
+	}
+	pStatic := res.Power.NewSeries("static", "cores", "W")
+	pAdaptive := res.Power.NewSeries("adaptive", "cores", "W")
+	eStatic := res.EDP.NewSeries("static", "cores", "kJ.s")
+	eAdaptive := res.EDP.NewSeries("adaptive", "cores", "kJ.s")
+
+	for _, n := range o.coreCounts() {
+		st := chipSteady(o, bench, n, firmware.Static)
+		uv := chipSteady(o, bench, n, firmware.Undervolt)
+		pStatic.Add(float64(n), st.PowerW)
+		pAdaptive.Add(float64(n), uv.PowerW)
+
+		rs := runChipToCompletion(o, bench, n, firmware.Static)
+		ru := runChipToCompletion(o, bench, n, firmware.Undervolt)
+		eStatic.Add(float64(n), rs.EnergyJ*rs.Seconds/1000)
+		eAdaptive.Add(float64(n), ru.EnergyJ*ru.Seconds/1000)
+
+		saving := improvementPct(st.PowerW, uv.PowerW)
+		edpImp := improvementPct(rs.EnergyJ*rs.Seconds, ru.EnergyJ*ru.Seconds)
+		switch n {
+		case 1:
+			res.SavingAt1 = saving
+			res.EDPImprovementAt1 = edpImp
+		case 8:
+			res.SavingAt8 = saving
+		}
+	}
+	return res
+}

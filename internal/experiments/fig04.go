@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+)
+
+// Fig04Result reproduces Fig. 4: lu_cb frequency and execution time versus
+// active core count in frequency-boosting mode.
+type Fig04Result struct {
+	// Frequency has one series "adaptive": the settled boost frequency
+	// vs cores (the static baseline is the flat 4200 MHz target).
+	Frequency *trace.Figure
+	// Time has series "static" and "adaptive": execution seconds vs cores.
+	Time *trace.Figure
+
+	// BoostAt1, BoostAt8: frequency gain percent (paper: 10% and 4%).
+	BoostAt1, BoostAt8 float64
+	// SpeedupAt1, SpeedupAt8: execution-time speedup percent (paper: 8%
+	// and 3%).
+	SpeedupAt1, SpeedupAt8 float64
+}
+
+// Fig04FrequencyBoost runs the Fig. 4 experiment.
+func Fig04FrequencyBoost(o Options) Fig04Result {
+	const bench = "lu_cb"
+	res := Fig04Result{
+		Frequency: trace.NewFigure("Fig. 4a: " + bench + " frequency vs active cores"),
+		Time:      trace.NewFigure("Fig. 4b: " + bench + " execution time vs active cores"),
+	}
+	freq := res.Frequency.NewSeries("adaptive", "cores", "MHz")
+	tStatic := res.Time.NewSeries("static", "cores", "s")
+	tAdaptive := res.Time.NewSeries("adaptive", "cores", "s")
+
+	const fNom = 4200.0
+	for _, n := range o.coreCounts() {
+		oc := chipSteady(o, bench, n, firmware.Overclock)
+		freq.Add(float64(n), oc.Freq0MHz)
+
+		rs := runChipToCompletion(o, bench, n, firmware.Static)
+		ro := runChipToCompletion(o, bench, n, firmware.Overclock)
+		tStatic.Add(float64(n), rs.Seconds)
+		tAdaptive.Add(float64(n), ro.Seconds)
+
+		boost := (oc.Freq0MHz/fNom - 1) * 100
+		speedup := improvementPct(rs.Seconds, ro.Seconds)
+		switch n {
+		case 1:
+			res.BoostAt1, res.SpeedupAt1 = boost, speedup
+		case 8:
+			res.BoostAt8, res.SpeedupAt8 = boost, speedup
+		}
+	}
+	return res
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// Fig05Result reproduces Fig. 5: per-workload power and frequency
+// improvement versus active core count across PARSEC and SPLASH-2.
+type Fig05Result struct {
+	// PowerImprovement: one series per workload, percent vs cores.
+	PowerImprovement *trace.Figure
+	// FreqImprovement: one series per workload, percent vs cores.
+	FreqImprovement *trace.Figure
+
+	// Paper headline statistics.
+	// AvgPowerAt1, AvgPowerAt2, AvgPowerAt8: mean power improvement at 1,
+	// 2 and 8 cores (paper: 13.3%, 10%, 6.4%).
+	AvgPowerAt1, AvgPowerAt2, AvgPowerAt8 float64
+	// PowerAt1Min, PowerAt1Max: the one-core band (paper: 10.7-14.8%).
+	PowerAt1Min, PowerAt1Max float64
+	// MinAt8: the smallest improvement seen at eight cores in either mode
+	// (paper: "at least above 4%" — improvements remain positive).
+	MinAt8 float64
+	// MaxFreqAt1: largest one-core frequency improvement (paper: 9.6%).
+	MaxFreqAt1 float64
+}
+
+// fig05Workloads picks the swept set: the five labelled-line benchmarks
+// under Quick, the full multithreaded suites otherwise.
+func fig05Workloads(o Options) []workload.Descriptor {
+	if o.Quick {
+		return workload.Fig5Workloads()
+	}
+	return workload.Multithreaded()
+}
+
+// Fig05Heterogeneity runs the Fig. 5 experiment.
+func Fig05Heterogeneity(o Options) Fig05Result {
+	res := Fig05Result{
+		PowerImprovement: trace.NewFigure("Fig. 5a: power improvement vs active cores"),
+		FreqImprovement:  trace.NewFigure("Fig. 5b: frequency improvement vs active cores"),
+	}
+	const fNom = 4200.0
+
+	var at1, at2, at8, f1 []float64
+	minAt8 := 100.0
+	for _, d := range fig05Workloads(o) {
+		ps := res.PowerImprovement.NewSeries(d.Name, "cores", "%")
+		fs := res.FreqImprovement.NewSeries(d.Name, "cores", "%")
+		for _, n := range o.coreCounts() {
+			st := chipSteady(o, d.Name, n, firmware.Static)
+			uv := chipSteady(o, d.Name, n, firmware.Undervolt)
+			oc := chipSteady(o, d.Name, n, firmware.Overclock)
+			pImp := improvementPct(st.PowerW, uv.PowerW)
+			fImp := (oc.Freq0MHz/fNom - 1) * 100
+			ps.Add(float64(n), pImp)
+			fs.Add(float64(n), fImp)
+			switch n {
+			case 1:
+				at1 = append(at1, pImp)
+				f1 = append(f1, fImp)
+			case 2:
+				at2 = append(at2, pImp)
+			case 8:
+				at8 = append(at8, pImp)
+				if pImp < minAt8 {
+					minAt8 = pImp
+				}
+				if fImp < minAt8 {
+					minAt8 = fImp
+				}
+			}
+		}
+	}
+	res.AvgPowerAt1 = meanOf(at1)
+	res.AvgPowerAt2 = meanOf(at2)
+	res.AvgPowerAt8 = meanOf(at8)
+	res.PowerAt1Min, res.PowerAt1Max = minMax(at1)
+	res.MinAt8 = minAt8
+	_, res.MaxFreqAt1 = minMax(f1)
+	return res
+}
+
+func minMax(xs []float64) (min, max float64) {
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// Fig09Result reproduces Fig. 9: decomposition of core 0's voltage drop
+// into loadline, IR drop, typical-case di/dt and worst-case di/dt, versus
+// active core count, for the paper's ten selected benchmarks.
+type Fig09Result struct {
+	// PerWorkload[name] holds four series ("loadline", "ir", "didt-typ",
+	// "didt-worst"), each in percent of nominal vs active cores; stacked
+	// they give the paper's area chart.
+	PerWorkload map[string]*trace.Figure
+
+	// PassiveShareAt8 is the fraction of the total decomposed drop that
+	// loadline + IR contribute at eight cores for raytrace (the paper's
+	// conclusion: passive drop dominates the scale-up).
+	PassiveShareAt8 float64
+	// TypTrend is typical-case di/dt at 8 cores minus at 1 core for
+	// raytrace (negative: smoothing).
+	TypTrend float64
+	// WorstTrend is worst-case di/dt at 8 cores minus at 1 core for
+	// raytrace (positive: alignment growth).
+	WorstTrend float64
+}
+
+// Fig09Decomposition runs the Fig. 9 experiment. Measurement uses static
+// mode (adaptive guardbanding disabled) like the paper's characterization.
+func Fig09Decomposition(o Options) Fig09Result {
+	res := Fig09Result{PerWorkload: map[string]*trace.Figure{}}
+	workloads := workload.Fig9Workloads()
+	if o.Quick {
+		workloads = []workload.Descriptor{workload.MustGet("raytrace"), workload.MustGet("bodytrack")}
+	}
+	nom := float64(nomV())
+
+	for _, d := range workloads {
+		fig := trace.NewFigure(fmt.Sprintf("Fig. 9: %s drop decomposition", d.Name))
+		res.PerWorkload[d.Name] = fig
+		ll := fig.NewSeries("loadline", "cores", "%")
+		ir := fig.NewSeries("ir", "cores", "%")
+		typ := fig.NewSeries("didt-typ", "cores", "%")
+		worst := fig.NewSeries("didt-worst", "cores", "%")
+		for _, n := range o.coreCounts() {
+			st := chipSteady(o, d.Name, n, firmware.Static)
+			b := st.Breakdown0
+			ll.Add(float64(n), b.LoadlineMV/nom*100)
+			ir.Add(float64(n), b.IRDropMV/nom*100)
+			typ.Add(float64(n), b.TypicalDidtMV/nom*100)
+			worst.Add(float64(n), b.WorstDidtMV/nom*100)
+		}
+	}
+
+	if fig := res.PerWorkload["raytrace"]; fig != nil {
+		at := func(name string, n float64) float64 {
+			y, _ := fig.Lookup(name).YAt(n)
+			return y
+		}
+		passive := at("loadline", 8) + at("ir", 8)
+		total := passive + at("didt-typ", 8) + at("didt-worst", 8)
+		if total > 0 {
+			res.PassiveShareAt8 = passive / total
+		}
+		res.TypTrend = at("didt-typ", 8) - at("didt-typ", 1)
+		res.WorstTrend = at("didt-worst", 8) - at("didt-worst", 1)
+	}
+	return res
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"agsim/internal/firmware"
+	"agsim/internal/stats"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// Fig10Result reproduces Fig. 10: the causal chain from workload power
+// through passive voltage drop to the adaptive guardband system's
+// undervolting and overclocking headroom, across the full benchmark
+// population at eight active cores.
+type Fig10Result struct {
+	// PowerVsPassive (10a): x chip watts, y loadline+IR millivolts.
+	PowerVsPassive *trace.Figure
+	// PassiveVsUndervolt (10b): x passive mV, y undervolt mV, plus a
+	// second series for the selected Vdd.
+	PassiveVsUndervolt *trace.Figure
+	// VddVsSaving (10c): x selected Vdd mV, y energy saving percent.
+	VddVsSaving *trace.Figure
+	// PassiveVsBoost (10d): x passive mV, y frequency increase percent.
+	PassiveVsBoost *trace.Figure
+
+	// PowerPassiveR2: linearity of 10a (paper: "strong linear
+	// relationship").
+	PowerPassiveR2 float64
+	// UndervoltSlope: mV of undervolt lost per mV of passive drop (paper
+	// Fig. 10b: about -1).
+	UndervoltSlope float64
+	// SavingRange: min and max energy saving percent (paper: ~2-12%).
+	SavingMin, SavingMax float64
+	// BoostRange: min and max frequency increase (paper: ~4-10%).
+	BoostMin, BoostMax float64
+}
+
+// fig10Workloads returns the population: all suites (the paper adds 27
+// SPECrate workloads to the 17 PARSEC/SPLASH-2 ones).
+func fig10Workloads(o Options) []workload.Descriptor {
+	if o.Quick {
+		return workload.Fig5Workloads()
+	}
+	ds := workload.Multithreaded()
+	ds = append(ds, workload.BySuite(workload.SPECCPU)...)
+	return ds
+}
+
+// Fig10PassiveDropCorrelation runs the Fig. 10 experiment.
+func Fig10PassiveDropCorrelation(o Options) Fig10Result {
+	res := Fig10Result{
+		PowerVsPassive:     trace.NewFigure("Fig. 10a: loadline+IR drop vs chip power"),
+		PassiveVsUndervolt: trace.NewFigure("Fig. 10b: undervolt vs loadline+IR drop"),
+		VddVsSaving:        trace.NewFigure("Fig. 10c: energy saving vs Vdd selected"),
+		PassiveVsBoost:     trace.NewFigure("Fig. 10d: frequency increase vs loadline+IR drop"),
+	}
+	a := res.PowerVsPassive.NewSeries("benchmarks", "W", "mV")
+	bU := res.PassiveVsUndervolt.NewSeries("undervolt", "mV", "mV")
+	bV := res.PassiveVsUndervolt.NewSeries("vdd-selected", "mV", "mV")
+	cS := res.VddVsSaving.NewSeries("benchmarks", "mV", "%")
+	dB := res.PassiveVsBoost.NewSeries("benchmarks", "mV", "%")
+
+	var powers, passives, uvPassives, uvs, savings []float64
+	res.SavingMin, res.BoostMin = 1e9, 1e9
+	const n = 8
+	for _, d := range fig10Workloads(o) {
+		st := chipSteady(o, d.Name, n, firmware.Static)
+		uv := chipSteady(o, d.Name, n, firmware.Undervolt)
+		oc := chipSteady(o, d.Name, n, firmware.Overclock)
+
+		a.Add(st.PowerW, st.PassiveMV)
+		powers = append(powers, st.PowerW)
+		passives = append(passives, st.PassiveMV)
+
+		bU.Add(uv.PassiveMV, uv.UndervoltMV)
+		bV.Add(uv.PassiveMV, uv.SetPointMV)
+		uvPassives = append(uvPassives, uv.PassiveMV)
+		uvs = append(uvs, uv.UndervoltMV)
+
+		saving := improvementPct(st.PowerW, uv.PowerW)
+		cS.Add(uv.SetPointMV, saving)
+		savings = append(savings, saving)
+		if saving < res.SavingMin {
+			res.SavingMin = saving
+		}
+		if saving > res.SavingMax {
+			res.SavingMax = saving
+		}
+
+		boost := (oc.Freq0MHz/4200 - 1) * 100
+		dB.Add(oc.PassiveMV, boost)
+		if boost < res.BoostMin {
+			res.BoostMin = boost
+		}
+		if boost > res.BoostMax {
+			res.BoostMax = boost
+		}
+	}
+
+	if fit, err := stats.Fit(powers, passives); err == nil {
+		res.PowerPassiveR2 = fit.R2
+	}
+	if fit, err := stats.Fit(uvPassives, uvs); err == nil {
+		res.UndervoltSlope = fit.Slope
+	}
+	_ = savings
+	return res
+}

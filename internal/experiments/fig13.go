@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+	"agsim/internal/workload"
+)
+
+// Fig13Result reproduces Fig. 13: adaptive guardbanding's power improvement
+// over a static guardband, under consolidation versus loadline borrowing,
+// for every PARSEC and SPLASH-2 workload across core counts.
+type Fig13Result struct {
+	// Baseline and Borrowing: one series per workload, improvement
+	// percent vs active cores.
+	Baseline  *trace.Figure
+	Borrowing *trace.Figure
+
+	// AvgBaselineAt8, AvgBorrowingAt8: mean improvements at eight cores
+	// (paper: 5.5% and 13.8%).
+	AvgBaselineAt8, AvgBorrowingAt8 float64
+}
+
+// Fig13BorrowingSweep runs the Fig. 13 experiment. Improvements are
+// measured against a static guardband under the *same* schedule, isolating
+// the guardbanding benefit that each schedule leaves available — the
+// paper's framing.
+func Fig13BorrowingSweep(o Options) Fig13Result {
+	res := Fig13Result{
+		Baseline:  trace.NewFigure("Fig. 13: improvement under consolidation"),
+		Borrowing: trace.NewFigure("Fig. 13: improvement under loadline borrowing"),
+	}
+
+	workloads := workload.Multithreaded()
+	if o.Quick {
+		workloads = workload.Fig5Workloads()
+	}
+
+	var base8, borr8 []float64
+	for _, d := range workloads {
+		bs := res.Baseline.NewSeries(d.Name, "cores", "%")
+		rs := res.Borrowing.NewSeries(d.Name, "cores", "%")
+		for _, n := range o.coreCounts() {
+			plC, keepC := fig12Schedule(n, false)
+			plB, keepB := fig12Schedule(n, true)
+
+			staticC, _ := serverSteady(o, fmt.Sprintf("fig13/stc/%s/%d", d.Name, n), d, plC, keepC, firmware.Static)
+			agC, _ := serverSteady(o, fmt.Sprintf("fig13/agc/%s/%d", d.Name, n), d, plC, keepC, firmware.Undervolt)
+			staticB, _ := serverSteady(o, fmt.Sprintf("fig13/stb/%s/%d", d.Name, n), d, plB, keepB, firmware.Static)
+			agB, _ := serverSteady(o, fmt.Sprintf("fig13/agb/%s/%d", d.Name, n), d, plB, keepB, firmware.Undervolt)
+
+			impC := improvementPct(staticC, agC)
+			impB := improvementPct(staticB, agB)
+			bs.Add(float64(n), impC)
+			rs.Add(float64(n), impB)
+			if n == 8 {
+				base8 = append(base8, impC)
+				borr8 = append(borr8, impB)
+			}
+		}
+	}
+	res.AvgBaselineAt8 = meanOf(base8)
+	res.AvgBorrowingAt8 = meanOf(borr8)
+	return res
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"agsim/internal/core"
+	"agsim/internal/firmware"
+	"agsim/internal/trace"
+	"agsim/internal/units"
+)
+
+// Fig16Result reproduces Fig. 16: the MIPS-based frequency predictor,
+// trained on every benchmark stressing all eight cores.
+type Fig16Result struct {
+	// Scatter: series "measured" (chip MIPS vs settled frequency) and
+	// "fitted" (the linear model sampled across the range).
+	Scatter *trace.Figure
+
+	// Predictor is the trained model, ready for the adaptive mapper.
+	Predictor *core.FreqPredictor
+
+	// RelRMSE is the model's relative error (paper: 0.3%).
+	RelRMSE float64
+	// SlopeMHzPerKMIPS is the fitted slope in MHz per 1000 MIPS
+	// (negative: more chip activity, less frequency).
+	SlopeMHzPerKMIPS float64
+}
+
+// Fig16MIPSPredictor runs the Fig. 16 experiment.
+func Fig16MIPSPredictor(o Options) Fig16Result {
+	res := Fig16Result{
+		Scatter:   trace.NewFigure("Fig. 16: frequency vs chip total MIPS"),
+		Predictor: &core.FreqPredictor{},
+	}
+	measured := res.Scatter.NewSeries("measured", "MIPS", "MHz")
+
+	const n = 8
+	for _, d := range fig10Workloads(o) {
+		st := chipSteady(o, d.Name, n, firmware.Overclock)
+		measured.Add(st.TotalMIPS, st.Freq0MHz)
+		res.Predictor.Observe(units.MIPS(st.TotalMIPS), units.Megahertz(st.Freq0MHz))
+	}
+	if err := res.Predictor.Train(); err != nil {
+		panic(err) // the population always has MIPS variance
+	}
+	fit := res.Predictor.Fit()
+	res.RelRMSE = fit.RelRMSE
+	res.SlopeMHzPerKMIPS = fit.Slope * 1000
+
+	fitted := res.Scatter.NewSeries("fitted", "MIPS", "MHz")
+	for mips := 0.0; mips <= 90000; mips += 10000 {
+		fitted.Add(mips, fit.Predict(mips))
+	}
+	return res
+}

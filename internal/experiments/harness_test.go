@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"agsim/internal/firmware"
+)
+
+func TestHashDeterministicAndSpread(t *testing.T) {
+	if hash("abc") != hash("abc") {
+		t.Error("hash not deterministic")
+	}
+	if hash("abc") == hash("abd") {
+		t.Error("hash collides on adjacent strings")
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := improvementPct(100, 90); got != 10 {
+		t.Errorf("improvementPct = %v", got)
+	}
+	if got := improvementPct(0, 50); got != 0 {
+		t.Errorf("improvementPct(0, .) = %v", got)
+	}
+	if got := improvementPct(100, 110); got != -10 {
+		t.Errorf("regression = %v", got)
+	}
+}
+
+func TestOptionsCoreCounts(t *testing.T) {
+	full := DefaultOptions().coreCounts()
+	if len(full) != 8 || full[0] != 1 || full[7] != 8 {
+		t.Errorf("full sweep = %v", full)
+	}
+	quick := QuickOptions().coreCounts()
+	if len(quick) != 3 {
+		t.Errorf("quick sweep = %v", quick)
+	}
+	// Both must include the endpoints the headline statistics read.
+	for _, sweep := range [][]int{full, quick} {
+		has1, has8 := false, false
+		for _, n := range sweep {
+			has1 = has1 || n == 1
+			has8 = has8 || n == 8
+		}
+		if !has1 || !has8 {
+			t.Errorf("sweep %v missing endpoints", sweep)
+		}
+	}
+}
+
+func TestChipSteadyIsDeterministic(t *testing.T) {
+	o := QuickOptions()
+	a := chipSteady(o, "raytrace", 4, firmware.Undervolt)
+	b := chipSteady(o, "raytrace", 4, firmware.Undervolt)
+	if a.PowerW != b.PowerW || a.Freq0MHz != b.Freq0MHz || a.UndervoltMV != b.UndervoltMV {
+		t.Errorf("same-options measurements diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFig12ScheduleShapes(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		plC, keepC := fig12Schedule(n, false)
+		if len(plC) != n || keepC[0]+n != 8 || keepC[1] != 0 {
+			t.Errorf("consolidated n=%d: %v %v", n, plC, keepC)
+		}
+		plB, keepB := fig12Schedule(n, true)
+		if len(plB) != n {
+			t.Errorf("borrowed n=%d placements: %v", n, plB)
+		}
+		on := n + keepB[0] + keepB[1]
+		if on != 8 {
+			t.Errorf("borrowed n=%d keeps %d cores on, want 8", n, on)
+		}
+	}
+}

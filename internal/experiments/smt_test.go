@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestSMTScaling(t *testing.T) {
+	r := SMTScaling(QuickOptions())
+	if r.ThroughputGainSMT4 < 20 || r.ThroughputGainSMT4 > 120 {
+		t.Errorf("SMT4 throughput gain = %.1f%%, want sub-linear but substantial", r.ThroughputGainSMT4)
+	}
+	if r.EfficiencyGainSMT4 <= 0 {
+		t.Errorf("SMT4 efficiency gain = %.1f%%, want positive (fixed power amortized)", r.EfficiencyGainSMT4)
+	}
+	if r.UndervoltCostSMT4 < 0 {
+		t.Errorf("SMT4 deepened undervolt by %.1f mV? busier pipelines should cost margin", -r.UndervoltCostSMT4)
+	}
+	if len(r.Table.Rows) < 2 {
+		t.Fatalf("table rows = %d", len(r.Table.Rows))
+	}
+}

@@ -1,0 +1,206 @@
+package firmware
+
+import (
+	"testing"
+
+	"agsim/internal/cpm"
+	"agsim/internal/units"
+	"agsim/internal/vf"
+)
+
+func reading(min, sticky int) MarginReading {
+	return MarginReading{MinCPM: min, MinStickyCPM: sticky, MVPerBit: 21}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Static: "static", Undervolt: "undervolt", Overclock: "overclock", Manual: "manual"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if Mode(42).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}
+
+func TestStaticAndOverclockHoldNominalVoltage(t *testing.T) {
+	law := vf.Default()
+	for _, m := range []Mode{Static, Overclock} {
+		c := NewController(law)
+		c.SetMode(m)
+		if v := c.VoltageCommand(1100, reading(8, 8)); v != law.VNom {
+			t.Errorf("%v mode commanded %v, want nominal %v", m, v, law.VNom)
+		}
+	}
+}
+
+func TestManualLeavesVoltageAlone(t *testing.T) {
+	c := NewController(vf.Default())
+	c.SetMode(Manual)
+	if v := c.VoltageCommand(1042, reading(0, 0)); v != 1042 {
+		t.Errorf("manual mode commanded %v, want unchanged", v)
+	}
+}
+
+func TestUndervoltStepsDownOnExcessMargin(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	v := c.VoltageCommand(law.VNom, reading(8, 8))
+	if v >= law.VNom {
+		t.Errorf("excess margin did not undervolt: %v", v)
+	}
+	// Step bounded.
+	if law.VNom-v > units.Millivolt(c.MaxStepDownMV)+1e-9 {
+		t.Errorf("step %v exceeds bound %v", law.VNom-v, c.MaxStepDownMV)
+	}
+}
+
+func TestUndervoltStepsUpOnLowMargin(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	v := c.VoltageCommand(1150, reading(0, 0))
+	if v <= 1150 {
+		t.Errorf("low margin did not raise voltage: %v", v)
+	}
+}
+
+func TestUndervoltHoldsAtTarget(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	if v := c.VoltageCommand(1180, reading(cpm.CalibTarget, cpm.CalibTarget)); v != 1180 {
+		t.Errorf("at-target reading moved voltage to %v", v)
+	}
+}
+
+func TestUndervoltConvergence(t *testing.T) {
+	// Closed-loop sanity: simulate a plant where the CPM value is the
+	// margin over (VReq+residual) at the commanded voltage minus a fixed
+	// passive drop. The controller must settle at the voltage that puts
+	// the CPM at its calibration target, i.e. VReq + residual + drop.
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	const dropMV = 65.0
+	const mvPerBit = 21.0
+	v := law.VNom
+	plant := func(v units.Millivolt) int {
+		margin := float64(v) - dropMV - float64(law.VReq(law.FNom)) - float64(law.ResidualMV)
+		val := cpm.CalibTarget + int(margin/mvPerBit+0.5)
+		if val < 0 {
+			val = 0
+		}
+		if val > cpm.MaxValue {
+			val = cpm.MaxValue
+		}
+		return val
+	}
+	for i := 0; i < 200; i++ {
+		val := plant(v)
+		v = c.VoltageCommand(v, MarginReading{MinCPM: val, MinStickyCPM: val, MVPerBit: mvPerBit})
+	}
+	want := float64(law.VReq(law.FNom)) + float64(law.ResidualMV) + dropMV
+	if got := float64(v); got < want-1 || got > want+mvPerBit {
+		t.Errorf("converged to %v, want ~%v (within one CPM bit)", got, want)
+	}
+	if c.Ticks() != 200 {
+		t.Errorf("Ticks = %d", c.Ticks())
+	}
+}
+
+func TestUndervoltNeverLeavesBounds(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	v := law.VNom
+	// Margin always huge: the controller keeps stepping down but must stop
+	// at VMin.
+	for i := 0; i < 1000; i++ {
+		v = c.VoltageCommand(v, reading(cpm.MaxValue, cpm.MaxValue))
+		if v < law.VMin {
+			t.Fatalf("undervolted below VMin: %v", v)
+		}
+	}
+	if v != law.VMin {
+		t.Errorf("did not reach VMin: %v", v)
+	}
+	// Margin always zero: the controller steps up but must stop at VNom.
+	for i := 0; i < 1000; i++ {
+		v = c.VoltageCommand(v, reading(0, 0))
+		if v > law.VNom {
+			t.Fatalf("overvolted above VNom: %v", v)
+		}
+	}
+	if v != law.VNom {
+		t.Errorf("did not recover to VNom: %v", v)
+	}
+}
+
+func TestStickyDroopTriggersRaise(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	// Sample read says fine (at target), but a droop pushed the sticky
+	// minimum to zero during the window: the controller must raise.
+	v := c.VoltageCommand(1180, MarginReading{MinCPM: cpm.CalibTarget, MinStickyCPM: 0, MVPerBit: 21})
+	if v <= 1180 {
+		t.Errorf("sticky droop ignored: %v", v)
+	}
+	// A sticky value above target (stale latch) must not cause a raise.
+	v2 := c.VoltageCommand(1180, MarginReading{MinCPM: cpm.CalibTarget, MinStickyCPM: 9, MVPerBit: 21})
+	if v2 != 1180 {
+		t.Errorf("high sticky mis-handled: %v", v2)
+	}
+}
+
+func TestDeadCPMFailsSafe(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Undervolt)
+	v := c.VoltageCommand(1150, MarginReading{MinCPM: 9, MinStickyCPM: 9, MVPerBit: 21, AnyDead: true})
+	if v != law.VNom {
+		t.Errorf("dead CPM must force static guardband, got %v", v)
+	}
+}
+
+func TestFrequencyTargets(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	c.SetMode(Static)
+	if f := c.FrequencyTarget(); f != law.FNom {
+		t.Errorf("static target = %v", f)
+	}
+	c.SetMode(Undervolt)
+	if f := c.FrequencyTarget(); f != law.FNom {
+		t.Errorf("undervolt target = %v", f)
+	}
+	c.SetMode(Overclock)
+	if f := c.FrequencyTarget(); f != law.FCeil {
+		t.Errorf("overclock target = %v", f)
+	}
+	c.SetMode(Manual)
+	if f := c.FrequencyTarget(); f != 0 {
+		t.Errorf("manual target = %v", f)
+	}
+}
+
+func TestUndervoltMV(t *testing.T) {
+	law := vf.Default()
+	c := NewController(law)
+	if got := c.UndervoltMV(law.VNom - 42); got != 42 {
+		t.Errorf("UndervoltMV = %v", got)
+	}
+}
+
+func TestVoltageCommandPanicsOnBadSensitivity(t *testing.T) {
+	c := NewController(vf.Default())
+	c.SetMode(Undervolt)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.VoltageCommand(1200, MarginReading{MinCPM: 5, MinStickyCPM: 5, MVPerBit: 0})
+}

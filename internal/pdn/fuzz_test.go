@@ -1,0 +1,55 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/units"
+)
+
+// FuzzMeshSolve checks the grid solver's physical invariants under
+// arbitrary current patterns: drops are finite, non-negative, and bounded
+// by the worst-case series resistance.
+func FuzzMeshSolve(f *testing.F) {
+	f.Add(10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 14.0)
+	f.Add(9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 14.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 40.0, 0.0)
+	f.Fuzz(func(t *testing.T, c0, c1, c2, c3, c4, c5, c6, c7, un float64) {
+		m, err := NewMesh(DefaultMeshParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := []float64{c0, c1, c2, c3, c4, c5, c6, c7}
+		currents := make([]units.Ampere, 8)
+		var total float64
+		for i, x := range raw {
+			v := clamp(x, 0, 40)
+			currents[i] = units.Ampere(v)
+			total += v
+		}
+		uncore := clamp(un, 0, 40)
+		total += uncore
+
+		drops := m.Drops(currents, units.Ampere(uncore))
+		// Worst case: the whole current through one bump plus the full
+		// grid diameter of sheet resistance.
+		p := DefaultMeshParams()
+		bound := total * (p.BumpMilliohm + p.SheetMilliohm*float64(p.Rows+p.Cols))
+		for i, d := range drops {
+			v := float64(d)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("core %d drop %v", i, v)
+			}
+			if v < -0.5 || v > bound+0.5 {
+				t.Fatalf("core %d drop %v outside [0, %v]", i, v, bound)
+			}
+		}
+	})
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if math.IsNaN(x) {
+		return lo
+	}
+	return math.Min(math.Max(x, lo), hi)
+}

@@ -1,0 +1,263 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"agsim/internal/units"
+)
+
+// Network abstracts a power delivery model: the lumped Plane used by
+// default, or the finer-grained Mesh below.
+type Network interface {
+	// Cores returns the number of cores the network serves.
+	Cores() int
+	// Drops returns per-core passive IR drop for the given draw.
+	Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt
+	// WorstDrop returns the largest per-core drop.
+	WorstDrop(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) units.Millivolt
+	// GlobalDropMV returns the shared-path component at the given total
+	// current, the "IR drop" half of the paper's decomposition.
+	GlobalDropMV(totalCurrent units.Ampere) units.Millivolt
+}
+
+var (
+	_ Network = (*Plane)(nil)
+	_ Network = (*Mesh)(nil)
+)
+
+// MeshParams configures the distributed-grid PDN: an on-die power grid
+// discretized into a node mesh, fed through C4 bump resistances, with each
+// core sinking current into its floorplan region. This is the modelling
+// style of the paper's reference [30] (Gupta et al., "Understanding voltage
+// variations in chip multiprocessors using a distributed power-delivery
+// network"), offered as a higher-fidelity alternative to the lumped Plane.
+type MeshParams struct {
+	// Rows and Cols discretize the die.
+	Rows, Cols int
+	// Cores is the core count; cores tile two rows of Cores/2 regions
+	// like the POWER7+ floorplan.
+	Cores int
+	// SheetMilliohm is the grid resistance between adjacent nodes.
+	SheetMilliohm float64
+	// BumpMilliohm is each power bump's resistance to the package plane.
+	BumpMilliohm float64
+	// BumpEvery places a bump at every k-th node in both directions.
+	BumpEvery int
+	// Tolerance is the Gauss-Seidel convergence threshold in mV.
+	Tolerance float64
+	// MaxIters bounds the solver.
+	MaxIters int
+}
+
+// DefaultMeshParams returns a 8x16 grid calibrated to land in the same
+// drop regime as the lumped default.
+func DefaultMeshParams() MeshParams {
+	return MeshParams{
+		Rows: 8, Cols: 16, Cores: 8,
+		SheetMilliohm: 4.0,
+		BumpMilliohm:  12.0,
+		BumpEvery:     2,
+		Tolerance:     0.01,
+		MaxIters:      4000,
+	}
+}
+
+// Validate reports the first nonphysical parameter, or nil.
+func (p MeshParams) Validate() error {
+	switch {
+	case p.Rows < 2 || p.Cols < 2:
+		return fmt.Errorf("pdn: mesh needs at least 2x2 nodes, got %dx%d", p.Rows, p.Cols)
+	case p.Cores < 1 || p.Cores%2 != 0:
+		return fmt.Errorf("pdn: mesh needs an even core count, got %d", p.Cores)
+	case p.Rows%2 != 0 || p.Cols%(p.Cores/2) != 0:
+		return fmt.Errorf("pdn: mesh %dx%d does not tile %d cores", p.Rows, p.Cols, p.Cores)
+	case p.SheetMilliohm <= 0 || p.BumpMilliohm <= 0:
+		return fmt.Errorf("pdn: non-positive mesh resistance")
+	case p.BumpEvery < 1:
+		return fmt.Errorf("pdn: BumpEvery must be >= 1")
+	case p.Tolerance <= 0 || p.MaxIters < 1:
+		return fmt.Errorf("pdn: bad solver parameters")
+	}
+	return nil
+}
+
+// Mesh is the distributed-grid network.
+type Mesh struct {
+	p MeshParams
+
+	// v holds each node's drop below the package plane, in mV; it is kept
+	// across solves as a warm start (the chip steps change currents only
+	// slightly, so the solver typically converges in a few sweeps).
+	v []float64
+
+	// coreNodes lists each core's node indices; bump marks bump nodes.
+	coreNodes [][]int
+	bump      []bool
+
+	// gSheet and gBump are conductances in 1/mΩ.
+	gSheet, gBump float64
+
+	// effGlobal is the calibrated effective global resistance (mΩ) used
+	// by GlobalDropMV.
+	effGlobal float64
+}
+
+// NewMesh builds and calibrates the mesh.
+func NewMesh(p MeshParams) (*Mesh, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		p:      p,
+		v:      make([]float64, p.Rows*p.Cols),
+		bump:   make([]bool, p.Rows*p.Cols),
+		gSheet: 1 / p.SheetMilliohm,
+		gBump:  1 / p.BumpMilliohm,
+	}
+	for r := 0; r < p.Rows; r += p.BumpEvery {
+		for c := 0; c < p.Cols; c += p.BumpEvery {
+			m.bump[r*p.Cols+c] = true
+		}
+	}
+	// Tile cores: two rows of Cores/2 regions.
+	perRow := p.Cores / 2
+	regionRows, regionCols := p.Rows/2, p.Cols/perRow
+	m.coreNodes = make([][]int, p.Cores)
+	for core := 0; core < p.Cores; core++ {
+		cr, cc := core/perRow, core%perRow
+		for r := cr * regionRows; r < (cr+1)*regionRows; r++ {
+			for c := cc * regionCols; c < (cc+1)*regionCols; c++ {
+				m.coreNodes[core] = append(m.coreNodes[core], r*p.Cols+c)
+			}
+		}
+	}
+	// Calibrate the effective global resistance: uniform unit draw.
+	uniform := make([]units.Ampere, p.Cores)
+	for i := range uniform {
+		uniform[i] = 10
+	}
+	drops := m.Drops(uniform, 10)
+	mean := 0.0
+	for _, d := range drops {
+		mean += float64(d)
+	}
+	mean /= float64(len(drops))
+	m.effGlobal = mean / (10*float64(p.Cores) + 10)
+	return m, nil
+}
+
+// Cores returns the core count.
+func (m *Mesh) Cores() int { return m.p.Cores }
+
+// Drops solves the grid for the given draw and returns each core's mean
+// regional drop.
+func (m *Mesh) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
+	if len(coreCurrents) != m.p.Cores {
+		panic(fmt.Sprintf("pdn: %d currents for %d cores", len(coreCurrents), m.p.Cores))
+	}
+	n := m.p.Rows * m.p.Cols
+	inject := make([]float64, n)
+	// Uncore current spreads uniformly; core currents spread over their
+	// regions.
+	per := float64(uncoreCurrent) / float64(n)
+	for i := range inject {
+		inject[i] = per
+	}
+	for core, nodes := range m.coreNodes {
+		if coreCurrents[core] < 0 {
+			panic(fmt.Sprintf("pdn: negative core current %v", coreCurrents[core]))
+		}
+		share := float64(coreCurrents[core]) / float64(len(nodes))
+		for _, idx := range nodes {
+			inject[idx] += share
+		}
+	}
+
+	allZero := true
+	for _, x := range inject {
+		if x != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// The homogeneous solution is exactly zero; skip the solver so no
+		// warm-start residue leaks through the tolerance.
+		for i := range m.v {
+			m.v[i] = 0
+		}
+	} else {
+		m.solve(inject)
+	}
+
+	out := make([]units.Millivolt, m.p.Cores)
+	for core, nodes := range m.coreNodes {
+		sum := 0.0
+		for _, idx := range nodes {
+			sum += m.v[idx]
+		}
+		out[core] = units.Millivolt(sum / float64(len(nodes)))
+	}
+	return out
+}
+
+// solve runs Gauss-Seidel on the nodal equations, warm-started from the
+// previous solution.
+func (m *Mesh) solve(inject []float64) {
+	rows, cols := m.p.Rows, m.p.Cols
+	for iter := 0; iter < m.p.MaxIters; iter++ {
+		maxDelta := 0.0
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				idx := r*cols + c
+				num := inject[idx]
+				den := 0.0
+				if r > 0 {
+					num += m.gSheet * m.v[idx-cols]
+					den += m.gSheet
+				}
+				if r < rows-1 {
+					num += m.gSheet * m.v[idx+cols]
+					den += m.gSheet
+				}
+				if c > 0 {
+					num += m.gSheet * m.v[idx-1]
+					den += m.gSheet
+				}
+				if c < cols-1 {
+					num += m.gSheet * m.v[idx+1]
+					den += m.gSheet
+				}
+				if m.bump[idx] {
+					den += m.gBump
+				}
+				next := num / den
+				if d := math.Abs(next - m.v[idx]); d > maxDelta {
+					maxDelta = d
+				}
+				m.v[idx] = next
+			}
+		}
+		if maxDelta < m.p.Tolerance {
+			return
+		}
+	}
+}
+
+// WorstDrop returns the largest per-core drop.
+func (m *Mesh) WorstDrop(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) units.Millivolt {
+	drops := m.Drops(coreCurrents, uncoreCurrent)
+	worst := drops[0]
+	for _, d := range drops[1:] {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// GlobalDropMV returns the calibrated shared-path component.
+func (m *Mesh) GlobalDropMV(totalCurrent units.Ampere) units.Millivolt {
+	return units.Millivolt(m.effGlobal * float64(totalCurrent))
+}

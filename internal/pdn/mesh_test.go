@@ -1,0 +1,155 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/units"
+)
+
+func newMesh(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := NewMesh(DefaultMeshParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMeshParamsValidation(t *testing.T) {
+	bad := []func(*MeshParams){
+		func(p *MeshParams) { p.Rows = 1 },
+		func(p *MeshParams) { p.Cores = 7 },
+		func(p *MeshParams) { p.Cols = 15 }, // does not tile 4 regions
+		func(p *MeshParams) { p.SheetMilliohm = 0 },
+		func(p *MeshParams) { p.BumpMilliohm = -1 },
+		func(p *MeshParams) { p.BumpEvery = 0 },
+		func(p *MeshParams) { p.Tolerance = 0 },
+		func(p *MeshParams) { p.MaxIters = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultMeshParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMeshZeroLoadZeroDrop(t *testing.T) {
+	m := newMesh(t)
+	drops := m.Drops(make([]units.Ampere, 8), 0)
+	for i, d := range drops {
+		if math.Abs(float64(d)) > 0.05 {
+			t.Errorf("core %d drop %v at zero load", i, d)
+		}
+	}
+}
+
+func TestMeshLocality(t *testing.T) {
+	// Only core 0 draws: its regional drop must exceed the far corner
+	// (core 7), but core 7 must still see a nonzero share (global plane).
+	m := newMesh(t)
+	currents := make([]units.Ampere, 8)
+	currents[0] = 10
+	drops := m.Drops(currents, 0)
+	if drops[0] <= drops[7] {
+		t.Errorf("no locality: near %v far %v", drops[0], drops[7])
+	}
+	if drops[7] <= 0.1 {
+		t.Errorf("far core saw no global drop: %v", drops[7])
+	}
+	// The immediate neighbour (core 1) sits between the extremes.
+	if drops[1] <= drops[7] || drops[1] >= drops[0] {
+		t.Errorf("gradient broken: %v / %v / %v", drops[0], drops[1], drops[7])
+	}
+}
+
+func TestMeshMonotoneInLoad(t *testing.T) {
+	m := newMesh(t)
+	currents := make([]units.Ampere, 8)
+	prev := units.Millivolt(0)
+	for n := 1; n <= 8; n++ {
+		currents[n-1] = 9
+		worst := m.WorstDrop(currents, 12)
+		if worst <= prev {
+			t.Fatalf("worst drop not increasing at %d cores: %v <= %v", n, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+func TestMeshMagnitudeMatchesLumpedRegime(t *testing.T) {
+	// At the calibration point (8 active cores ~9 A each + uncore) the
+	// mesh should land within a factor of two of the lumped Plane's
+	// worst-core drop, so swapping models does not re-calibrate the world.
+	mesh := newMesh(t)
+	plane, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	currents := make([]units.Ampere, 8)
+	for i := range currents {
+		currents[i] = 9
+	}
+	wm := float64(mesh.WorstDrop(currents, 14))
+	wp := float64(plane.WorstDrop(currents, 14))
+	if wm < wp/2 || wm > wp*2 {
+		t.Errorf("mesh worst %v mV vs plane %v mV: regimes diverge", wm, wp)
+	}
+}
+
+func TestMeshLinearityApprox(t *testing.T) {
+	// A purely resistive network is linear; the warm-started iterative
+	// solve must preserve that within tolerance.
+	m := newMesh(t)
+	currents := make([]units.Ampere, 8)
+	for i := range currents {
+		currents[i] = 5
+	}
+	d1 := m.Drops(currents, 10)
+	for i := range currents {
+		currents[i] = 10
+	}
+	d2 := m.Drops(currents, 20)
+	for i := range d1 {
+		ratio := float64(d2[i]) / float64(d1[i])
+		if ratio < 1.95 || ratio > 2.05 {
+			t.Errorf("core %d: doubling load scaled drop by %v", i, ratio)
+		}
+	}
+}
+
+func TestMeshPanics(t *testing.T) {
+	m := newMesh(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for wrong length")
+			}
+		}()
+		m.Drops(make([]units.Ampere, 3), 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative current")
+			}
+		}()
+		c := make([]units.Ampere, 8)
+		c[0] = -1
+		m.Drops(c, 0)
+	}()
+}
+
+func TestMeshGlobalDropCalibrated(t *testing.T) {
+	m := newMesh(t)
+	g := m.GlobalDropMV(100)
+	if g <= 0 {
+		t.Fatalf("global drop = %v", g)
+	}
+	// Linear in total current by construction.
+	if got := m.GlobalDropMV(200); math.Abs(float64(got)-2*float64(g)) > 1e-9 {
+		t.Errorf("global drop not linear: %v vs %v", got, g)
+	}
+}

@@ -1,0 +1,148 @@
+// Package pdn models the on-chip power delivery network of the eight-core
+// POWER7+: a shared Vdd plane (paper §2.1: "the PDNs are shared among all
+// eight cores to reduce voltage noise") with a global package/grid
+// resistance, a local branch resistance per core, and resistive coupling
+// between physically adjacent cores.
+//
+// This structure produces exactly the two behaviours the paper measures in
+// Fig. 7: a global drop that rises with total chip current and hits idle
+// cores too, and a localized extra drop (~2% of nominal) that appears on a
+// core the moment it is activated, spilling partially onto its neighbours.
+package pdn
+
+import (
+	"fmt"
+
+	"agsim/internal/units"
+)
+
+// Params calibrates the PDN resistances. See DESIGN.md §4 for the
+// derivation from Figs. 7, 9 and 10a.
+type Params struct {
+	// Cores is the number of cores on the plane (8 for POWER7+).
+	Cores int
+	// GlobalMilliohm is the shared package + grid spreading resistance;
+	// its drop is proportional to total chip current and is the "IR drop"
+	// half of the paper's passive-drop decomposition.
+	GlobalMilliohm float64
+	// LocalMilliohm is the per-core branch resistance; its drop appears
+	// only on the core drawing the current.
+	LocalMilliohm float64
+	// CouplingMilliohm expresses how much of a neighbour's current a core
+	// feels through the shared plane.
+	CouplingMilliohm float64
+}
+
+// DefaultParams returns the POWER7+ calibration.
+func DefaultParams() Params {
+	return Params{
+		Cores:            8,
+		GlobalMilliohm:   0.28,
+		LocalMilliohm:    1.2,
+		CouplingMilliohm: 0.2,
+	}
+}
+
+// Validate reports the first nonphysical parameter, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.Cores < 1:
+		return fmt.Errorf("pdn: need at least one core, got %d", p.Cores)
+	case p.GlobalMilliohm < 0 || p.LocalMilliohm < 0 || p.CouplingMilliohm < 0:
+		return fmt.Errorf("pdn: negative resistance")
+	}
+	return nil
+}
+
+// Plane is the resistive model of one chip's Vdd plane.
+type Plane struct {
+	p        Params
+	adjacent [][]int
+}
+
+// New builds a plane. Cores are laid out in two rows of Cores/2 (the
+// POWER7+ floorplan: cores 0-3 on top, 4-7 on the bottom, paper Fig. 2a);
+// an odd core count degenerates to a single row.
+func New(p Params) (*Plane, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl := &Plane{p: p, adjacent: make([][]int, p.Cores)}
+	cols := p.Cores / 2
+	if cols == 0 || p.Cores%2 != 0 {
+		cols = p.Cores
+	}
+	for i := 0; i < p.Cores; i++ {
+		row, col := i/cols, i%cols
+		add := func(r, c int) {
+			if r < 0 || c < 0 || c >= cols {
+				return
+			}
+			j := r*cols + c
+			if j >= 0 && j < p.Cores && j != i {
+				pl.adjacent[i] = append(pl.adjacent[i], j)
+			}
+		}
+		add(row, col-1)
+		add(row, col+1)
+		add(row-1, col)
+		add(row+1, col)
+	}
+	return pl, nil
+}
+
+// Cores returns the core count of the plane.
+func (pl *Plane) Cores() int { return pl.p.Cores }
+
+// Neighbors returns the indices of cores physically adjacent to core i.
+func (pl *Plane) Neighbors(i int) []int { return pl.adjacent[i] }
+
+// Drops returns the per-core passive IR drop (in mV, non-negative) for the
+// given per-core current draw plus an uncore current spread evenly across
+// the plane. The rail (VRM output) voltage minus these drops is each core's
+// DC operating voltage before di/dt noise.
+func (pl *Plane) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
+	if len(coreCurrents) != pl.p.Cores {
+		panic(fmt.Sprintf("pdn: %d currents for %d cores", len(coreCurrents), pl.p.Cores))
+	}
+	var total units.Ampere
+	for _, i := range coreCurrents {
+		if i < 0 {
+			panic(fmt.Sprintf("pdn: negative core current %v", i))
+		}
+		total += i
+	}
+	total += uncoreCurrent
+
+	drops := make([]units.Millivolt, pl.p.Cores)
+	global := units.IRDrop(total, pl.p.GlobalMilliohm)
+	for i := range drops {
+		d := global + units.IRDrop(coreCurrents[i], pl.p.LocalMilliohm)
+		for _, j := range pl.adjacent[i] {
+			d += units.IRDrop(coreCurrents[j], pl.p.CouplingMilliohm)
+		}
+		drops[i] = d
+	}
+	return drops
+}
+
+// GlobalDropMV returns just the shared-path IR component for the given
+// total current; the Fig. 9 decomposition reports it as "IR drop" alongside
+// the VRM's loadline.
+func (pl *Plane) GlobalDropMV(totalCurrent units.Ampere) units.Millivolt {
+	return units.IRDrop(totalCurrent, pl.p.GlobalMilliohm)
+}
+
+// WorstDrop returns the largest per-core drop, which is what a chip-wide
+// undervolting controller must respect (paper §4.2: the single VRM "will
+// need to supply the highest voltage to match the most demanding core").
+func (pl *Plane) WorstDrop(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) units.Millivolt {
+	drops := pl.Drops(coreCurrents, uncoreCurrent)
+	worst := drops[0]
+	for _, d := range drops[1:] {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,185 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agsim/internal/units"
+)
+
+func newPlane(t *testing.T) *Plane {
+	t.Helper()
+	pl, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestTopology(t *testing.T) {
+	pl := newPlane(t)
+	if pl.Cores() != 8 {
+		t.Fatalf("Cores = %d", pl.Cores())
+	}
+	// POWER7+ floorplan: two rows of four. Core 0 neighbours 1 (right) and
+	// 4 (below); core 5 neighbours 4, 6 and 1.
+	has := func(i, j int) bool {
+		for _, n := range pl.Neighbors(i) {
+			if n == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) || !has(0, 4) || has(0, 3) || has(0, 5) {
+		t.Errorf("core 0 neighbours = %v", pl.Neighbors(0))
+	}
+	if !has(5, 4) || !has(5, 6) || !has(5, 1) || has(5, 0) {
+		t.Errorf("core 5 neighbours = %v", pl.Neighbors(5))
+	}
+	// Symmetry: i~j implies j~i.
+	for i := 0; i < 8; i++ {
+		for _, j := range pl.Neighbors(i) {
+			if !has(j, i) {
+				t.Errorf("asymmetric adjacency %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestGlobalDropHitsIdleCores(t *testing.T) {
+	// Paper Fig. 7: when the top row is active, bottom-row cores also see
+	// drop even though they run nothing.
+	pl := newPlane(t)
+	currents := make([]units.Ampere, 8)
+	for i := 0; i < 4; i++ {
+		currents[i] = 10
+	}
+	drops := pl.Drops(currents, 10)
+	for i := 4; i < 8; i++ {
+		if drops[i] <= 0 {
+			t.Errorf("idle core %d saw no drop", i)
+		}
+	}
+	// But active cores see more (local term).
+	if drops[0] <= drops[7] {
+		t.Errorf("active core drop %v not above far idle core %v", drops[0], drops[7])
+	}
+}
+
+func TestLocalActivationJump(t *testing.T) {
+	// Activating a core must raise its own drop by roughly the local
+	// branch term — the ~2% jump the paper observes on core 7.
+	pl := newPlane(t)
+	currents := make([]units.Ampere, 8)
+	for i := 0; i < 7; i++ {
+		currents[i] = 8
+	}
+	before := pl.Drops(currents, 10)[7]
+	currents[7] = 8
+	after := pl.Drops(currents, 10)[7]
+	jump := float64(after - before)
+	p := DefaultParams()
+	expectedLocal := 8 * p.LocalMilliohm
+	if jump < expectedLocal {
+		t.Errorf("activation jump %v below local term %v", jump, expectedLocal)
+	}
+	// The jump should be on the order of 1-3% of the 1280 mV nominal.
+	if jump < 8 || jump > 45 {
+		t.Errorf("activation jump %v mV outside the paper's ~2%% band", jump)
+	}
+}
+
+func TestDropMonotoneInActiveCores(t *testing.T) {
+	// Fig. 7: total drop rises as cores are activated in succession.
+	pl := newPlane(t)
+	currents := make([]units.Ampere, 8)
+	prevWorst := units.Millivolt(0)
+	for n := 1; n <= 8; n++ {
+		currents[n-1] = 9
+		worst := pl.WorstDrop(currents, 12)
+		if worst <= prevWorst {
+			t.Fatalf("worst drop not increasing at %d cores: %v <= %v", n, worst, prevWorst)
+		}
+		prevWorst = worst
+	}
+}
+
+func TestDropsLinearInCurrent(t *testing.T) {
+	pl := newPlane(t)
+	f := func(raw [8]float64, uRaw float64) bool {
+		var currents, doubled [8]units.Ampere
+		for i, x := range raw {
+			c := units.Ampere(math.Mod(math.Abs(x), 20))
+			currents[i] = c
+			doubled[i] = 2 * c
+		}
+		u := units.Ampere(math.Mod(math.Abs(uRaw), 20))
+		d1 := pl.Drops(currents[:], u)
+		d2 := pl.Drops(doubled[:], 2*u)
+		for i := range d1 {
+			if math.Abs(float64(d2[i]-2*d1[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDropsPanicOnBadInput(t *testing.T) {
+	pl := newPlane(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for wrong length")
+			}
+		}()
+		pl.Drops(make([]units.Ampere, 3), 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative current")
+			}
+		}()
+		c := make([]units.Ampere, 8)
+		c[2] = -1
+		pl.Drops(c, 0)
+	}()
+}
+
+func TestEightCoreDropMagnitude(t *testing.T) {
+	// Fully loaded power-hungry chip: ~110 A total should produce a worst
+	// on-chip IR component (excluding loadline) in the tens of millivolts,
+	// consistent with Fig. 9's decomposition.
+	pl := newPlane(t)
+	currents := make([]units.Ampere, 8)
+	for i := range currents {
+		currents[i] = 11 // ~88 A in cores
+	}
+	worst := pl.WorstDrop(currents, 22) // + uncore
+	if worst < 30 || worst > 90 {
+		t.Errorf("worst 8-core drop = %v mV, want 30-90", worst)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Params{Cores: 0}); err == nil {
+		t.Error("expected error for zero cores")
+	}
+	if _, err := New(Params{Cores: 8, GlobalMilliohm: -1}); err == nil {
+		t.Error("expected error for negative resistance")
+	}
+	// Odd core counts degrade to a single row but must still work.
+	pl, err := New(Params{Cores: 3, GlobalMilliohm: 0.2, LocalMilliohm: 1, CouplingMilliohm: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Neighbors(1)) != 2 {
+		t.Errorf("single-row middle core neighbours = %v", pl.Neighbors(1))
+	}
+}

@@ -1,0 +1,27 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"agsim/internal/qos"
+	"agsim/internal/rng"
+	"agsim/internal/units"
+)
+
+// ExampleTracker measures WebSearch-style windowed tail latency at two core
+// throughputs; near saturation a few percent of throughput moves the
+// violation rate dramatically — the mechanism behind the paper's Fig. 17.
+func ExampleTracker() {
+	cfg := qos.DefaultConfig()
+	for _, mips := range []float64{5730, 5450} {
+		tr := qos.NewTracker(cfg, rng.New(7, "example"))
+		for i := 0; i < 300; i++ {
+			tr.RunWindow(units.MIPS(mips))
+		}
+		fmt.Printf("at %.0f MIPS: utilization %.2f, violations %.0f%%\n",
+			mips, cfg.Utilization(units.MIPS(mips)), tr.ViolationRate()*100)
+	}
+	// Output:
+	// at 5730 MIPS: utilization 0.90, violations 7%
+	// at 5450 MIPS: utilization 0.95, violations 33%
+}

@@ -1,0 +1,51 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/rng"
+	"agsim/internal/units"
+)
+
+// FuzzRunWindow drives the query simulator with arbitrary throughputs and
+// configurations: latencies must stay finite and non-negative, violation
+// accounting consistent, for any input the type system admits.
+func FuzzRunWindow(f *testing.F) {
+	f.Add(5700.0, 68.5, 0.0754, 12.0, 0.02)
+	f.Add(100.0, 1.0, 0.001, 1.0, 0.0)
+	f.Add(9000.0, 200.0, 0.5, 30.0, 0.5)
+	f.Fuzz(func(t *testing.T, mips, rate, ginst, window, jitter float64) {
+		cfg := Config{
+			ArrivalPerSec: clampF(rate, 0.1, 500),
+			QueryGInst:    clampF(ginst, 1e-4, 10),
+			TargetP90Sec:  0.5,
+			WindowSec:     clampF(window, 0.1, 60),
+			RateJitter:    clampF(jitter, 0, 0.5),
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("clamped config invalid: %v", err)
+		}
+		tr := NewTracker(cfg, rng.New(1, "fuzz"))
+		m := units.MIPS(clampF(mips, 1, 1e6))
+		for i := 0; i < 5; i++ {
+			res := tr.RunWindow(m)
+			if math.IsNaN(res.P90Sec) || math.IsInf(res.P90Sec, 0) || res.P90Sec < 0 {
+				t.Fatalf("bad p90 %v for mips=%v cfg=%+v", res.P90Sec, m, cfg)
+			}
+			if res.Violated != (res.P90Sec > cfg.TargetP90Sec) {
+				t.Fatalf("violation flag inconsistent: %+v", res)
+			}
+		}
+		if v := tr.ViolationRate(); v < 0 || v > 1 {
+			t.Fatalf("violation rate %v", v)
+		}
+	})
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if math.IsNaN(x) {
+		return lo
+	}
+	return math.Min(math.Max(x, lo), hi)
+}

@@ -1,0 +1,93 @@
+// Package rng provides deterministic, stream-split random number generation
+// for the simulator.
+//
+// Every stochastic component (di/dt event arrivals, CPM calibration error,
+// workload phase jitter, query arrivals) draws from its own named stream
+// derived from a single experiment seed. Splitting by name means adding a new
+// consumer of randomness does not perturb the draws seen by existing
+// components, so calibrated experiment outputs stay stable as the simulator
+// grows.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a deterministic random stream.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a stream seeded from the experiment seed and a component name.
+func New(seed uint64, name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return &Source{r: rand.New(rand.NewPCG(seed, h.Sum64()))}
+}
+
+// Split derives a child stream; the child's draws are independent of the
+// parent's future draws.
+func (s *Source) Split(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64(), h.Sum64()))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform value in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Normal returns a normally distributed value.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A zero or negative mean returns 0, which callers use to disable a process.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Poisson draws the number of events in one interval of a Poisson process
+// with the given expected count, using Knuth's method for small lambda and a
+// normal approximation above 30 (the simulator never needs large counts to
+// be exact, only unbiased).
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(s.Normal(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// IntN returns a uniform integer in [0,n).
+func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool { return s.r.Float64() < p }
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }

@@ -1,0 +1,156 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42, "didt")
+	b := New(42, "didt")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed+name diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := New(42, "didt")
+	b := New(42, "cpm")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different names produced %d identical draws", same)
+	}
+}
+
+func TestSplitIsStable(t *testing.T) {
+	// Splitting a child must not depend on how many draws other children
+	// consumed after the split.
+	parent1 := New(7, "root")
+	c1 := parent1.Split("a")
+	v1 := c1.Float64()
+
+	parent2 := New(7, "root")
+	c2 := parent2.Split("a")
+	// Consume from a different child; c2's stream must be unaffected.
+	other := parent2.Split("b")
+	other.Float64()
+	v2 := c2.Float64()
+
+	if v1 != v2 {
+		t.Fatalf("split stream changed by sibling activity: %v vs %v", v1, v2)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1, "u")
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(1, "n")
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(sd-2) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~2", sd)
+	}
+}
+
+func TestExp(t *testing.T) {
+	s := New(1, "e")
+	if v := s.Exp(0); v != 0 {
+		t.Errorf("Exp(0) = %v, want 0", v)
+	}
+	if v := s.Exp(-1); v != 0 {
+		t.Errorf("Exp(-1) = %v, want 0", v)
+	}
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	s := New(1, "p")
+	if k := s.Poisson(0); k != 0 {
+		t.Errorf("Poisson(0) = %d", k)
+	}
+	for _, lambda := range []float64{0.5, 3, 50} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			k := s.Poisson(lambda)
+			if k < 0 {
+				t.Fatalf("Poisson(%v) returned negative %d", lambda, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestBernoulliAndIntN(t *testing.T) {
+	s := New(1, "b")
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("Bernoulli(0.25) frequency = %v", frac)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("IntN(5) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(1, "perm")
+	p := s.Perm(8)
+	seen := make([]bool, 8)
+	for _, v := range p {
+		if v < 0 || v >= 8 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

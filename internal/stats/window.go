@@ -1,0 +1,104 @@
+package stats
+
+// Rolling accumulates samples and exposes summary statistics without keeping
+// the full history bounded; it is the workhorse for telemetry aggregation
+// where experiments need the mean and extrema of millions of step samples.
+type Rolling struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records a sample.
+func (r *Rolling) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	r.sum += x
+	r.sumSq += x * x
+}
+
+// N returns the number of samples recorded.
+func (r *Rolling) N() int { return r.n }
+
+// Mean returns the mean of the recorded samples, or 0 when empty.
+func (r *Rolling) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Min returns the smallest recorded sample, or 0 when empty.
+func (r *Rolling) Min() float64 { return r.min }
+
+// Max returns the largest recorded sample, or 0 when empty.
+func (r *Rolling) Max() float64 { return r.max }
+
+// Variance returns the population variance of the recorded samples.
+func (r *Rolling) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	m := r.Mean()
+	v := r.sumSq/float64(r.n) - m*m
+	if v < 0 {
+		// Guard against floating-point cancellation producing a tiny
+		// negative value.
+		return 0
+	}
+	return v
+}
+
+// Reset discards all recorded samples.
+func (r *Rolling) Reset() { *r = Rolling{} }
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Samples outside the
+// range land in the first or last bin so totals always match the sample
+// count.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given range and bin count.
+// It panics if bins < 1 or hi <= lo: a malformed histogram is a caller bug.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

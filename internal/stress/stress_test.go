@@ -1,0 +1,102 @@
+package stress
+
+import (
+	"testing"
+
+	"agsim/internal/firmware"
+)
+
+func TestSynthesizeLevels(t *testing.T) {
+	prevWorst, prevRate := 0.0, 0.0
+	for _, l := range []Level{Heavy, Virus, Pathological} {
+		d := Synthesize(l)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if d.DidtWorstMV <= prevWorst || d.DroopRatePerSec <= prevRate {
+			t.Errorf("%v not strictly more hostile than previous level", l)
+		}
+		prevWorst, prevRate = d.DidtWorstMV, d.DroopRatePerSec
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Heavy.String() != "heavy" || Virus.String() != "virus" || Pathological.String() != "pathological" {
+		t.Error("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should format")
+	}
+}
+
+func TestSynthesizePanicsOnUnknownLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Synthesize(Level(99))
+}
+
+func TestHeavyStressIsAbsorbedInAdaptiveModes(t *testing.T) {
+	// The paper's claim: adaptive guardbanding handles di/dt droops via
+	// fast DPLL slewing. The realistic worst case must produce zero
+	// timing violations in both adaptive modes.
+	for _, mode := range []firmware.Mode{firmware.Undervolt, firmware.Overclock} {
+		rep := Run(Heavy, mode, 8, 31)
+		if !rep.Safe() {
+			t.Errorf("%v mode: %d timing violations under Heavy stress", mode, rep.TimingViolations)
+		}
+		if rep.DroopsAbsorbed == 0 {
+			t.Errorf("%v mode: no droops occurred — stressmark inert", mode)
+		}
+	}
+}
+
+func TestVirusStillAbsorbedButCostsUndervolt(t *testing.T) {
+	heavy := Run(Heavy, firmware.Undervolt, 8, 37)
+	virus := Run(Virus, firmware.Undervolt, 8, 37)
+	if !virus.Safe() {
+		t.Errorf("virus caused %d timing violations; the guardband should still hold", virus.TimingViolations)
+	}
+	if virus.DroopsAbsorbed <= heavy.DroopsAbsorbed {
+		t.Errorf("virus absorbed %d droops, heavy %d — virus should droop more",
+			virus.DroopsAbsorbed, heavy.DroopsAbsorbed)
+	}
+	if virus.MinMarginMV >= heavy.MinMarginMV {
+		t.Errorf("virus min margin %.1f not below heavy %.1f", virus.MinMarginMV, heavy.MinMarginMV)
+	}
+}
+
+func TestPathologicalStressIsObservable(t *testing.T) {
+	// Beyond the guardbanded envelope the model must surface violations
+	// rather than silently absorbing impossible droops.
+	rep := Run(Pathological, firmware.Undervolt, 8, 41)
+	if rep.Safe() {
+		t.Error("pathological stress produced no timing violations — DPLL protection is unrealistically strong")
+	}
+}
+
+func TestStaticModeRidesOutStressOnGuardband(t *testing.T) {
+	// With adaptive guardbanding off there is no DPLL reaction; the run
+	// must still complete and report no absorbed droops (nothing absorbs
+	// them — the static margin soaks them, which the model expresses as
+	// zero accounting either way).
+	rep := Run(Heavy, firmware.Static, 5, 43)
+	if rep.DroopsAbsorbed != 0 || rep.TimingViolations != 0 {
+		t.Errorf("static mode should not engage DPLL droop accounting: %+v", rep)
+	}
+	if rep.MeanUndervoltMV != 0 {
+		t.Errorf("static mode undervolted: %v", rep.MeanUndervoltMV)
+	}
+}
+
+func TestUndervoltShallowerUnderStress(t *testing.T) {
+	// A noisier workload leaves the firmware less room: the virus run must
+	// hold a shallower undervolt than an ordinary heavy compute load.
+	heavy := Run(Heavy, firmware.Undervolt, 5, 47)
+	virus := Run(Virus, firmware.Undervolt, 5, 47)
+	if virus.MeanUndervoltMV > heavy.MeanUndervoltMV+1 {
+		t.Errorf("virus undervolt %.1f deeper than heavy %.1f", virus.MeanUndervoltMV, heavy.MeanUndervoltMV)
+	}
+}

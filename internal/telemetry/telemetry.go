@@ -1,0 +1,191 @@
+// Package telemetry is the reproduction's AMESTER: the out-of-band
+// measurement path the paper uses to read CPMs, power and voltage sensors
+// from the service processor at a minimum sampling interval of 32 ms
+// (paper §4.1).
+//
+// A Sampler owns a set of named probes and records one row per 32 ms
+// window while the simulation steps. Experiments attach standard probe
+// sets for a chip or server and then read back the aggregated series —
+// exactly how the paper's figures are produced from AMESTER traces.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/server"
+	"agsim/internal/stats"
+)
+
+// Interval is the AMESTER minimum sampling interval in seconds, bound to
+// the same service-processor cadence as the firmware tick.
+const Interval = firmware.TickSeconds
+
+// Probe is one named sensor read.
+type Probe struct {
+	Name string
+	Read func() float64
+}
+
+// Sampler records probe rows on the sampling interval.
+type Sampler struct {
+	probes []Probe
+	since  float64
+	series map[string][]float64
+}
+
+// NewSampler creates a sampler over the given probes. Probe names must be
+// unique; duplicates are a configuration bug and panic.
+func NewSampler(probes ...Probe) *Sampler {
+	s := &Sampler{series: make(map[string][]float64)}
+	s.Attach(probes...)
+	return s
+}
+
+// Attach adds probes to the sampler.
+func (s *Sampler) Attach(probes ...Probe) {
+	for _, p := range probes {
+		if p.Read == nil {
+			panic(fmt.Sprintf("telemetry: probe %q has no reader", p.Name))
+		}
+		if _, dup := s.series[p.Name]; dup {
+			panic(fmt.Sprintf("telemetry: duplicate probe %q", p.Name))
+		}
+		s.probes = append(s.probes, p)
+		s.series[p.Name] = nil
+	}
+}
+
+// Tick advances the sampler's clock by dtSec and records a row whenever a
+// sampling window completes. Call it once per simulation step.
+func (s *Sampler) Tick(dtSec float64) {
+	s.since += dtSec
+	for s.since >= Interval {
+		s.since -= Interval
+		for _, p := range s.probes {
+			s.series[p.Name] = append(s.series[p.Name], p.Read())
+		}
+	}
+}
+
+// Series returns the recorded samples for a probe. It panics on unknown
+// names: asking for a probe that was never attached is an experiment bug.
+func (s *Sampler) Series(name string) []float64 {
+	vals, ok := s.series[name]
+	if !ok {
+		panic(fmt.Sprintf("telemetry: unknown probe %q", name))
+	}
+	return vals
+}
+
+// Mean returns the mean of a probe's samples.
+func (s *Sampler) Mean(name string) float64 { return stats.Mean(s.Series(name)) }
+
+// Min returns the smallest recorded sample.
+func (s *Sampler) Min(name string) float64 { return stats.Min(s.Series(name)) }
+
+// Max returns the largest recorded sample.
+func (s *Sampler) Max(name string) float64 { return stats.Max(s.Series(name)) }
+
+// Names returns the attached probe names, sorted.
+func (s *Sampler) Names() []string {
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Samples returns the number of completed windows.
+func (s *Sampler) Samples() int {
+	if len(s.probes) == 0 {
+		return 0
+	}
+	return len(s.series[s.probes[0].Name])
+}
+
+// Reset discards recorded samples but keeps the probes.
+func (s *Sampler) Reset() {
+	for n := range s.series {
+		s.series[n] = nil
+	}
+	s.since = 0
+}
+
+// WriteCSV renders the recorded samples as CSV: one row per completed
+// window, one column per probe (sorted by name), with a leading window
+// index. This is the AMESTER trace format experiments archive.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	names := s.Names()
+	header := append([]string{"window"}, names...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < s.Samples(); i++ {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, strconv.Itoa(i))
+		for _, n := range names {
+			row = append(row, strconv.FormatFloat(s.series[n][i], 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChipProbes returns the standard probe set for one chip: power, voltage,
+// undervolt, frequency, throughput, and chip-wide minimum CPM.
+func ChipProbes(prefix string, c *chip.Chip) []Probe {
+	return []Probe{
+		{prefix + "power_w", func() float64 { return float64(c.ChipPower()) }},
+		{prefix + "rail_mv", func() float64 { return float64(c.RailVoltage()) }},
+		{prefix + "setpoint_mv", func() float64 { return float64(c.SetPoint()) }},
+		{prefix + "undervolt_mv", func() float64 { return float64(c.UndervoltMV()) }},
+		{prefix + "current_a", func() float64 { return float64(c.Current()) }},
+		{prefix + "freq0_mhz", func() float64 { return float64(c.CoreFreq(0)) }},
+		{prefix + "mips", func() float64 { return float64(c.TotalMIPS()) }},
+		{prefix + "min_cpm", func() float64 { return float64(c.MinCPMSample()) }},
+		{prefix + "temp_c", func() float64 { return float64(c.Temperature()) }},
+	}
+}
+
+// CoreProbes returns per-core probes for one chip: DC voltage, frequency,
+// mean sample CPM and worst window sticky CPM.
+func CoreProbes(prefix string, c *chip.Chip, core int) []Probe {
+	return []Probe{
+		{fmt.Sprintf("%score%d_vdc_mv", prefix, core), func() float64 { return float64(c.CoreVoltageDC(core)) }},
+		{fmt.Sprintf("%score%d_freq_mhz", prefix, core), func() float64 { return float64(c.CoreFreq(core)) }},
+		{fmt.Sprintf("%score%d_cpm_mean", prefix, core), func() float64 { return c.CoreCPMMean(core) }},
+		{fmt.Sprintf("%score%d_cpm_sticky", prefix, core), func() float64 {
+			worst := chipMaxCPM
+			for j := 0; j < chip.CPMsPerCore; j++ {
+				if v := c.CPMWindowSticky(core, j); v < worst {
+					worst = v
+				}
+			}
+			return float64(worst)
+		}},
+		{fmt.Sprintf("%score%d_drop_mv", prefix, core), func() float64 { return c.TotalDropMV(core) }},
+	}
+}
+
+const chipMaxCPM = 11
+
+// ServerProbes returns the standard probe set for a whole server: total
+// power plus per-socket chip probes.
+func ServerProbes(s *server.Server) []Probe {
+	probes := []Probe{
+		{"total_power_w", func() float64 { return float64(s.TotalPower()) }},
+	}
+	for i := 0; i < s.Sockets(); i++ {
+		probes = append(probes, ChipProbes(fmt.Sprintf("p%d_", i), s.Chip(i))...)
+	}
+	return probes
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"agsim/internal/chip"
+	"agsim/internal/firmware"
+	"agsim/internal/server"
+	"agsim/internal/workload"
+)
+
+func TestSamplerWindows(t *testing.T) {
+	calls := 0
+	s := NewSampler(Probe{Name: "x", Read: func() float64 { calls++; return float64(calls) }})
+	// 100 ms at 1 ms steps = 3 complete 32 ms windows.
+	for i := 0; i < 100; i++ {
+		s.Tick(0.001)
+	}
+	if got := s.Samples(); got != 3 {
+		t.Errorf("Samples = %d, want 3", got)
+	}
+	if got := s.Series("x"); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Series = %v", got)
+	}
+	if s.Mean("x") != 2 || s.Min("x") != 1 || s.Max("x") != 3 {
+		t.Error("aggregates wrong")
+	}
+	s.Reset()
+	if s.Samples() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for nil reader")
+			}
+		}()
+		NewSampler(Probe{Name: "x"})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for duplicate name")
+			}
+		}()
+		r := func() float64 { return 0 }
+		NewSampler(Probe{Name: "x", Read: r}, Probe{Name: "x", Read: r})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for unknown series")
+			}
+		}()
+		NewSampler().Series("zzz")
+	}()
+}
+
+func TestSamplerEmpty(t *testing.T) {
+	s := NewSampler()
+	s.Tick(1)
+	if s.Samples() != 0 {
+		t.Error("empty sampler should report zero samples")
+	}
+}
+
+func TestChipProbesRecordPlausibleValues(t *testing.T) {
+	c := chip.MustNew(chip.DefaultConfig("p0", 3))
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 4; i++ {
+		c.Place(i, workload.NewThread(d, 1e9, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	s := NewSampler(ChipProbes("", c)...)
+	s.Attach(CoreProbes("", c, 0)...)
+	for i := 0; i < 3000; i++ {
+		c.Step(chip.DefaultStepSec)
+		s.Tick(chip.DefaultStepSec)
+	}
+	if s.Samples() < 90 {
+		t.Fatalf("Samples = %d", s.Samples())
+	}
+	if p := s.Mean("power_w"); p < 40 || p > 160 {
+		t.Errorf("power = %v", p)
+	}
+	if v := s.Mean("rail_mv"); v < 1000 || v > 1300 {
+		t.Errorf("rail = %v", v)
+	}
+	if uv := s.Mean("undervolt_mv"); uv <= 0 {
+		t.Errorf("undervolt = %v", uv)
+	}
+	if f := s.Mean("core0_freq_mhz"); f < 2800 || f > 4620 {
+		t.Errorf("freq = %v", f)
+	}
+	if d := s.Mean("core0_drop_mv"); d <= 0 {
+		t.Errorf("drop = %v", d)
+	}
+	// Sticky window minimum is never above the mean sample value.
+	if s.Mean("core0_cpm_sticky") > s.Mean("core0_cpm_mean")+0.5 {
+		t.Errorf("sticky %v above sample mean %v", s.Mean("core0_cpm_sticky"), s.Mean("core0_cpm_mean"))
+	}
+	if len(s.Names()) < 10 {
+		t.Errorf("Names = %v", s.Names())
+	}
+}
+
+func TestServerProbes(t *testing.T) {
+	srv := server.MustNew(server.DefaultConfig(5))
+	d := workload.MustGet("mcf")
+	srv.MustSubmit("j", d, server.BorrowedPlacements(2, 2), 1e9)
+	srv.SetMode(firmware.Static)
+	s := NewSampler(ServerProbes(srv)...)
+	for i := 0; i < 2000; i++ {
+		srv.Step(chip.DefaultStepSec)
+		s.Tick(chip.DefaultStepSec)
+	}
+	total := s.Mean("total_power_w")
+	parts := s.Mean("p0_power_w") + s.Mean("p1_power_w")
+	if total < 0.99*parts || total > 1.01*parts {
+		t.Errorf("total %v != parts %v", total, parts)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	i := 0.0
+	s := NewSampler(
+		Probe{Name: "b", Read: func() float64 { i++; return i }},
+		Probe{Name: "a", Read: func() float64 { return 10 }},
+	)
+	for j := 0; j < 100; j++ { // 3 windows
+		s.Tick(0.001)
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "window,a,b\n0,10,1\n1,10,2\n2,10,3\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderASCII draws the figure as a text chart: one glyph per series,
+// points mapped onto a width×height grid with axis annotations. It is the
+// terminal rendering cmd/agsim uses so figure shapes are inspectable
+// without leaving the shell.
+func (f *Figure) RenderASCII(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+			points++
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", f.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom keeps extreme points off the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := []byte("*o+x#@%&")
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int((p.X - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((p.Y-ymin)/(ymax-ymin)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.4g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.4g ", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%9s %s\n", "", strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderASCIIBasics(t *testing.T) {
+	f := NewFigure("power vs cores")
+	a := f.NewSeries("static", "cores", "W")
+	b := f.NewSeries("adaptive", "cores", "W")
+	for n := 1; n <= 8; n++ {
+		a.Add(float64(n), 50+10*float64(n))
+		b.Add(float64(n), 45+9.5*float64(n))
+	}
+	var sb strings.Builder
+	if err := f.RenderASCII(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "power vs cores") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* static") || !strings.Contains(out, "o adaptive") {
+		t.Errorf("missing legend: %q", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing plotted glyphs")
+	}
+	// 10 grid rows plus title, x-axis and legend.
+	if lines := strings.Count(out, "\n"); lines != 13 {
+		t.Errorf("line count = %d", lines)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	f := NewFigure("empty")
+	f.NewSeries("s", "x", "y")
+	var sb strings.Builder
+	if err := f.RenderASCII(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty figure rendering: %q", sb.String())
+	}
+}
+
+func TestRenderASCIIDegenerateRanges(t *testing.T) {
+	f := NewFigure("flat")
+	s := f.NewSeries("s", "x", "y")
+	s.Add(5, 7) // single point: zero x and y ranges
+	var sb strings.Builder
+	if err := f.RenderASCII(&sb, 5, 2); err != nil { // tiny sizes get clamped
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}

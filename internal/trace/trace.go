@@ -1,0 +1,265 @@
+// Package trace records named time series produced by experiments and
+// renders them as CSV or aligned text tables.
+//
+// Every figure reproduction emits a Series (one line in the paper's plot) or
+// a Table (a grid of rows); cmd/agsim prints them and EXPERIMENTS.md embeds
+// them. Keeping the rendering here means experiment drivers only produce
+// numbers.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is a single (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points, e.g. "raytrace power saving (%) vs
+// active cores".
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// YAt returns the y value for the first point with the given x and whether
+// one exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Ys returns the y values in point order.
+func (s *Series) Ys() []float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	return ys
+}
+
+// Xs returns the x values in point order.
+func (s *Series) Xs() []float64 {
+	xs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = p.X
+	}
+	return xs
+}
+
+// Figure is a collection of series sharing axes, mirroring one paper figure
+// or subplot.
+type Figure struct {
+	Title  string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title string) *Figure { return &Figure{Title: title} }
+
+// NewSeries creates, registers and returns a new series on the figure.
+func (f *Figure) NewSeries(name, xlabel, ylabel string) *Series {
+	s := &Series{Name: name, XLabel: xlabel, YLabel: ylabel}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Lookup returns the series with the given name, or nil.
+func (f *Figure) Lookup(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the figure with one column per series, joined on x.
+// Missing values render as empty cells.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	header := []string{"x"}
+	for _, s := range f.Series {
+		header = append(header, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, fmt.Sprintf("%g", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table is a labelled grid of values used for per-benchmark results like
+// Fig. 14.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one labelled row of values.
+type TableRow struct {
+	Label  string
+	Values []float64
+}
+
+// NewTable creates a table with the given column headers (not counting the
+// row label column).
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. The number of values must match the column count;
+// a mismatch is a programming error and panics.
+func (t *Table) AddRow(label string, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("trace: row %q has %d values, table %q has %d columns",
+			label, len(values), t.Title, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, TableRow{Label: label, Values: values})
+}
+
+// Row returns the row with the given label and whether it exists.
+func (t *Table) Row(label string) (TableRow, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return TableRow{}, false
+}
+
+// Column returns all values of the named column. It panics if the column
+// does not exist.
+func (t *Table) Column(name string) []float64 {
+	idx := -1
+	for i, c := range t.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("trace: table %q has no column %q", t.Title, name))
+	}
+	vals := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		vals[i] = r.Values[idx]
+	}
+	return vals
+}
+
+// WriteText renders the table as aligned text.
+func (t *Table) WriteText(w io.Writer) error {
+	labelW := len("benchmark")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-*s", labelW+2, "benchmark"); err != nil {
+		return err
+	}
+	for _, c := range t.Columns {
+		if _, err := fmt.Fprintf(w, "%14s", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%-*s", labelW+2, r.Label); err != nil {
+			return err
+		}
+		for _, v := range r.Values {
+			if _, err := fmt.Fprintf(w, "%14.3f", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| benchmark |"); err != nil {
+		return err
+	}
+	for _, c := range t.Columns {
+		if _, err := fmt.Fprintf(w, " %s |", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "|---|%s\n", strings.Repeat("---|", len(t.Columns))); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |", r.Label); err != nil {
+			return err
+		}
+		for _, v := range r.Values {
+			if _, err := fmt.Fprintf(w, " %.3f |", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

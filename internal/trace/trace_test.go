@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	f := NewFigure("fig")
+	s := f.NewSeries("raytrace", "cores", "power")
+	s.Add(1, 13)
+	s.Add(8, 3)
+	if y, ok := s.YAt(8); !ok || y != 3 {
+		t.Errorf("YAt(8) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(4); ok {
+		t.Error("YAt(4) should be missing")
+	}
+	if got := s.Ys(); len(got) != 2 || got[0] != 13 || got[1] != 3 {
+		t.Errorf("Ys = %v", got)
+	}
+	if got := s.Xs(); len(got) != 2 || got[0] != 1 || got[1] != 8 {
+		t.Errorf("Xs = %v", got)
+	}
+	if f.Lookup("raytrace") != s {
+		t.Error("Lookup failed")
+	}
+	if f.Lookup("nope") != nil {
+		t.Error("Lookup of missing series should be nil")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f := NewFigure("fig")
+	a := f.NewSeries("a", "x", "y")
+	b := f.NewSeries("b,quoted", "x", "y")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(2, 200)
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "x,a,\"b,quoted\"\n1,10,\n2,20,200\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Fig14", "base W", "llb W", "energy %")
+	tb.AddRow("lu_cb", 130, 113.5, 12.7)
+	tb.AddRow("radix", 70, 72, 103)
+	if r, ok := tb.Row("radix"); !ok || r.Values[2] != 103 {
+		t.Errorf("Row = %+v, %v", r, ok)
+	}
+	if _, ok := tb.Row("nope"); ok {
+		t.Error("missing row should not be found")
+	}
+	col := tb.Column("energy %")
+	if len(col) != 2 || col[0] != 12.7 || col[1] != 103 {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestTableAddRowPanicsOnArity(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("x", 1)
+}
+
+func TestTableColumnPanicsOnMissing(t *testing.T) {
+	tb := NewTable("t", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Column("zzz")
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "c1")
+	tb.AddRow("row", 1.5)
+	var text, md strings.Builder
+	if err := tb.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "title") || !strings.Contains(text.String(), "1.500") {
+		t.Errorf("text output missing content: %q", text.String())
+	}
+	if err := tb.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| row | 1.500 |") {
+		t.Errorf("markdown output missing row: %q", md.String())
+	}
+}

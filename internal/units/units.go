@@ -1,0 +1,120 @@
+// Package units defines the physical quantity types used throughout the
+// simulator: voltages in millivolts, frequencies in megahertz, power in
+// watts, and current in amperes.
+//
+// Using distinct named types instead of bare float64 keeps the electrical
+// model honest: the compiler rejects adding a voltage to a frequency, and
+// every conversion between domains is an explicit, documented function.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Millivolt is an electrical potential in millivolts. All rail and on-chip
+// voltages in the simulator are expressed in millivolts because the paper's
+// figures (undervolt amounts, CPM sensitivity, drop decomposition) are all
+// reported in mV.
+type Millivolt float64
+
+// Megahertz is a clock frequency in megahertz, matching the paper's DVFS
+// range of 2800-4620 MHz.
+type Megahertz float64
+
+// Watt is electrical power.
+type Watt float64
+
+// Ampere is electrical current.
+type Ampere float64
+
+// Celsius is a temperature.
+type Celsius float64
+
+// MIPS is millions of instructions per second, the throughput unit the
+// paper's frequency predictor (Fig. 16) is built on.
+type MIPS float64
+
+// Volts returns the potential in volts.
+func (v Millivolt) Volts() float64 { return float64(v) / 1000 }
+
+// FromVolts converts a value in volts to Millivolt.
+func FromVolts(v float64) Millivolt { return Millivolt(v * 1000) }
+
+// Hertz returns the frequency in hertz.
+func (f Megahertz) Hertz() float64 { return float64(f) * 1e6 }
+
+// GHz returns the frequency in gigahertz.
+func (f Megahertz) GHz() float64 { return float64(f) / 1000 }
+
+// Current computes I = P/V. It panics if v is not positive, because a
+// non-positive rail voltage indicates a simulator bug rather than a
+// recoverable condition.
+func Current(p Watt, v Millivolt) Ampere {
+	if v <= 0 {
+		panic(fmt.Sprintf("units: current at non-positive voltage %v", v))
+	}
+	return Ampere(float64(p) / v.Volts())
+}
+
+// Power computes P = V*I.
+func Power(v Millivolt, i Ampere) Watt {
+	return Watt(v.Volts() * float64(i))
+}
+
+// IRDrop computes the resistive drop V = I*R for a resistance in milliohms.
+// The result is in millivolts: A * mΩ = mV.
+func IRDrop(i Ampere, milliohm float64) Millivolt {
+	return Millivolt(float64(i) * milliohm)
+}
+
+// ClampMV bounds v to [lo, hi].
+func ClampMV(v, lo, hi Millivolt) Millivolt {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampMHz bounds f to [lo, hi].
+func ClampMHz(f, lo, hi Megahertz) Megahertz {
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}
+
+// String implementations make traces and test failures readable.
+
+func (v Millivolt) String() string { return fmt.Sprintf("%.1fmV", float64(v)) }
+func (f Megahertz) String() string { return fmt.Sprintf("%.0fMHz", float64(f)) }
+func (p Watt) String() string      { return fmt.Sprintf("%.2fW", float64(p)) }
+func (i Ampere) String() string    { return fmt.Sprintf("%.2fA", float64(i)) }
+func (t Celsius) String() string   { return fmt.Sprintf("%.1f°C", float64(t)) }
+func (m MIPS) String() string      { return fmt.Sprintf("%.0fMIPS", float64(m)) }
+
+// ApproxEqual reports whether a and b differ by at most tol. It treats NaN
+// as never equal, so a NaN sneaking out of the electrical model fails tests
+// loudly instead of comparing equal to everything.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// RelDiff returns |a-b| / max(|a|,|b|), or 0 when both are 0. Experiments use
+// it to compare measured improvements against the paper's reported factors.
+func RelDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

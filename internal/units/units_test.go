@@ -1,0 +1,107 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurrentPowerRoundTrip(t *testing.T) {
+	f := func(p, v float64) bool {
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 1e6)        // power in [0, 1 MW)
+		v = 100 + math.Mod(math.Abs(v), 2000) // keep voltage positive and sane
+		i := Current(Watt(p), Millivolt(v))
+		back := Power(Millivolt(v), i)
+		return ApproxEqual(float64(back), p, 1e-9*math.Max(p, 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurrentPanicsOnNonPositiveVoltage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero voltage")
+		}
+	}()
+	Current(10, 0)
+}
+
+func TestIRDrop(t *testing.T) {
+	// 100 A through 0.65 mΩ is 65 mV.
+	got := IRDrop(100, 0.65)
+	if !ApproxEqual(float64(got), 65, 1e-12) {
+		t.Fatalf("IRDrop = %v, want 65mV", got)
+	}
+}
+
+func TestClamps(t *testing.T) {
+	if got := ClampMV(1300, 900, 1240); got != 1240 {
+		t.Errorf("ClampMV high = %v", got)
+	}
+	if got := ClampMV(800, 900, 1240); got != 900 {
+		t.Errorf("ClampMV low = %v", got)
+	}
+	if got := ClampMV(1000, 900, 1240); got != 1000 {
+		t.Errorf("ClampMV mid = %v", got)
+	}
+	if got := ClampMHz(5000, 2800, 4620); got != 4620 {
+		t.Errorf("ClampMHz high = %v", got)
+	}
+	if got := ClampMHz(2000, 2800, 4620); got != 2800 {
+		t.Errorf("ClampMHz low = %v", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if v := Millivolt(1240).Volts(); v != 1.24 {
+		t.Errorf("Volts = %v", v)
+	}
+	if v := FromVolts(1.24); v != 1240 {
+		t.Errorf("FromVolts = %v", v)
+	}
+	if f := Megahertz(4200).GHz(); f != 4.2 {
+		t.Errorf("GHz = %v", f)
+	}
+	if f := Megahertz(4200).Hertz(); f != 4.2e9 {
+		t.Errorf("Hertz = %v", f)
+	}
+}
+
+func TestApproxEqualNaN(t *testing.T) {
+	if ApproxEqual(math.NaN(), 1, 10) {
+		t.Error("NaN compared equal")
+	}
+	if ApproxEqual(1, math.NaN(), 10) {
+		t.Error("NaN compared equal")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if d := RelDiff(0, 0); d != 0 {
+		t.Errorf("RelDiff(0,0) = %v", d)
+	}
+	if d := RelDiff(90, 100); !ApproxEqual(d, 0.1, 1e-12) {
+		t.Errorf("RelDiff(90,100) = %v", d)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{Millivolt(1240).String(), "1240.0mV"},
+		{Megahertz(4200).String(), "4200MHz"},
+		{Watt(61.5).String(), "61.50W"},
+		{Ampere(100).String(), "100.00A"},
+		{MIPS(8000).String(), "8000MIPS"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("String = %q, want %q", tc.got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package workload
+
+import "agsim/internal/rng"
+
+func newTestRand() *rng.Source { return rng.New(1234, "workload-test") }

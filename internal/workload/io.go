@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file lets downstream users bring their own workload
+// characterizations: descriptors serialize to JSON, so a profile measured
+// on real hardware (performance counters give IPC, memory intensity and
+// bandwidth; a power meter gives the activity factor) can drive the
+// simulator without recompiling.
+
+// descriptorJSON is the wire form; it mirrors Descriptor with explicit
+// lower-case keys so the file format is stable independent of Go naming.
+type descriptorJSON struct {
+	Name             string  `json:"name"`
+	Suite            string  `json:"suite"`
+	IPC              float64 `json:"ipc"`
+	MemNsPerInst     float64 `json:"mem_ns_per_inst"`
+	BytesPerInst     float64 `json:"bytes_per_inst"`
+	Activity         float64 `json:"activity"`
+	ParallelOverhead float64 `json:"parallel_overhead"`
+	Sharing          float64 `json:"sharing"`
+	DidtTypicalMV    float64 `json:"didt_typical_mv"`
+	DidtWorstMV      float64 `json:"didt_worst_mv"`
+	DroopRatePerSec  float64 `json:"droop_rate_per_sec"`
+	WorkGInst        float64 `json:"work_ginst"`
+}
+
+func suiteFromString(s string) (Suite, error) {
+	switch s {
+	case "PARSEC":
+		return PARSEC, nil
+	case "SPLASH-2":
+		return SPLASH2, nil
+	case "SPEC CPU2006":
+		return SPECCPU, nil
+	case "micro":
+		return Micro, nil
+	case "datacenter":
+		return Datacenter, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown suite %q", s)
+	}
+}
+
+func toJSON(d Descriptor) descriptorJSON {
+	return descriptorJSON{
+		Name: d.Name, Suite: d.Suite.String(), IPC: d.IPC,
+		MemNsPerInst: d.MemNsPerInst, BytesPerInst: d.BytesPerInst,
+		Activity: d.Activity, ParallelOverhead: d.ParallelOverhead,
+		Sharing: d.Sharing, DidtTypicalMV: d.DidtTypicalMV,
+		DidtWorstMV: d.DidtWorstMV, DroopRatePerSec: d.DroopRatePerSec,
+		WorkGInst: d.WorkGInst,
+	}
+}
+
+func fromJSON(j descriptorJSON) (Descriptor, error) {
+	suite, err := suiteFromString(j.Suite)
+	if err != nil {
+		return Descriptor{}, err
+	}
+	d := Descriptor{
+		Name: j.Name, Suite: suite, IPC: j.IPC,
+		MemNsPerInst: j.MemNsPerInst, BytesPerInst: j.BytesPerInst,
+		Activity: j.Activity, ParallelOverhead: j.ParallelOverhead,
+		Sharing: j.Sharing, DidtTypicalMV: j.DidtTypicalMV,
+		DidtWorstMV: j.DidtWorstMV, DroopRatePerSec: j.DroopRatePerSec,
+		WorkGInst: j.WorkGInst,
+	}
+	if err := d.Validate(); err != nil {
+		return Descriptor{}, err
+	}
+	return d, nil
+}
+
+// Write serializes descriptors as a JSON array.
+func Write(w io.Writer, ds []Descriptor) error {
+	out := make([]descriptorJSON, len(ds))
+	for i, d := range ds {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		out[i] = toJSON(d)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Read parses a JSON descriptor array, validating every entry.
+func Read(r io.Reader) ([]Descriptor, error) {
+	var raw []descriptorJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: parsing descriptor file: %w", err)
+	}
+	ds := make([]Descriptor, 0, len(raw))
+	seen := map[string]bool{}
+	for _, j := range raw {
+		d, err := fromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		if seen[d.Name] {
+			return nil, fmt.Errorf("workload: duplicate descriptor %q in file", d.Name)
+		}
+		seen[d.Name] = true
+		ds = append(ds, d)
+	}
+	return ds, nil
+}
+
+// LoadFile reads descriptors from a JSON file.
+func LoadFile(path string) ([]Descriptor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// SaveFile writes descriptors to a JSON file.
+func SaveFile(path string, ds []Descriptor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	original := []Descriptor{MustGet("raytrace"), MustGet("mcf"), MustGet("websearch")}
+	var sb strings.Builder
+	if err := Write(&sb, original); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(original, back) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", original, back)
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"unknown suite":  `[{"name":"x","suite":"DOOM","ipc":1,"activity":0.5,"work_ginst":1}]`,
+		"bad ipc":        `[{"name":"x","suite":"micro","ipc":0,"activity":0.5,"work_ginst":1}]`,
+		"unknown field":  `[{"name":"x","suite":"micro","ipc":1,"activity":0.5,"work_ginst":1,"frobnicate":2}]`,
+		"duplicate name": `[{"name":"x","suite":"micro","ipc":1,"activity":0.5,"work_ginst":1},{"name":"x","suite":"micro","ipc":1,"activity":0.5,"work_ginst":1}]`,
+	}
+	for label, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "workloads.json")
+	ds := []Descriptor{MustGet("lu_cb")}
+	if err := SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Name != "lu_cb" {
+		t.Errorf("loaded %+v", back)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestWriteRejectsInvalidDescriptor(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, []Descriptor{{Name: "broken"}}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestAllRegistryEntriesRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, All()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(All()) {
+		t.Errorf("count %d vs %d", len(back), len(All()))
+	}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import "fmt"
+
+// Phase is one segment of a phased workload: real programs alternate
+// between compute-dense and memory-dense regions (ocean's compute/exchange
+// steps, bodytrack's per-frame stages), and those swings are what the
+// paper's telemetry sees as multi-millisecond activity variation.
+type Phase struct {
+	// DurationSec is the phase length in executed wall time.
+	DurationSec float64
+	// ActivityScale multiplies the descriptor's switching activity during
+	// the phase (clamped into (0, 1] at evaluation).
+	ActivityScale float64
+	// MemScale multiplies the descriptor's memory stall time during the
+	// phase.
+	MemScale float64
+}
+
+// PhaseSchedule is a repeating sequence of phases.
+type PhaseSchedule []Phase
+
+// Validate reports the first invalid phase, or nil. An empty schedule is
+// valid and means steady behaviour.
+func (ps PhaseSchedule) Validate() error {
+	for i, p := range ps {
+		switch {
+		case p.DurationSec <= 0:
+			return fmt.Errorf("workload: phase %d has non-positive duration", i)
+		case p.ActivityScale <= 0:
+			return fmt.Errorf("workload: phase %d has non-positive activity scale", i)
+		case p.MemScale < 0:
+			return fmt.Errorf("workload: phase %d has negative memory scale", i)
+		}
+	}
+	return nil
+}
+
+// PeriodSec returns the schedule's total cycle length.
+func (ps PhaseSchedule) PeriodSec() float64 {
+	total := 0.0
+	for _, p := range ps {
+		total += p.DurationSec
+	}
+	return total
+}
+
+// At returns the phase active at time t (cycling), and whether the schedule
+// has any phases at all.
+func (ps PhaseSchedule) At(t float64) (Phase, bool) {
+	if len(ps) == 0 {
+		return Phase{}, false
+	}
+	period := ps.PeriodSec()
+	if period <= 0 {
+		return Phase{}, false
+	}
+	pos := t - float64(int(t/period))*period
+	for _, p := range ps {
+		if pos < p.DurationSec {
+			return p, true
+		}
+		pos -= p.DurationSec
+	}
+	return ps[len(ps)-1], true
+}
+
+// SetPhases installs a phase schedule on the thread; nil restores steady
+// behaviour. The schedule must validate.
+func (t *Thread) SetPhases(ps PhaseSchedule) {
+	if err := ps.Validate(); err != nil {
+		panic(err)
+	}
+	t.phases = ps
+}
+
+// phaseScales returns the current activity and memory multipliers.
+func (t *Thread) phaseScales() (act, mem float64) {
+	p, ok := t.phases.At(t.elapsedSec)
+	if !ok {
+		return 1, 1
+	}
+	return p.ActivityScale, p.MemScale
+}
+
+// ComputeExchangeSchedule is a ready-made two-phase schedule shaped like
+// the SPLASH-2 stencil codes: a compute-dense phase followed by a
+// memory-dense exchange phase.
+func ComputeExchangeSchedule(computeSec, exchangeSec float64) PhaseSchedule {
+	return PhaseSchedule{
+		{DurationSec: computeSec, ActivityScale: 1.1, MemScale: 0.4},
+		{DurationSec: exchangeSec, ActivityScale: 0.6, MemScale: 3.0},
+	}
+}

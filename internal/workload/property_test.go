@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"agsim/internal/units"
+)
+
+// Property tests across the whole registry: every descriptor must behave
+// physically for any operating condition the simulator can produce.
+
+func TestAllWorkloadsPhysicalProperty(t *testing.T) {
+	names := Names()
+	f := func(wlRaw uint8, fRaw, memRaw, smtRaw float64) bool {
+		d := MustGet(names[int(wlRaw)%len(names)])
+		freq := units.Megahertz(2800 + math.Mod(math.Abs(fRaw), 1820))
+		mem := 1 + math.Mod(math.Abs(memRaw), 9)
+		smt := 1 + math.Mod(math.Abs(smtRaw), 7)
+
+		tpi := d.TimeNsPerInst(freq, mem, smt)
+		if tpi <= 0 || math.IsNaN(tpi) || math.IsInf(tpi, 0) {
+			return false
+		}
+		mips := float64(d.MIPSPerThread(freq, mem, smt))
+		if mips <= 0 || mips > 20000 {
+			return false
+		}
+		u := d.Utilization(freq, mem, smt)
+		if u <= 0 || u > 1 {
+			return false
+		}
+		// More contention can never speed the thread up.
+		if d.TimeNsPerInst(freq, mem+1, smt) < tpi {
+			return false
+		}
+		// More SMT sharing can never raise per-thread throughput.
+		if float64(d.MIPSPerThread(freq, mem, smt+1)) > mips {
+			return false
+		}
+		// Higher frequency can never slow the thread down.
+		if d.TimeNsPerInst(freq+100, mem, smt) > tpi {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthNonNegativeProperty(t *testing.T) {
+	f := func(wlRaw uint8, mipsRaw float64) bool {
+		d := MustGet(Names()[int(wlRaw)%len(Names())])
+		mips := units.MIPS(math.Mod(math.Abs(mipsRaw), 20000))
+		bw := d.BandwidthGBs(mips)
+		return bw >= 0 && !math.IsNaN(bw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupBoundedProperty(t *testing.T) {
+	f := func(wlRaw, nRaw uint8) bool {
+		d := MustGet(Names()[int(wlRaw)%len(Names())])
+		n := 1 + int(nRaw)%16
+		s := d.SpeedupAt(n)
+		return s >= 1 || n == 1 && s == 1 || s > 0 && s <= float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry pins every benchmark in the paper's evaluation to a
+// descriptor whose parameters are calibrated against the per-workload facts
+// the paper reports:
+//
+//   - lu_cb, swaptions, raytrace: compute-intense and power-hungry; their
+//     guardband benefit collapses with core count (Fig. 5) and lu_cb gains
+//     12.7% from loadline borrowing (Fig. 14).
+//   - radix, ocean_cp: memory-bound and low-power; their frequency benefit
+//     stays ~9% at eight cores (Fig. 5b).
+//   - lu_ncb, radiosity: heavy cross-socket data sharing; they lose >20%
+//     performance when split across sockets (Fig. 14 left edge).
+//   - radix, zeusmp, lbm, fft, GemsFDTD: bandwidth-saturating; splitting
+//     sockets relieves memory contention for 50-171% energy gains (Fig. 14
+//     right edge).
+//   - bodytrack, vips, water_nsquared: noticeable worst-case di/dt growth
+//     with core count (Fig. 9 discussion).
+//   - mcf: very low MIPS; colocating it with coremark RAISES frequency
+//     (Fig. 15). coremark is core-contained with negligible memory traffic.
+//
+// IPC / memory-intensity values follow the benchmarks' published
+// characterization (SPEC CPU2006 and PARSEC/SPLASH-2 studies); activity
+// factors are tuned so chip power at eight cores spans the paper's 80-140 W
+// range (Fig. 10a).
+var registry = func() map[string]Descriptor {
+	list := []Descriptor{
+		// --- PARSEC ---
+		{Name: "blackscholes", Suite: PARSEC, IPC: 2.1, MemNsPerInst: 0.010, BytesPerInst: 0.15, Activity: 0.60, ParallelOverhead: 0.004, Sharing: 0.05, DidtTypicalMV: 6, DidtWorstMV: 20, DroopRatePerSec: 3, WorkGInst: 700},
+		{Name: "bodytrack", Suite: PARSEC, IPC: 1.7, MemNsPerInst: 0.040, BytesPerInst: 0.40, Activity: 0.62, ParallelOverhead: 0.020, Sharing: 0.25, DidtTypicalMV: 8, DidtWorstMV: 28, DroopRatePerSec: 5, WorkGInst: 450},
+		{Name: "ferret", Suite: PARSEC, IPC: 1.6, MemNsPerInst: 0.050, BytesPerInst: 0.50, Activity: 0.58, ParallelOverhead: 0.015, Sharing: 0.20, DidtTypicalMV: 7, DidtWorstMV: 22, DroopRatePerSec: 4, WorkGInst: 420},
+		{Name: "freqmine", Suite: PARSEC, IPC: 1.8, MemNsPerInst: 0.030, BytesPerInst: 0.35, Activity: 0.66, ParallelOverhead: 0.025, Sharing: 0.30, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 500},
+		{Name: "raytrace", Suite: PARSEC, IPC: 1.8, MemNsPerInst: 0.020, BytesPerInst: 0.25, Activity: 0.80, ParallelOverhead: 0.010, Sharing: 0.15, DidtTypicalMV: 7, DidtWorstMV: 22, DroopRatePerSec: 3, WorkGInst: 650},
+		{Name: "swaptions", Suite: PARSEC, IPC: 2.0, MemNsPerInst: 0.005, BytesPerInst: 0.10, Activity: 0.75, ParallelOverhead: 0.003, Sharing: 0.02, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 2, WorkGInst: 800},
+		{Name: "vips", Suite: PARSEC, IPC: 1.9, MemNsPerInst: 0.030, BytesPerInst: 0.45, Activity: 0.64, ParallelOverhead: 0.012, Sharing: 0.10, DidtTypicalMV: 8, DidtWorstMV: 27, DroopRatePerSec: 5, WorkGInst: 520},
+
+		// --- SPLASH-2 ---
+		{Name: "barnes", Suite: SPLASH2, IPC: 1.7, MemNsPerInst: 0.050, BytesPerInst: 0.50, Activity: 0.60, ParallelOverhead: 0.015, Sharing: 0.35, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 430},
+		{Name: "fft", Suite: SPLASH2, IPC: 1.1, MemNsPerInst: 0.280, BytesPerInst: 2.80, Activity: 0.38, ParallelOverhead: 0.008, Sharing: 0.10, DidtTypicalMV: 6, DidtWorstMV: 18, DroopRatePerSec: 2, WorkGInst: 180},
+		{Name: "lu_cb", Suite: SPLASH2, IPC: 2.2, MemNsPerInst: 0.010, BytesPerInst: 0.20, Activity: 0.82, ParallelOverhead: 0.008, Sharing: 0.10, DidtTypicalMV: 7, DidtWorstMV: 22, DroopRatePerSec: 3, WorkGInst: 850},
+		{Name: "lu_ncb", Suite: SPLASH2, IPC: 1.9, MemNsPerInst: 0.060, BytesPerInst: 0.60, Activity: 0.68, ParallelOverhead: 0.020, Sharing: 0.95, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 480},
+		{Name: "ocean_cp", Suite: SPLASH2, IPC: 1.2, MemNsPerInst: 0.180, BytesPerInst: 1.60, Activity: 0.42, ParallelOverhead: 0.010, Sharing: 0.20, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 2, WorkGInst: 220},
+		{Name: "ocean_ncp", Suite: SPLASH2, IPC: 1.3, MemNsPerInst: 0.120, BytesPerInst: 1.20, Activity: 0.50, ParallelOverhead: 0.015, Sharing: 0.50, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 2, WorkGInst: 260},
+		{Name: "radiosity", Suite: SPLASH2, IPC: 1.8, MemNsPerInst: 0.050, BytesPerInst: 0.50, Activity: 0.65, ParallelOverhead: 0.018, Sharing: 0.92, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 470},
+		{Name: "radix", Suite: SPLASH2, IPC: 1.0, MemNsPerInst: 0.300, BytesPerInst: 3.20, Activity: 0.35, ParallelOverhead: 0.005, Sharing: 0.05, DidtTypicalMV: 5, DidtWorstMV: 17, DroopRatePerSec: 2, WorkGInst: 160},
+		{Name: "water_nsquared", Suite: SPLASH2, IPC: 1.9, MemNsPerInst: 0.020, BytesPerInst: 0.30, Activity: 0.62, ParallelOverhead: 0.010, Sharing: 0.20, DidtTypicalMV: 8, DidtWorstMV: 27, DroopRatePerSec: 5, WorkGInst: 560},
+		{Name: "water_spatial", Suite: SPLASH2, IPC: 1.8, MemNsPerInst: 0.030, BytesPerInst: 0.30, Activity: 0.58, ParallelOverhead: 0.010, Sharing: 0.15, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 540},
+
+		// --- SPEC CPU2006 (run as SPECrate copies: no intra-benchmark
+		// parallel overhead or sharing) ---
+		{Name: "perlbench", Suite: SPECCPU, IPC: 1.6, MemNsPerInst: 0.030, BytesPerInst: 0.30, Activity: 0.58, DidtTypicalMV: 7, DidtWorstMV: 20, DroopRatePerSec: 3, WorkGInst: 500},
+		{Name: "bzip2", Suite: SPECCPU, IPC: 1.5, MemNsPerInst: 0.040, BytesPerInst: 0.40, Activity: 0.56, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 3, WorkGInst: 480},
+		{Name: "gcc", Suite: SPECCPU, IPC: 1.4, MemNsPerInst: 0.070, BytesPerInst: 0.90, Activity: 0.52, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 3, WorkGInst: 400},
+		{Name: "mcf", Suite: SPECCPU, IPC: 0.6, MemNsPerInst: 0.450, BytesPerInst: 2.20, Activity: 0.30, DidtTypicalMV: 4, DidtWorstMV: 15, DroopRatePerSec: 2, WorkGInst: 120},
+		{Name: "gobmk", Suite: SPECCPU, IPC: 1.4, MemNsPerInst: 0.040, BytesPerInst: 0.30, Activity: 0.55, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 3, WorkGInst: 460},
+		{Name: "hmmer", Suite: SPECCPU, IPC: 2.1, MemNsPerInst: 0.010, BytesPerInst: 0.20, Activity: 0.68, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 700},
+		{Name: "sjeng", Suite: SPECCPU, IPC: 1.5, MemNsPerInst: 0.040, BytesPerInst: 0.30, Activity: 0.54, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 3, WorkGInst: 470},
+		{Name: "libquantum", Suite: SPECCPU, IPC: 1.0, MemNsPerInst: 0.250, BytesPerInst: 2.60, Activity: 0.36, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 180},
+		{Name: "h264ref", Suite: SPECCPU, IPC: 1.9, MemNsPerInst: 0.020, BytesPerInst: 0.30, Activity: 0.66, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 640},
+		{Name: "omnetpp", Suite: SPECCPU, IPC: 1.0, MemNsPerInst: 0.140, BytesPerInst: 1.20, Activity: 0.44, DidtTypicalMV: 5, DidtWorstMV: 17, DroopRatePerSec: 2, WorkGInst: 260},
+		{Name: "astar", Suite: SPECCPU, IPC: 1.2, MemNsPerInst: 0.090, BytesPerInst: 0.80, Activity: 0.48, DidtTypicalMV: 5, DidtWorstMV: 18, DroopRatePerSec: 2, WorkGInst: 320},
+		{Name: "xalancbmk", Suite: SPECCPU, IPC: 1.3, MemNsPerInst: 0.080, BytesPerInst: 0.90, Activity: 0.50, DidtTypicalMV: 6, DidtWorstMV: 18, DroopRatePerSec: 2, WorkGInst: 340},
+		{Name: "bwaves", Suite: SPECCPU, IPC: 1.0, MemNsPerInst: 0.200, BytesPerInst: 2.00, Activity: 0.40, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 210},
+		{Name: "milc", Suite: SPECCPU, IPC: 1.0, MemNsPerInst: 0.200, BytesPerInst: 2.00, Activity: 0.40, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 210},
+		{Name: "zeusmp", Suite: SPECCPU, IPC: 1.0, MemNsPerInst: 0.260, BytesPerInst: 2.90, Activity: 0.38, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 190},
+		{Name: "gromacs", Suite: SPECCPU, IPC: 1.9, MemNsPerInst: 0.020, BytesPerInst: 0.25, Activity: 0.66, DidtTypicalMV: 7, DidtWorstMV: 20, DroopRatePerSec: 3, WorkGInst: 620},
+		{Name: "cactusADM", Suite: SPECCPU, IPC: 1.1, MemNsPerInst: 0.160, BytesPerInst: 1.70, Activity: 0.44, DidtTypicalMV: 5, DidtWorstMV: 17, DroopRatePerSec: 2, WorkGInst: 240},
+		{Name: "leslie3d", Suite: SPECCPU, IPC: 1.1, MemNsPerInst: 0.170, BytesPerInst: 1.80, Activity: 0.42, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 230},
+		{Name: "namd", Suite: SPECCPU, IPC: 2.0, MemNsPerInst: 0.015, BytesPerInst: 0.20, Activity: 0.68, DidtTypicalMV: 7, DidtWorstMV: 20, DroopRatePerSec: 3, WorkGInst: 680},
+		{Name: "dealII", Suite: SPECCPU, IPC: 1.8, MemNsPerInst: 0.030, BytesPerInst: 0.40, Activity: 0.64, DidtTypicalMV: 7, DidtWorstMV: 20, DroopRatePerSec: 3, WorkGInst: 560},
+		{Name: "soplex", Suite: SPECCPU, IPC: 1.1, MemNsPerInst: 0.130, BytesPerInst: 1.30, Activity: 0.44, DidtTypicalMV: 5, DidtWorstMV: 17, DroopRatePerSec: 2, WorkGInst: 260},
+		{Name: "povray", Suite: SPECCPU, IPC: 1.9, MemNsPerInst: 0.010, BytesPerInst: 0.15, Activity: 0.70, DidtTypicalMV: 7, DidtWorstMV: 21, DroopRatePerSec: 3, WorkGInst: 660},
+		{Name: "calculix", Suite: SPECCPU, IPC: 1.8, MemNsPerInst: 0.030, BytesPerInst: 0.40, Activity: 0.60, DidtTypicalMV: 6, DidtWorstMV: 19, DroopRatePerSec: 3, WorkGInst: 540},
+		{Name: "GemsFDTD", Suite: SPECCPU, IPC: 0.9, MemNsPerInst: 0.300, BytesPerInst: 3.20, Activity: 0.36, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 170},
+		{Name: "lbm", Suite: SPECCPU, IPC: 0.9, MemNsPerInst: 0.330, BytesPerInst: 3.40, Activity: 0.36, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 160},
+		{Name: "wrf", Suite: SPECCPU, IPC: 1.3, MemNsPerInst: 0.100, BytesPerInst: 1.10, Activity: 0.48, DidtTypicalMV: 6, DidtWorstMV: 18, DroopRatePerSec: 2, WorkGInst: 300},
+		{Name: "sphinx3", Suite: SPECCPU, IPC: 1.2, MemNsPerInst: 0.110, BytesPerInst: 1.00, Activity: 0.46, DidtTypicalMV: 6, DidtWorstMV: 18, DroopRatePerSec: 2, WorkGInst: 290},
+
+		// --- Micro / datacenter ---
+		{Name: "coremark", Suite: Micro, IPC: 2.3, MemNsPerInst: 0.001, BytesPerInst: 0.02, Activity: 0.42, DidtTypicalMV: 5, DidtWorstMV: 16, DroopRatePerSec: 2, WorkGInst: 600},
+		// websearch leaf nodes are scored in-memory and index-resident:
+		// mostly core-bound, so query latency tracks clock frequency —
+		// the property Fig. 17's QoS study depends on.
+		{Name: "websearch", Suite: Datacenter, IPC: 1.4, MemNsPerInst: 0.020, BytesPerInst: 0.30, Activity: 0.55, ParallelOverhead: 0.005, Sharing: 0.10, DidtTypicalMV: 7, DidtWorstMV: 22, DroopRatePerSec: 3, WorkGInst: 300},
+	}
+	m := make(map[string]Descriptor, len(list))
+	for _, d := range list {
+		if err := d.Validate(); err != nil {
+			panic(err) // a bad registry entry is a build-time bug
+		}
+		if _, dup := m[d.Name]; dup {
+			panic(fmt.Sprintf("workload: duplicate registry entry %q", d.Name))
+		}
+		m[d.Name] = d
+	}
+	return m
+}()
+
+// Get returns the descriptor for the named benchmark.
+func Get(name string) (Descriptor, error) {
+	d, ok := registry[name]
+	if !ok {
+		return Descriptor{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return d, nil
+}
+
+// MustGet is Get for statically known names; it panics on a miss.
+func MustGet(name string) Descriptor {
+	d, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Names returns all registered benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every descriptor, sorted by name.
+func All() []Descriptor {
+	ds := make([]Descriptor, 0, len(registry))
+	for _, d := range registry {
+		ds = append(ds, d)
+	}
+	SortByName(ds)
+	return ds
+}
+
+// BySuite returns the descriptors of one suite, sorted by name.
+func BySuite(s Suite) []Descriptor {
+	var ds []Descriptor
+	for _, d := range registry {
+		if d.Suite == s {
+			ds = append(ds, d)
+		}
+	}
+	SortByName(ds)
+	return ds
+}
+
+// Multithreaded returns the scalable PARSEC and SPLASH-2 descriptors used by
+// the core-scaling experiments (paper §3.1 uses these suites because their
+// parallelism is controllable).
+func Multithreaded() []Descriptor {
+	return append(BySuite(PARSEC), BySuite(SPLASH2)...)
+}
+
+// Fig5Workloads are the five benchmarks whose lines the paper labels in
+// Fig. 5 and Fig. 7.
+func Fig5Workloads() []Descriptor {
+	return []Descriptor{
+		MustGet("lu_cb"), MustGet("raytrace"), MustGet("swaptions"),
+		MustGet("radix"), MustGet("ocean_cp"),
+	}
+}
+
+// Fig9Workloads are the ten benchmarks decomposed in Fig. 9.
+func Fig9Workloads() []Descriptor {
+	return []Descriptor{
+		MustGet("raytrace"), MustGet("barnes"), MustGet("blackscholes"),
+		MustGet("bodytrack"), MustGet("ferret"), MustGet("lu_ncb"),
+		MustGet("ocean_cp"), MustGet("swaptions"), MustGet("vips"),
+		MustGet("water_nsquared"),
+	}
+}
+
+// Fig14Workloads are the 41 benchmarks evaluated under loadline borrowing at
+// eight active cores (paper Fig. 14, PARSEC + SPLASH-2 + SPECrate).
+func Fig14Workloads() []Descriptor {
+	names := []string{
+		"lu_ncb", "radiosity", "dealII", "bodytrack", "freqmine", "povray",
+		"ocean_ncp", "barnes", "raytrace", "lu_cb", "vips", "gromacs",
+		"namd", "blackscholes", "hmmer", "bzip2", "ferret", "h264ref",
+		"swaptions", "water_nsquared", "gobmk", "perlbench", "calculix",
+		"water_spatial", "astar", "xalancbmk", "ocean_cp", "sjeng",
+		"sphinx3", "omnetpp", "wrf", "soplex", "gcc", "bwaves", "mcf",
+		"leslie3d", "cactusADM", "radix", "zeusmp", "lbm", "fft",
+		"GemsFDTD",
+	}
+	ds := make([]Descriptor, len(names))
+	for i, n := range names {
+		ds[i] = MustGet(n)
+	}
+	return ds
+}

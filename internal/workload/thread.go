@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+
+	"agsim/internal/rng"
+	"agsim/internal/units"
+)
+
+// Thread is one running software thread of a benchmark. It tracks remaining
+// work for run-to-completion experiments and carries a slowly varying
+// activity phase so chip power (and therefore passive drop) fluctuates the
+// way real program phases do.
+type Thread struct {
+	Desc Descriptor
+
+	remainingGInst float64
+	retiredGInst   float64
+
+	// phaseMul multiplies the descriptor's mean activity; it follows a
+	// mean-reverting random walk in [1-phaseSwing, 1+phaseSwing].
+	phaseMul float64
+	r        *rng.Source
+
+	// phases, when non-empty, cycles deterministic program phases on top
+	// of the stochastic jitter; elapsedSec tracks position in the cycle.
+	phases     PhaseSchedule
+	elapsedSec float64
+}
+
+// phaseSwing bounds the activity excursion of program phases around the
+// workload mean. Program phase behaviour in the paper shows up as the
+// typical-case di/dt ripple; this slower component models multi-millisecond
+// phases visible at the 32 ms telemetry interval.
+const phaseSwing = 0.08
+
+// NewThread creates a thread with the given share of the benchmark's work.
+// r may be nil for a deterministic (phase-free) thread.
+func NewThread(d Descriptor, workGInst float64, r *rng.Source) *Thread {
+	if workGInst <= 0 {
+		panic(fmt.Sprintf("workload %s: non-positive thread work %v", d.Name, workGInst))
+	}
+	return &Thread{Desc: d, remainingGInst: workGInst, phaseMul: 1, r: r}
+}
+
+// Step advances the thread by dtSec of wall time at the given operating
+// conditions, returning the instructions retired (in giga-instructions) and
+// whether the thread finished within the step.
+func (t *Thread) Step(dtSec float64, f units.Megahertz, memFactor, smtThreads float64) (retired float64, done bool) {
+	if t.remainingGInst <= 0 {
+		return 0, true
+	}
+	t.elapsedSec += dtSec
+	d := t.Desc
+	if _, scaleMem := t.phaseScales(); scaleMem != 1 {
+		d.MemNsPerInst *= scaleMem
+	}
+	mips := float64(d.MIPSPerThread(f, memFactor, smtThreads))
+	retired = mips * dtSec / 1000 // MIPS * s = 1e6 inst; /1000 -> GInst
+	if retired >= t.remainingGInst {
+		retired = t.remainingGInst
+		t.remainingGInst = 0
+		done = true
+	} else {
+		t.remainingGInst -= retired
+	}
+	t.retiredGInst += retired
+	t.advancePhase(dtSec)
+	return retired, done
+}
+
+func (t *Thread) advancePhase(dtSec float64) {
+	if t.r == nil {
+		return
+	}
+	// Ornstein-Uhlenbeck style mean reversion toward 1 with small noise;
+	// the time constant (~50 ms) sits between the firmware tick and the
+	// benchmark runtime.
+	const tau = 0.05
+	alpha := dtSec / tau
+	if alpha > 1 {
+		alpha = 1
+	}
+	t.phaseMul += alpha * (1 - t.phaseMul)
+	t.phaseMul += t.r.Normal(0, phaseSwing*alpha)
+	if t.phaseMul < 1-phaseSwing {
+		t.phaseMul = 1 - phaseSwing
+	}
+	if t.phaseMul > 1+phaseSwing {
+		t.phaseMul = 1 + phaseSwing
+	}
+}
+
+// ActivityNow returns the instantaneous switching-activity factor,
+// combining the stochastic jitter with any deterministic phase schedule.
+func (t *Thread) ActivityNow() float64 {
+	scaleAct, _ := t.phaseScales()
+	a := t.Desc.Activity * t.phaseMul * scaleAct
+	if a > 1 {
+		a = 1
+	}
+	if a <= 0 {
+		a = 0.01
+	}
+	return a
+}
+
+// AddWork appends extra work to the thread, e.g. the cache-refill and
+// state-movement cost a migration charges.
+func (t *Thread) AddWork(workGInst float64) {
+	if workGInst < 0 {
+		panic(fmt.Sprintf("workload %s: negative added work %v", t.Desc.Name, workGInst))
+	}
+	t.remainingGInst += workGInst
+}
+
+// Reset restores the thread to a fresh state with the given remaining
+// work. Measurement harnesses use it to settle a system under load and
+// then start timing from a clean work budget.
+func (t *Thread) Reset(workGInst float64) {
+	if workGInst <= 0 {
+		panic(fmt.Sprintf("workload %s: non-positive reset work %v", t.Desc.Name, workGInst))
+	}
+	t.remainingGInst = workGInst
+	t.retiredGInst = 0
+}
+
+// Done reports whether the thread has retired all of its work.
+func (t *Thread) Done() bool { return t.remainingGInst <= 0 }
+
+// Remaining returns the unretired work in giga-instructions.
+func (t *Thread) Remaining() float64 { return t.remainingGInst }
+
+// Retired returns the retired work in giga-instructions.
+func (t *Thread) Retired() float64 { return t.retiredGInst }
+
+// SplitWork divides a benchmark's total work across n threads, returning the
+// per-thread share adjusted for the workload's parallel efficiency: lower
+// efficiency means each thread executes extra (redundant or coordination)
+// instructions, so the fixed problem takes longer than work/n.
+func SplitWork(d Descriptor, n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("workload %s: SplitWork with n=%d", d.Name, n))
+	}
+	return d.WorkGInst / (float64(n) * d.ParallelEfficiency(n))
+}

@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/units"
+)
+
+func TestRegistryValid(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("registry entry invalid: %v", err)
+		}
+	}
+}
+
+func TestRegistryCounts(t *testing.T) {
+	if n := len(BySuite(PARSEC)); n != 7 {
+		t.Errorf("PARSEC count = %d, want 7", n)
+	}
+	if n := len(BySuite(SPLASH2)); n != 10 {
+		t.Errorf("SPLASH-2 count = %d, want 10", n)
+	}
+	// Paper §3.1: 17 controllable multithreaded workloads.
+	if n := len(Multithreaded()); n != 17 {
+		t.Errorf("Multithreaded count = %d, want 17", n)
+	}
+	if n := len(BySuite(SPECCPU)); n < 25 {
+		t.Errorf("SPEC count = %d, want >= 25", n)
+	}
+	if n := len(Fig14Workloads()); n != 42 {
+		t.Errorf("Fig14 count = %d, want 42", n)
+	}
+	if n := len(Fig9Workloads()); n != 10 {
+		t.Errorf("Fig9 count = %d, want 10", n)
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, err := Get("raytrace"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("doom"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGet("doom")
+}
+
+func TestNamesSortedUnique(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted/unique at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestMIPSIncreasesWithFrequencyForComputeBound(t *testing.T) {
+	d := MustGet("swaptions")
+	lo := d.MIPSPerThread(4200, 1, 1)
+	hi := d.MIPSPerThread(4620, 1, 1)
+	gain := float64(hi)/float64(lo) - 1
+	// Near compute-bound: a 10% frequency boost should give nearly 10%
+	// throughput.
+	if gain < 0.08 || gain > 0.101 {
+		t.Errorf("swaptions MIPS gain for 10%% overclock = %.3f", gain)
+	}
+}
+
+func TestMemoryBoundInsensitiveToFrequency(t *testing.T) {
+	d := MustGet("mcf")
+	lo := d.MIPSPerThread(4200, 1, 1)
+	hi := d.MIPSPerThread(4620, 1, 1)
+	gain := float64(hi)/float64(lo) - 1
+	if gain > 0.06 {
+		t.Errorf("mcf MIPS gain = %.3f, want small (memory bound)", gain)
+	}
+}
+
+func TestUtilizationAndMemBound(t *testing.T) {
+	for _, d := range All() {
+		u := d.Utilization(4200, 1, 1)
+		if u <= 0 || u > 1 {
+			t.Errorf("%s: utilization %v out of (0,1]", d.Name, u)
+		}
+		mb := d.MemBoundFraction(4200)
+		if math.Abs(u+mb-1) > 1e-9 {
+			t.Errorf("%s: utilization %v + membound %v != 1", d.Name, u, mb)
+		}
+	}
+	if MustGet("mcf").MemBoundFraction(4200) < 0.4 {
+		t.Error("mcf should be strongly memory bound")
+	}
+	if MustGet("coremark").MemBoundFraction(4200) > 0.02 {
+		t.Error("coremark should be core-contained")
+	}
+}
+
+func TestMemFactorSlowsExecution(t *testing.T) {
+	d := MustGet("radix")
+	uncontended := d.TimeNsPerInst(4200, 1, 1)
+	contended := d.TimeNsPerInst(4200, 2, 1)
+	if contended <= uncontended {
+		t.Error("memory contention should slow execution")
+	}
+	// memFactor below 1 is clamped to 1.
+	if got := d.TimeNsPerInst(4200, 0.5, 1); got != uncontended {
+		t.Errorf("memFactor clamp failed: %v vs %v", got, uncontended)
+	}
+}
+
+func TestSMTSharing(t *testing.T) {
+	d := MustGet("lu_cb")
+	one := float64(d.MIPSPerThread(4200, 1, 1))
+	four := float64(d.MIPSPerThread(4200, 1, 4))
+	if four >= one {
+		t.Error("per-thread MIPS should drop under SMT sharing")
+	}
+	// But total core throughput should rise.
+	if 4*four <= one {
+		t.Error("total SMT throughput should exceed single-thread")
+	}
+	// Beyond 4 threads the POWER7+ has no more SMT slots; per-thread share
+	// keeps dividing.
+	eight := float64(d.MIPSPerThread(4200, 1, 8))
+	if eight >= four {
+		t.Error("per-thread MIPS should keep dropping past 4 threads")
+	}
+}
+
+func TestParallelEfficiency(t *testing.T) {
+	d := MustGet("raytrace")
+	if e := d.ParallelEfficiency(1); e != 1 {
+		t.Errorf("efficiency(1) = %v", e)
+	}
+	prev := 1.0
+	for n := 2; n <= 8; n++ {
+		e := d.ParallelEfficiency(n)
+		if e >= prev || e <= 0 {
+			t.Errorf("efficiency(%d) = %v not decreasing in (0,1)", n, e)
+		}
+		prev = e
+	}
+	if s := d.SpeedupAt(8); s <= 1 || s > 8 {
+		t.Errorf("speedup(8) = %v", s)
+	}
+	// SPECrate copies scale perfectly.
+	if e := MustGet("mcf").ParallelEfficiency(8); e != 1 {
+		t.Errorf("SPECrate efficiency = %v, want 1", e)
+	}
+}
+
+func TestCalibrationOrdering(t *testing.T) {
+	// The registry must preserve the qualitative per-workload facts the
+	// paper depends on.
+	powerAt := func(name string) float64 {
+		d := MustGet(name)
+		return d.Activity * d.Utilization(4200, 1, 1)
+	}
+	if powerAt("lu_cb") <= powerAt("radix") {
+		t.Error("lu_cb must be more power-intense than radix")
+	}
+	if powerAt("swaptions") <= powerAt("ocean_cp") {
+		t.Error("swaptions must be more power-intense than ocean_cp")
+	}
+	if MustGet("lu_ncb").Sharing < 0.8 || MustGet("radiosity").Sharing < 0.8 {
+		t.Error("lu_ncb and radiosity must be sharing-heavy (Fig. 14)")
+	}
+	for _, name := range []string{"radix", "zeusmp", "lbm", "fft", "GemsFDTD"} {
+		if MustGet(name).BytesPerInst < 2 {
+			t.Errorf("%s must be bandwidth-heavy (Fig. 14 right edge)", name)
+		}
+	}
+	mcf := MustGet("mcf").MIPSPerThread(4200, 1, 1)
+	cm := MustGet("coremark").MIPSPerThread(4200, 1, 1)
+	if float64(cm) < 4*float64(mcf) {
+		t.Error("coremark MIPS must far exceed mcf (Fig. 15)")
+	}
+}
+
+func TestThreadRunToCompletion(t *testing.T) {
+	d := MustGet("swaptions")
+	th := NewThread(d, 1.0, nil) // 1 GInst
+	var total float64
+	steps := 0
+	for !th.Done() {
+		retired, done := th.Step(0.001, 4200, 1, 1)
+		total += retired
+		steps++
+		if done && !th.Done() {
+			t.Fatal("done flag disagrees with Done()")
+		}
+		if steps > 1_000_000 {
+			t.Fatal("thread did not finish")
+		}
+	}
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Errorf("retired %v GInst, want 1.0", total)
+	}
+	if th.Retired() != total {
+		t.Errorf("Retired() = %v, want %v", th.Retired(), total)
+	}
+	if r, done := th.Step(0.001, 4200, 1, 1); r != 0 || !done {
+		t.Error("finished thread should retire nothing")
+	}
+}
+
+func TestThreadStepDurationMatchesMIPS(t *testing.T) {
+	d := MustGet("coremark")
+	th := NewThread(d, 100, nil)
+	retired, _ := th.Step(1.0, 4200, 1, 1) // one second
+	wantGInst := float64(d.MIPSPerThread(4200, 1, 1)) / 1000
+	if math.Abs(retired-wantGInst) > 1e-9 {
+		t.Errorf("retired %v GInst in 1s, want %v", retired, wantGInst)
+	}
+}
+
+func TestActivityPhaseBounded(t *testing.T) {
+	d := MustGet("raytrace")
+	th := NewThread(d, 1e9, newTestRand())
+	for i := 0; i < 10000; i++ {
+		th.Step(0.001, 4200, 1, 1)
+		a := th.ActivityNow()
+		lo := d.Activity * (1 - phaseSwing)
+		hi := math.Min(1, d.Activity*(1+phaseSwing))
+		if a < lo-1e-9 || a > hi+1e-9 {
+			t.Fatalf("activity %v escaped [%v, %v]", a, lo, hi)
+		}
+	}
+}
+
+func TestSplitWork(t *testing.T) {
+	d := MustGet("raytrace")
+	if w := SplitWork(d, 1); w != d.WorkGInst {
+		t.Errorf("SplitWork(1) = %v", w)
+	}
+	w8 := SplitWork(d, 8)
+	// Imperfect scaling: more than work/8 per thread.
+	if w8 <= d.WorkGInst/8 {
+		t.Errorf("SplitWork(8) = %v, want > %v", w8, d.WorkGInst/8)
+	}
+	if w8 >= d.WorkGInst {
+		t.Errorf("SplitWork(8) = %v, should still beat serial", w8)
+	}
+}
+
+func TestSplitWorkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SplitWork(MustGet("raytrace"), 0)
+}
+
+func TestSuiteString(t *testing.T) {
+	if PARSEC.String() != "PARSEC" || SPLASH2.String() != "SPLASH-2" {
+		t.Error("suite names wrong")
+	}
+	if Suite(99).String() == "" {
+		t.Error("unknown suite should still format")
+	}
+}
+
+func TestTimeNsPerInstPanicsOnBadFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustGet("raytrace").TimeNsPerInst(units.Megahertz(0), 1, 1)
+}
