@@ -1,0 +1,35 @@
+# agsim build/test/bench entry points.
+#
+#   make check   — the tier-1 gate: build, vet, full test suite
+#   make race    — race-detector lane over the concurrency-bearing packages
+#   make bench   — microbenchmarks with -benchmem, JSON'd to BENCH_<date>.json
+#   make ci      — everything CI runs: check + race + bench
+#
+# GO selects the toolchain; WORKERS feeds -workers through AGSIM benches.
+
+GO      ?= go
+DATE    := $(shell date +%Y%m%d)
+BENCHES ?= BenchmarkChipStep|BenchmarkSweep
+
+.PHONY: all build vet test check race bench ci
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./internal/parallel ./internal/cluster ./internal/experiments
+
+bench:
+	./scripts/bench.sh '$(BENCHES)' BENCH_$(DATE).json
+
+ci: check race bench

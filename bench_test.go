@@ -195,6 +195,39 @@ func BenchmarkChipStepOverclock(b *testing.B) {
 	}
 }
 
+// Sweep-engine benches: the same driver serial vs on a four-worker pool.
+// On a multi-core host the parallel run should show a multi-× wall-clock
+// win with bit-identical metrics (pinned by TestFig03ParallelBitIdentical).
+
+func benchSweep(b *testing.B, workers int) {
+	o := benchOptions()
+	o.Workers = workers
+	var r experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14FullSuite(o)
+	}
+	b.ReportMetric(r.AvgPowerImprovement, "avg_power_imp_%")
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }
+
+func BenchmarkDatacenterSweepSerial(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 1
+	for i := 0; i < b.N; i++ {
+		experiments.DatacenterSweep(o)
+	}
+}
+
+func BenchmarkDatacenterSweepParallel(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 4
+	for i := 0; i < b.N; i++ {
+		experiments.DatacenterSweep(o)
+	}
+}
+
 // Ablation benches: the design-choice sweeps DESIGN.md calls out.
 
 func BenchmarkAblationLoadReserve(b *testing.B) {

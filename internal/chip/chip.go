@@ -189,6 +189,14 @@ type Chip struct {
 	// negative — silent timing failures a statically guardbanded part
 	// would hit once aging (or drop) exceeds its margin.
 	marginViolations int
+
+	// Step-loop scratch, reused every step so the hot path allocates
+	// nothing. Their presence is why a Chip is NOT safe for concurrent
+	// Step calls; parallelism lives at the chip/server/cluster level,
+	// where each unit owns its own Chip.
+	scratchCurrents []units.Ampere
+	scratchProfiles []didt.Profile
+	scratchDrops    []units.Millivolt
 }
 
 // New builds a chip from the configuration.
@@ -222,6 +230,10 @@ func New(cfg Config) (*Chip, error) {
 		tempC:     cfg.AmbientC + 8,
 		lastRailV: cfg.Law.VNom,
 		lastDrops: make([]units.Millivolt, cfg.Cores),
+
+		scratchCurrents: make([]units.Ampere, cfg.Cores),
+		scratchProfiles: make([]didt.Profile, 0, cfg.Cores),
+		scratchDrops:    make([]units.Millivolt, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		core := &Core{

@@ -24,9 +24,11 @@ func (c *Chip) Step(dtSec float64) {
 	}
 
 	// 1. Workload conditions and per-core power at last-known voltages.
-	coreCurrents := make([]units.Ampere, len(c.cores))
+	// The slices here are per-chip scratch (allocated once in New), which
+	// keeps the step loop allocation-free; see the scratch fields in Chip.
+	coreCurrents := c.scratchCurrents
 	var chipPower units.Watt
-	var profiles []didt.Profile
+	profiles := c.scratchProfiles[:0]
 	for i, co := range c.cores {
 		act, util := co.workloadDemand()
 		f := co.dpll.Freq()
@@ -49,7 +51,7 @@ func (c *Chip) Step(dtSec float64) {
 	}
 	total += uncoreI
 	railV := c.rail.Output(total)
-	drops := c.plane.Drops(coreCurrents, uncoreI)
+	drops := c.plane.DropsInto(c.scratchDrops, coreCurrents, uncoreI)
 
 	// 3. Chip-wide di/dt noise for this step.
 	sample := c.noise.Step(dtSec, profiles)

@@ -17,6 +17,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/server"
 	"agsim/internal/units"
 	"agsim/internal/workload"
@@ -87,6 +88,11 @@ type Cluster struct {
 	nodes []*Node
 	mode  firmware.Mode
 	seed  uint64
+
+	// pool, when non-serial, steps powered nodes concurrently. Nodes share
+	// no state within a Step call (each server owns its chips, jobs and
+	// RNG streams), so per-node results are identical to the serial order.
+	pool *parallel.Pool
 }
 
 // New creates a cluster of n nodes from the template configuration; node
@@ -181,24 +187,30 @@ func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGIns
 }
 
 // pick chooses the target node: consolidation-first means the most-loaded
-// powered node that still fits, before waking a suspended one.
+// powered node that still fits, before waking a suspended one. One linear
+// scan with loads computed once per node — no sort, and no recomputing
+// loadedCores (a walk over every core of every socket) inside a comparator.
 func (c *Cluster) pick(threads int) *Node {
-	candidates := make([]*Node, len(c.nodes))
-	copy(candidates, c.nodes)
-	sort.SliceStable(candidates, func(i, j int) bool {
-		// Powered nodes first, most-loaded first; suspended nodes last.
-		oi, oj := candidates[i], candidates[j]
-		if oi.on != oj.on {
-			return oi.on
+	var bestOn *Node
+	bestLoad := -1
+	var firstOff *Node
+	for _, n := range c.nodes {
+		load := n.loadedCores()
+		if n.capacity()-load < threads {
+			continue
 		}
-		return oi.loadedCores() > oj.loadedCores()
-	})
-	for _, n := range candidates {
-		if n.capacity()-n.loadedCores() >= threads {
-			return n
+		if n.on {
+			if load > bestLoad {
+				bestOn, bestLoad = n, load
+			}
+		} else if firstOff == nil {
+			firstOff = n
 		}
 	}
-	return nil
+	if bestOn != nil {
+		return bestOn
+	}
+	return firstOff
 }
 
 // placeWithin selects free cores balanced across the node's sockets —
@@ -272,13 +284,31 @@ func (c *Cluster) Release(id string) error {
 	return fmt.Errorf("cluster: unknown job %s", id)
 }
 
-// Step advances all powered nodes.
+// SetWorkers enables parallel node stepping: n >= 2 steps powered nodes on
+// up to n goroutines, n <= 1 restores the serial path, and 0 selects
+// parallel.DefaultWorkers(). Safe because Step touches each node's private
+// state only; see ARCHITECTURE.md "Concurrency and determinism".
+func (c *Cluster) SetWorkers(n int) {
+	c.pool = parallel.NewPool(n)
+}
+
+// Step advances all powered nodes, concurrently when SetWorkers enabled a
+// multi-worker pool. Per-node state after the step is identical either
+// way: a node's step reads and writes only that node's server.
 func (c *Cluster) Step(dtSec float64) {
-	for _, n := range c.nodes {
-		if n.on {
+	if c.pool.Serial() {
+		for _, n := range c.nodes {
+			if n.on {
+				n.srv.Step(dtSec)
+			}
+		}
+		return
+	}
+	parallel.ForEach(c.pool, len(c.nodes), func(i int) {
+		if n := c.nodes[i]; n.on {
 			n.srv.Step(dtSec)
 		}
-	}
+	})
 }
 
 // Settle advances the cluster for the given simulated seconds.

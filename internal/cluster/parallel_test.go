@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+
+	"agsim/internal/chip"
+	"agsim/internal/workload"
+)
+
+// buildLoadedCluster powers several nodes with jobs so parallel stepping
+// has real work to disagree on if it were unsafe.
+func buildLoadedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := newCluster(t, 4)
+	d := workload.MustGet("raytrace")
+	for i, job := range []string{"a", "b", "c", "d", "e"} {
+		if _, err := c.Submit(job, d, 4+i%3, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// snapshot captures the observable per-node state after stepping.
+func snapshot(c *Cluster) []float64 {
+	var out []float64
+	out = append(out, float64(c.TotalPower()))
+	for i := 0; i < c.Nodes(); i++ {
+		srv := c.Node(i).Server()
+		if srv == nil {
+			out = append(out, -1)
+			continue
+		}
+		for si := 0; si < srv.Sockets(); si++ {
+			ch := srv.Chip(si)
+			out = append(out, float64(ch.ChipPower()), float64(ch.TotalMIPS()), ch.EnergyJ())
+		}
+	}
+	return out
+}
+
+// TestParallelStepMatchesSerial steps two identically-built clusters, one
+// serial and one on a multi-worker pool, and requires bit-identical state.
+func TestParallelStepMatchesSerial(t *testing.T) {
+	serial := buildLoadedCluster(t)
+	par := buildLoadedCluster(t)
+	par.SetWorkers(4)
+
+	const steps = 400
+	for i := 0; i < steps; i++ {
+		serial.Step(chip.DefaultStepSec)
+		par.Step(chip.DefaultStepSec)
+	}
+	a, b := snapshot(serial), snapshot(par)
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("state[%d] diverged: serial %v, parallel %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelStepStress exercises the full lifecycle — stepping in
+// parallel mode while submitting and reaping jobs between steps — under
+// the race detector's eye (go test -race ./internal/cluster).
+func TestParallelStepStress(t *testing.T) {
+	c := newCluster(t, 4)
+	c.SetWorkers(4)
+	d := workload.MustGet("raytrace")
+	// Small finite jobs so reaping actually fires mid-run.
+	work := d.WorkGInst * 0.001
+
+	jobID := 0
+	for round := 0; round < 6; round++ {
+		for k := 0; k < 3; k++ {
+			if _, err := c.Submit(jobName(jobID), d, 2+jobID%4, work); err != nil {
+				break // cluster full; reap below will free space
+			}
+			jobID++
+		}
+		for i := 0; i < 120; i++ {
+			c.Step(chip.DefaultStepSec)
+		}
+		c.ReapFinished()
+	}
+	if c.Jobs() < 0 {
+		t.Fatal("unreachable; keeps the cluster live under -race")
+	}
+}
+
+func jobName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26%10))
+}

@@ -5,6 +5,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/server"
 	"agsim/internal/stress"
 	"agsim/internal/trace"
@@ -37,7 +38,8 @@ func AblationLoadReserve(o Options) AblationLoadReserveResult {
 	}
 	const bench = "raytrace"
 	d := workload.MustGet(bench)
-	for _, k := range reserves {
+	type row struct{ s1, s8, llb float64 }
+	rows := parallel.Sweep(o.pool(), reserves, func(_ int, k float64) row {
 		saving := func(n int) float64 {
 			static := measureWithReserve(o, bench, n, firmware.Static, k)
 			uv := measureWithReserve(o, bench, n, firmware.Undervolt, k)
@@ -50,7 +52,10 @@ func AblationLoadReserve(o Options) AblationLoadReserveResult {
 			borr := serverSteadyWithReserve(o, fmt.Sprintf("abl/borr/%.2f", k), d, plB, keepB, k)
 			return improvementPct(cons, borr)
 		}
-		res.Table.AddRow(fmt.Sprintf("k=%.2f", k), saving(1), saving(8), llb())
+		return row{s1: saving(1), s8: saving(8), llb: llb()}
+	})
+	for i, k := range reserves {
+		res.Table.AddRow(fmt.Sprintf("k=%.2f", k), rows[i].s1, rows[i].s8, rows[i].llb)
 	}
 	return res
 }
@@ -105,7 +110,8 @@ func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
 		authorities = []float64{0.005, 0.07}
 		seconds = 3
 	}
-	for _, a := range authorities {
+	type droopRow struct{ absorbed, violations int }
+	rows := parallel.Sweep(o.pool(), authorities, func(_ int, a float64) droopRow {
 		c := chip.MustNew(chip.DefaultConfig("abl-dpll", o.Seed))
 		c.SetDroopSlewAuthority(a)
 		d := stress.Synthesize(stress.Virus)
@@ -120,12 +126,15 @@ func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
 			c.Step(chip.DefaultStepSec)
 		}
 		absorbed, violations := c.DroopStats()
-		res.Table.AddRow(fmt.Sprintf("slew=%.3f", a), float64(absorbed), float64(violations))
+		return droopRow{absorbed: absorbed, violations: violations}
+	})
+	for i, a := range authorities {
+		res.Table.AddRow(fmt.Sprintf("slew=%.3f", a), float64(rows[i].absorbed), float64(rows[i].violations))
 		switch a {
 		case authorities[0]:
-			res.ViolationsWithoutSlew = violations
+			res.ViolationsWithoutSlew = rows[i].violations
 		case 0.07:
-			res.ViolationsWithSlew = violations
+			res.ViolationsWithSlew = rows[i].violations
 		}
 	}
 	return res
@@ -151,19 +160,21 @@ func AblationCPMVariation(o Options) AblationCPMVariationResult {
 	if o.Quick {
 		spreads = []float64{0, 10}
 	}
-	for _, sp := range spreads {
+	uvs := parallel.Sweep(o.pool(), spreads, func(_ int, sp float64) float64 {
 		cfg := chip.DefaultConfig("abl-cpm", o.Seed)
 		cfg.CPM.PathOffsetSpreadMV = sp
 		c := chip.MustNew(cfg)
 		placeThreads(c, workload.MustGet("raytrace"), 4)
 		c.SetMode(firmware.Undervolt)
-		st := measureChip(o, c)
-		res.Table.AddRow(fmt.Sprintf("spread=%.0fmV", sp), st.UndervoltMV)
+		return measureChip(o, c).UndervoltMV
+	})
+	for i, sp := range spreads {
+		res.Table.AddRow(fmt.Sprintf("spread=%.0fmV", sp), uvs[i])
 		switch sp {
 		case 0:
-			res.UndervoltTight = st.UndervoltMV
+			res.UndervoltTight = uvs[i]
 		case 10:
-			res.UndervoltWide = st.UndervoltMV
+			res.UndervoltWide = uvs[i]
 		}
 	}
 	return res
@@ -186,7 +197,7 @@ func AblationContention(o Options) AblationContentionResult {
 		exponents = []float64{1.0, 1.4}
 	}
 	d := workload.MustGet("radix")
-	for _, exp := range exponents {
+	speedups := parallel.Sweep(o.pool(), exponents, func(_ int, exp float64) float64 {
 		runOne := func(pl []server.Placement) float64 {
 			cfg := server.DefaultConfig(o.Seed)
 			cfg.ContentionExponent = exp
@@ -199,9 +210,10 @@ func AblationContention(o Options) AblationContentionResult {
 			}
 			return elapsed
 		}
-		tCons := runOne(server.ConsolidatedPlacements(8))
-		tSplit := runOne(server.BorrowedPlacements(8, 2))
-		res.Table.AddRow(fmt.Sprintf("exp=%.1f", exp), tCons/tSplit)
+		return runOne(server.ConsolidatedPlacements(8)) / runOne(server.BorrowedPlacements(8, 2))
+	})
+	for i, exp := range exponents {
+		res.Table.AddRow(fmt.Sprintf("exp=%.1f", exp), speedups[i])
 	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -49,7 +50,11 @@ func AgingSweep(o Options) AgingResult {
 	}
 	const bench = "raytrace"
 	const threads = 2
-	for _, wear := range wears {
+	type point struct {
+		sv, av   int
+		uv, freq float64
+	}
+	pts := parallel.Sweep(o.pool(), wears, func(_ int, wear float64) point {
 		run := func(mode firmware.Mode) (violations int, uv, freq float64) {
 			c := newChip(o, fmt.Sprintf("aging/%v/%.0f", mode, wear))
 			placeThreads(c, workload.MustGet(bench), threads)
@@ -66,16 +71,21 @@ func AgingSweep(o Options) AgingResult {
 			}
 			return c.MarginViolations() - base, uvSum / float64(steps), fSum / float64(steps)
 		}
-		sv, _, _ := run(firmware.Static)
-		av, uv, freq := run(firmware.Undervolt)
-		vStatic.Add(wear, float64(sv))
-		vAdaptive.Add(wear, float64(av))
-		rUV.Add(wear, uv)
-		rF.Add(wear, freq)
-		if sv > 0 && res.StaticFailureOnsetMV == 0 {
+		var pt point
+		pt.sv, _, _ = run(firmware.Static)
+		pt.av, pt.uv, pt.freq = run(firmware.Undervolt)
+		return pt
+	})
+	for i, wear := range wears {
+		pt := pts[i]
+		vStatic.Add(wear, float64(pt.sv))
+		vAdaptive.Add(wear, float64(pt.av))
+		rUV.Add(wear, pt.uv)
+		rF.Add(wear, pt.freq)
+		if pt.sv > 0 && res.StaticFailureOnsetMV == 0 {
 			res.StaticFailureOnsetMV = wear
 		}
-		res.AdaptiveViolations += av
+		res.AdaptiveViolations += pt.av
 	}
 	return res
 }

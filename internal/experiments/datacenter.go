@@ -6,6 +6,7 @@ import (
 	"agsim/internal/chip"
 	"agsim/internal/cluster"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/server"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
@@ -61,18 +62,37 @@ func DatacenterSweep(o Options) DatacenterResult {
 		jobCounts = []int{2, 4}
 	}
 
+	// The policy × job-count grid is one flat list of independent cluster
+	// simulations; fan it out and aggregate in order.
+	type gridPoint struct {
+		pol  datacenterPolicy
+		jobs int
+	}
+	var grid []gridPoint
+	for _, pol := range policies {
+		for _, jobs := range jobCounts {
+			grid = append(grid, gridPoint{pol, jobs})
+		}
+	}
 	type point struct{ power, mips float64 }
+	pts := parallel.Sweep(o.pool(), grid, func(_ int, gp gridPoint) point {
+		power, mips := gp.pol.run(o, gp.jobs)
+		return point{power, mips}
+	})
+
 	results := map[string]map[int]point{}
+	k := 0
 	for _, pol := range policies {
 		results[pol.name] = map[int]point{}
 		ps := res.Power.NewSeries(pol.name, "jobs", "W")
 		es := res.Efficiency.NewSeries(pol.name, "jobs", "W/kMIPS")
 		for _, jobs := range jobCounts {
-			power, mips := pol.run(o, jobs)
-			results[pol.name][jobs] = point{power, mips}
-			ps.Add(float64(jobs), power)
-			if mips > 0 {
-				es.Add(float64(jobs), power/(mips/1000))
+			pt := pts[k]
+			k++
+			results[pol.name][jobs] = pt
+			ps.Add(float64(jobs), pt.power)
+			if pt.mips > 0 {
+				es.Add(float64(jobs), pt.power/(pt.mips/1000))
 			}
 		}
 	}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The parallel sweep engine's contract is bit-identical results at any
+// worker count: every sweep point owns its chip/server/cluster and derives
+// all randomness from tag-hashed seeds, so execution order cannot leak
+// into the numbers. These tests pin that contract on a chip-level driver
+// (Fig03) and the cluster-level sweep (Datacenter).
+
+func optsWithWorkers(w int) Options {
+	o := QuickOptions()
+	o.Workers = w
+	return o
+}
+
+func TestFig03ParallelBitIdentical(t *testing.T) {
+	serial := Fig03CoreScaling(optsWithWorkers(1))
+	par := Fig03CoreScaling(optsWithWorkers(4))
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("Fig03 parallel result diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestDatacenterParallelBitIdentical(t *testing.T) {
+	serial := DatacenterSweep(optsWithWorkers(1))
+	par := DatacenterSweep(optsWithWorkers(4))
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("Datacenter parallel result diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+func TestSameSeedRunsMatch(t *testing.T) {
+	a := Fig03CoreScaling(optsWithWorkers(4))
+	b := Fig03CoreScaling(optsWithWorkers(4))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two same-seed parallel runs of Fig03 diverged")
+	}
+}
+
+func TestDVFSSameSeedRunsMatch(t *testing.T) {
+	// Regression for the old fmt.Sprintf("dvfs/%p", ...) chip tag, which
+	// seeded the run from a pointer address and changed every execution.
+	a := DVFSComparison(optsWithWorkers(2))
+	b := DVFSComparison(optsWithWorkers(1))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two same-seed runs of DVFSComparison diverged")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"agsim/internal/chip"
 	"agsim/internal/didt"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -61,8 +62,11 @@ func DroopCensus(o Options) DroopCensusResult {
 	}
 	d := workload.MustGet("bodytrack")
 	didtParams := didt.DefaultParams()
-	var depthAt1 float64
-	for _, n := range o.coreCounts() {
+	type point struct {
+		perSec, depthNow    float64
+		busyWindows, windows int
+	}
+	pts := parallel.Sweep(o.pool(), o.coreCounts(), func(_ int, n int) point {
 		c := newChip(o, fmt.Sprintf("droops/%d", n))
 		placeThreads(c, d, n)
 		c.SetMode(firmware.Undervolt)
@@ -91,22 +95,30 @@ func DroopCensus(o Options) DroopCensusResult {
 		absorbed, violations := c.DroopStats()
 		// The DPLL counters tally per clocked core; divide for the
 		// chip-level event count.
-		perSec := float64(absorbed+violations) / float64(c.Cores()) / seconds
-		rate.Add(float64(n), perSec)
+		return point{
+			perSec:      float64(absorbed+violations) / float64(c.Cores()) / seconds,
+			depthNow:    didtParams.ExpectedWorstMV(droopProfiles(d, n)),
+			busyWindows: busyWindows,
+			windows:     windows,
+		}
+	})
 
-		depthNow := didtParams.ExpectedWorstMV(droopProfiles(d, n))
-		depth.Add(float64(n), depthNow)
+	var depthAt1 float64
+	for i, n := range o.coreCounts() {
+		pt := pts[i]
+		rate.Add(float64(n), pt.perSec)
+		depth.Add(float64(n), pt.depthNow)
 
 		switch n {
 		case 1:
-			depthAt1 = depthNow
+			depthAt1 = pt.depthNow
 		case 8:
-			res.RateAt8 = perSec
-			if windows > 0 {
-				res.BusyWindowShareAt8 = float64(busyWindows) / float64(windows)
+			res.RateAt8 = pt.perSec
+			if pt.windows > 0 {
+				res.BusyWindowShareAt8 = float64(pt.busyWindows) / float64(pt.windows)
 			}
 			if depthAt1 > 0 {
-				res.DepthGrowth = depthNow / depthAt1
+				res.DepthGrowth = pt.depthNow / depthAt1
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -38,8 +39,11 @@ func DVFSComparison(o Options) DVFSResult {
 	adaptive := res.Plane.NewSeries("adaptive", "s", "J")
 
 	d := workload.MustGet(bench)
-	run := func(configure func(c *chip.Chip)) runResult {
-		c := newChip(o, fmt.Sprintf("dvfs/%p", &configure))
+	// The chip tag must be stable across runs (it seeds the chip's RNG
+	// streams); the old fmt.Sprintf("dvfs/%p", ...) tag hashed a pointer
+	// address and made every run's noise realization different.
+	run := func(tag string, configure func(c *chip.Chip)) runResult {
+		c := newChip(o, "dvfs/"+tag)
 		per := workload.SplitWork(d, threads) * o.WorkScale
 		threadsList := make([]*workload.Thread, threads)
 		for i := range threadsList {
@@ -64,22 +68,33 @@ func DVFSComparison(o Options) DVFSResult {
 	}
 
 	var nominal runResult
-	var dvfsRuns []runResult
 	sweep := points
 	if o.Quick {
 		sweep = 3
 	}
+	// P-state index per sweep point, with -1 marking the adaptive run so
+	// the whole comparison fans out as one batch.
+	var idxs []int
 	for i := sweep - 1; i >= 0; i-- {
-		idx := i * (points - 1) / maxInt(sweep-1, 1)
-		r := run(func(c *chip.Chip) { c.SetPState(idx, points) })
+		idxs = append(idxs, i*(points-1)/maxInt(sweep-1, 1))
+	}
+	idxs = append(idxs, -1)
+	runs := parallel.Sweep(o.pool(), idxs, func(_ int, idx int) runResult {
+		if idx < 0 {
+			return run("adaptive", func(c *chip.Chip) { c.SetMode(firmware.Undervolt) })
+		}
+		return run(fmt.Sprintf("pstate/%d", idx), func(c *chip.Chip) { c.SetPState(idx, points) })
+	})
+
+	dvfsRuns := runs[:len(runs)-1]
+	for i, idx := range idxs[:len(idxs)-1] {
+		r := dvfsRuns[i]
 		dvfs.Add(r.Seconds, r.EnergyJ)
-		dvfsRuns = append(dvfsRuns, r)
 		if idx == points-1 {
 			nominal = r
 		}
 	}
-
-	ag := run(func(c *chip.Chip) { c.SetMode(firmware.Undervolt) })
+	ag := runs[len(runs)-1]
 	adaptive.Add(ag.Seconds, ag.EnergyJ)
 
 	if nominal.EnergyJ > 0 {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 )
 
@@ -33,19 +34,30 @@ func Fig03CoreScaling(o Options) Fig03Result {
 	eStatic := res.EDP.NewSeries("static", "cores", "kJ.s")
 	eAdaptive := res.EDP.NewSeries("adaptive", "cores", "kJ.s")
 
-	for _, n := range o.coreCounts() {
-		st := chipSteady(o, bench, n, firmware.Static)
-		uv := chipSteady(o, bench, n, firmware.Undervolt)
-		pStatic.Add(float64(n), st.PowerW)
-		pAdaptive.Add(float64(n), uv.PowerW)
+	// Each core count is an independent set of simulations (its own chips,
+	// tag-hashed seeds), so the sweep fans out on the pool and aggregates
+	// in order.
+	type point struct {
+		st, uv steady
+		rs, ru runResult
+	}
+	pts := parallel.Sweep(o.pool(), o.coreCounts(), func(_ int, n int) point {
+		return point{
+			st: chipSteady(o, bench, n, firmware.Static),
+			uv: chipSteady(o, bench, n, firmware.Undervolt),
+			rs: runChipToCompletion(o, bench, n, firmware.Static),
+			ru: runChipToCompletion(o, bench, n, firmware.Undervolt),
+		}
+	})
+	for i, n := range o.coreCounts() {
+		pt := pts[i]
+		pStatic.Add(float64(n), pt.st.PowerW)
+		pAdaptive.Add(float64(n), pt.uv.PowerW)
+		eStatic.Add(float64(n), pt.rs.EnergyJ*pt.rs.Seconds/1000)
+		eAdaptive.Add(float64(n), pt.ru.EnergyJ*pt.ru.Seconds/1000)
 
-		rs := runChipToCompletion(o, bench, n, firmware.Static)
-		ru := runChipToCompletion(o, bench, n, firmware.Undervolt)
-		eStatic.Add(float64(n), rs.EnergyJ*rs.Seconds/1000)
-		eAdaptive.Add(float64(n), ru.EnergyJ*ru.Seconds/1000)
-
-		saving := improvementPct(st.PowerW, uv.PowerW)
-		edpImp := improvementPct(rs.EnergyJ*rs.Seconds, ru.EnergyJ*ru.Seconds)
+		saving := improvementPct(pt.st.PowerW, pt.uv.PowerW)
+		edpImp := improvementPct(pt.rs.EnergyJ*pt.rs.Seconds, pt.ru.EnergyJ*pt.ru.Seconds)
 		switch n {
 		case 1:
 			res.SavingAt1 = saving

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 )
 
@@ -33,17 +34,25 @@ func Fig04FrequencyBoost(o Options) Fig04Result {
 	tAdaptive := res.Time.NewSeries("adaptive", "cores", "s")
 
 	const fNom = 4200.0
-	for _, n := range o.coreCounts() {
-		oc := chipSteady(o, bench, n, firmware.Overclock)
-		freq.Add(float64(n), oc.Freq0MHz)
+	type point struct {
+		oc     steady
+		rs, ro runResult
+	}
+	pts := parallel.Sweep(o.pool(), o.coreCounts(), func(_ int, n int) point {
+		return point{
+			oc: chipSteady(o, bench, n, firmware.Overclock),
+			rs: runChipToCompletion(o, bench, n, firmware.Static),
+			ro: runChipToCompletion(o, bench, n, firmware.Overclock),
+		}
+	})
+	for i, n := range o.coreCounts() {
+		pt := pts[i]
+		freq.Add(float64(n), pt.oc.Freq0MHz)
+		tStatic.Add(float64(n), pt.rs.Seconds)
+		tAdaptive.Add(float64(n), pt.ro.Seconds)
 
-		rs := runChipToCompletion(o, bench, n, firmware.Static)
-		ro := runChipToCompletion(o, bench, n, firmware.Overclock)
-		tStatic.Add(float64(n), rs.Seconds)
-		tAdaptive.Add(float64(n), ro.Seconds)
-
-		boost := (oc.Freq0MHz/fNom - 1) * 100
-		speedup := improvementPct(rs.Seconds, ro.Seconds)
+		boost := (pt.oc.Freq0MHz/fNom - 1) * 100
+		speedup := improvementPct(pt.rs.Seconds, pt.ro.Seconds)
 		switch n {
 		case 1:
 			res.BoostAt1, res.SpeedupAt1 = boost, speedup

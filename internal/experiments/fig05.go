@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -44,17 +45,38 @@ func Fig05Heterogeneity(o Options) Fig05Result {
 	}
 	const fNom = 4200.0
 
+	// Flatten the workload × core-count grid into one point list so the
+	// pool sees every independent simulation at once.
+	type gridPoint struct {
+		name string
+		n    int
+	}
+	var points []gridPoint
+	for _, d := range fig05Workloads(o) {
+		for _, n := range o.coreCounts() {
+			points = append(points, gridPoint{d.Name, n})
+		}
+	}
+	type imp struct{ pImp, fImp float64 }
+	imps := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) imp {
+		st := chipSteady(o, pt.name, pt.n, firmware.Static)
+		uv := chipSteady(o, pt.name, pt.n, firmware.Undervolt)
+		oc := chipSteady(o, pt.name, pt.n, firmware.Overclock)
+		return imp{
+			pImp: improvementPct(st.PowerW, uv.PowerW),
+			fImp: (oc.Freq0MHz/fNom - 1) * 100,
+		}
+	})
+
 	var at1, at2, at8, f1 []float64
 	minAt8 := 100.0
+	k := 0
 	for _, d := range fig05Workloads(o) {
 		ps := res.PowerImprovement.NewSeries(d.Name, "cores", "%")
 		fs := res.FreqImprovement.NewSeries(d.Name, "cores", "%")
 		for _, n := range o.coreCounts() {
-			st := chipSteady(o, d.Name, n, firmware.Static)
-			uv := chipSteady(o, d.Name, n, firmware.Undervolt)
-			oc := chipSteady(o, d.Name, n, firmware.Overclock)
-			pImp := improvementPct(st.PowerW, uv.PowerW)
-			fImp := (oc.Freq0MHz/fNom - 1) * 100
+			pImp, fImp := imps[k].pImp, imps[k].fImp
+			k++
 			ps.Add(float64(n), pImp)
 			fs.Add(float64(n), fImp)
 			switch n {

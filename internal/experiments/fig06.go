@@ -35,6 +35,13 @@ type Fig06Result struct {
 }
 
 // Fig06CPMCalibration runs the Fig. 6 experiment.
+//
+// This driver is intentionally serial regardless of Options.Workers: the
+// whole frequency × voltage grid is swept on ONE chip whose electrical
+// state warm-starts each grid point from the previous one (the hardware
+// methodology). Splitting the grid across chips would change the
+// measurements, so there is no parallel decomposition that stays
+// bit-identical.
 func Fig06CPMCalibration(o Options) Fig06Result {
 	res := Fig06Result{
 		Mapping:     trace.NewFigure("Fig. 6a: mean CPM value vs voltage per frequency"),

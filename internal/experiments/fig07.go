@@ -5,6 +5,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -43,28 +44,46 @@ func Fig07VoltageDrop(o Options) Fig07Result {
 	}
 	nom := float64(nomV())
 
+	type gridPoint struct {
+		d workload.Descriptor
+		n int
+	}
+	var points []gridPoint
+	for _, d := range workloads {
+		for _, n := range o.coreCounts() {
+			points = append(points, gridPoint{d, n})
+		}
+	}
+	dropPcts := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) []float64 {
+		c := newChip(o, fmt.Sprintf("fig07/%s/%d", pt.d.Name, pt.n))
+		placeThreads(c, pt.d, pt.n)
+		c.SetMode(firmware.Static)
+		c.Settle(o.SettleSec)
+		steps := int(o.MeasureSec / chip.DefaultStepSec)
+		drops := make([]float64, cores)
+		for s := 0; s < steps; s++ {
+			c.Step(chip.DefaultStepSec)
+			for i := 0; i < cores; i++ {
+				drops[i] += c.TotalDropMV(i)
+			}
+		}
+		for i := range drops {
+			drops[i] = drops[i] / float64(steps) / nom * 100
+		}
+		return drops
+	})
+
+	k := 0
 	for _, d := range workloads {
 		series := make([]*trace.Series, cores)
 		for i := range series {
 			series[i] = res.PerCore[i].NewSeries(d.Name, "active cores", "% drop")
 		}
 		for _, n := range o.coreCounts() {
-			c := newChip(o, fmt.Sprintf("fig07/%s/%d", d.Name, n))
-			placeThreads(c, d, n)
-			c.SetMode(firmware.Static)
-			c.Settle(o.SettleSec)
-			steps := int(o.MeasureSec / chip.DefaultStepSec)
-			drops := make([]float64, cores)
-			for s := 0; s < steps; s++ {
-				c.Step(chip.DefaultStepSec)
-				for i := 0; i < cores; i++ {
-					drops[i] += c.TotalDropMV(i)
-				}
-			}
 			for i := 0; i < cores; i++ {
-				pct := drops[i] / float64(steps) / nom * 100
-				series[i].Add(float64(n), pct)
+				series[i].Add(float64(n), dropPcts[k][i])
 			}
+			k++
 		}
 	}
 

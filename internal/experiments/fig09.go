@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -39,6 +41,21 @@ func Fig09Decomposition(o Options) Fig09Result {
 	}
 	nom := float64(nomV())
 
+	type gridPoint struct {
+		name string
+		n    int
+	}
+	var points []gridPoint
+	for _, d := range workloads {
+		for _, n := range o.coreCounts() {
+			points = append(points, gridPoint{d.Name, n})
+		}
+	}
+	breakdowns := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) chip.DropBreakdown {
+		return chipSteady(o, pt.name, pt.n, firmware.Static).Breakdown0
+	})
+
+	k := 0
 	for _, d := range workloads {
 		fig := trace.NewFigure(fmt.Sprintf("Fig. 9: %s drop decomposition", d.Name))
 		res.PerWorkload[d.Name] = fig
@@ -47,8 +64,8 @@ func Fig09Decomposition(o Options) Fig09Result {
 		typ := fig.NewSeries("didt-typ", "cores", "%")
 		worst := fig.NewSeries("didt-worst", "cores", "%")
 		for _, n := range o.coreCounts() {
-			st := chipSteady(o, d.Name, n, firmware.Static)
-			b := st.Breakdown0
+			b := breakdowns[k]
+			k++
 			ll.Add(float64(n), b.LoadlineMV/nom*100)
 			ir.Add(float64(n), b.IRDropMV/nom*100)
 			typ.Add(float64(n), b.TypicalDidtMV/nom*100)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/stats"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
@@ -62,10 +63,16 @@ func Fig10PassiveDropCorrelation(o Options) Fig10Result {
 	var powers, passives, uvPassives, uvs, savings []float64
 	res.SavingMin, res.BoostMin = 1e9, 1e9
 	const n = 8
-	for _, d := range fig10Workloads(o) {
-		st := chipSteady(o, d.Name, n, firmware.Static)
-		uv := chipSteady(o, d.Name, n, firmware.Undervolt)
-		oc := chipSteady(o, d.Name, n, firmware.Overclock)
+	type point struct{ st, uv, oc steady }
+	pts := parallel.Sweep(o.pool(), fig10Workloads(o), func(_ int, d workload.Descriptor) point {
+		return point{
+			st: chipSteady(o, d.Name, n, firmware.Static),
+			uv: chipSteady(o, d.Name, n, firmware.Undervolt),
+			oc: chipSteady(o, d.Name, n, firmware.Overclock),
+		}
+	})
+	for _, pt := range pts {
+		st, uv, oc := pt.st, pt.uv, pt.oc
 
 		a.Add(st.PowerW, st.PassiveMV)
 		powers = append(powers, st.PowerW)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/server"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
@@ -69,13 +70,23 @@ func Fig12LoadlineBorrowing(o Options) Fig12Result {
 	pBorrow := res.Power.NewSeries("borrowing", "cores", "W")
 
 	d := workload.MustGet(bench)
-	for _, n := range o.coreCounts() {
+	type point struct {
+		staticP, baseP, borrP float64
+		baseUV, borrUV        []float64
+	}
+	pts := parallel.Sweep(o.pool(), o.coreCounts(), func(_ int, n int) point {
 		plC, keepC := fig12Schedule(n, false)
 		plB, keepB := fig12Schedule(n, true)
-
-		staticP, _ := serverSteady(o, fmt.Sprintf("fig12/st/%d", n), d, plC, keepC, firmware.Static)
-		baseP, baseUV := serverSteady(o, fmt.Sprintf("fig12/base/%d", n), d, plC, keepC, firmware.Undervolt)
-		borrP, borrUV := serverSteady(o, fmt.Sprintf("fig12/borr/%d", n), d, plB, keepB, firmware.Undervolt)
+		var pt point
+		pt.staticP, _ = serverSteady(o, fmt.Sprintf("fig12/st/%d", n), d, plC, keepC, firmware.Static)
+		pt.baseP, pt.baseUV = serverSteady(o, fmt.Sprintf("fig12/base/%d", n), d, plC, keepC, firmware.Undervolt)
+		pt.borrP, pt.borrUV = serverSteady(o, fmt.Sprintf("fig12/borr/%d", n), d, plB, keepB, firmware.Undervolt)
+		return pt
+	})
+	for i, n := range o.coreCounts() {
+		pt := pts[i]
+		staticP, baseP, borrP := pt.staticP, pt.baseP, pt.borrP
+		baseUV, borrUV := pt.baseUV, pt.borrUV
 
 		pStatic.Add(float64(n), staticP)
 		pBase.Add(float64(n), baseP)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -37,21 +38,37 @@ func Fig13BorrowingSweep(o Options) Fig13Result {
 		workloads = workload.Fig5Workloads()
 	}
 
+	type gridPoint struct {
+		d workload.Descriptor
+		n int
+	}
+	var points []gridPoint
+	for _, d := range workloads {
+		for _, n := range o.coreCounts() {
+			points = append(points, gridPoint{d, n})
+		}
+	}
+	type imp struct{ impC, impB float64 }
+	imps := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) imp {
+		plC, keepC := fig12Schedule(pt.n, false)
+		plB, keepB := fig12Schedule(pt.n, true)
+
+		staticC, _ := serverSteady(o, fmt.Sprintf("fig13/stc/%s/%d", pt.d.Name, pt.n), pt.d, plC, keepC, firmware.Static)
+		agC, _ := serverSteady(o, fmt.Sprintf("fig13/agc/%s/%d", pt.d.Name, pt.n), pt.d, plC, keepC, firmware.Undervolt)
+		staticB, _ := serverSteady(o, fmt.Sprintf("fig13/stb/%s/%d", pt.d.Name, pt.n), pt.d, plB, keepB, firmware.Static)
+		agB, _ := serverSteady(o, fmt.Sprintf("fig13/agb/%s/%d", pt.d.Name, pt.n), pt.d, plB, keepB, firmware.Undervolt)
+
+		return imp{impC: improvementPct(staticC, agC), impB: improvementPct(staticB, agB)}
+	})
+
 	var base8, borr8 []float64
+	k := 0
 	for _, d := range workloads {
 		bs := res.Baseline.NewSeries(d.Name, "cores", "%")
 		rs := res.Borrowing.NewSeries(d.Name, "cores", "%")
 		for _, n := range o.coreCounts() {
-			plC, keepC := fig12Schedule(n, false)
-			plB, keepB := fig12Schedule(n, true)
-
-			staticC, _ := serverSteady(o, fmt.Sprintf("fig13/stc/%s/%d", d.Name, n), d, plC, keepC, firmware.Static)
-			agC, _ := serverSteady(o, fmt.Sprintf("fig13/agc/%s/%d", d.Name, n), d, plC, keepC, firmware.Undervolt)
-			staticB, _ := serverSteady(o, fmt.Sprintf("fig13/stb/%s/%d", d.Name, n), d, plB, keepB, firmware.Static)
-			agB, _ := serverSteady(o, fmt.Sprintf("fig13/agb/%s/%d", d.Name, n), d, plB, keepB, firmware.Undervolt)
-
-			impC := improvementPct(staticC, agC)
-			impB := improvementPct(staticB, agB)
+			impC, impB := imps[k].impC, imps[k].impB
+			k++
 			bs.Add(float64(n), impC)
 			rs.Add(float64(n), impB)
 			if n == 8 {

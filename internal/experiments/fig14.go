@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/stats"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
@@ -51,11 +52,17 @@ func Fig14FullSuite(o Options) Fig14Result {
 	const n = 8
 	var powerImps, energyImps []float64
 	res.WorstEnergy, res.BestEnergy = 1e9, -1e9
-	for _, d := range workloads {
+	type point struct{ base, borr runResult }
+	pts := parallel.Sweep(o.pool(), workloads, func(_ int, d workload.Descriptor) point {
 		plC, keepC := fig12Schedule(n, false)
 		plB, keepB := fig12Schedule(n, true)
-		base := serverRun(o, fmt.Sprintf("fig14/base/%s", d.Name), d, plC, keepC, firmware.Undervolt)
-		borr := serverRun(o, fmt.Sprintf("fig14/borr/%s", d.Name), d, plB, keepB, firmware.Undervolt)
+		return point{
+			base: serverRun(o, fmt.Sprintf("fig14/base/%s", d.Name), d, plC, keepC, firmware.Undervolt),
+			borr: serverRun(o, fmt.Sprintf("fig14/borr/%s", d.Name), d, plB, keepB, firmware.Undervolt),
+		}
+	})
+	for i, d := range workloads {
+		base, borr := pts[i].base, pts[i].borr
 
 		powerImp := improvementPct(base.AvgPowerW, borr.AvgPowerW)
 		energyImp := (base.EnergyJ - borr.EnergyJ) / borr.EnergyJ * 100

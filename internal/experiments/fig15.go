@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -41,28 +42,44 @@ func Fig15Colocation(o Options) Fig15Result {
 	if o.Quick {
 		counts = []int{1, 4, 8}
 	}
+	type gridPoint struct {
+		otherName string
+		k         int
+	}
+	var points []gridPoint
 	for _, otherName := range []string{"lu_cb", "mcf"} {
-		other := workload.MustGet(otherName)
+		for _, k := range counts {
+			points = append(points, gridPoint{otherName, k})
+		}
+	}
+	freqs := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) float64 {
+		other := workload.MustGet(pt.otherName)
+		c := newChip(o, fmt.Sprintf("fig15/%s/%d", pt.otherName, pt.k))
+		for i := 0; i < pt.k; i++ {
+			c.Place(i, workload.NewThread(cm, 1e9, nil))
+		}
+		for i := pt.k; i < 8; i++ {
+			c.Place(i, workload.NewThread(other, 1e9, nil))
+		}
+		c.SetMode(firmware.Overclock)
+		return measureChip(o, c).Freq0MHz
+	})
+
+	idx := 0
+	for _, otherName := range []string{"lu_cb", "mcf"} {
 		s := res.Frequency.NewSeries(otherName, "#coremark", "MHz")
 		for _, k := range counts {
-			c := newChip(o, fmt.Sprintf("fig15/%s/%d", otherName, k))
-			for i := 0; i < k; i++ {
-				c.Place(i, workload.NewThread(cm, 1e9, nil))
-			}
-			for i := k; i < 8; i++ {
-				c.Place(i, workload.NewThread(other, 1e9, nil))
-			}
-			c.SetMode(firmware.Overclock)
-			st := measureChip(o, c)
-			s.Add(float64(k), st.Freq0MHz)
+			f := freqs[idx]
+			idx++
+			s.Add(float64(k), f)
 
 			switch {
 			case k == 8 && otherName == "lu_cb":
-				res.CoremarkOnly = st.Freq0MHz
+				res.CoremarkOnly = f
 			case k == 1 && otherName == "lu_cb":
-				res.WorstWithLuCb = st.Freq0MHz
+				res.WorstWithLuCb = f
 			case k == 1 && otherName == "mcf":
-				res.BestWithMcf = st.Freq0MHz
+				res.BestWithMcf = f
 			}
 		}
 	}

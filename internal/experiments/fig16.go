@@ -3,8 +3,10 @@ package experiments
 import (
 	"agsim/internal/core"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/units"
+	"agsim/internal/workload"
 )
 
 // Fig16Result reproduces Fig. 16: the MIPS-based frequency predictor,
@@ -33,8 +35,12 @@ func Fig16MIPSPredictor(o Options) Fig16Result {
 	measured := res.Scatter.NewSeries("measured", "MIPS", "MHz")
 
 	const n = 8
-	for _, d := range fig10Workloads(o) {
-		st := chipSteady(o, d.Name, n, firmware.Overclock)
+	// Characterizations fan out; the predictor observes in input order so
+	// training is identical to the serial run.
+	sts := parallel.Sweep(o.pool(), fig10Workloads(o), func(_ int, d workload.Descriptor) steady {
+		return chipSteady(o, d.Name, n, firmware.Overclock)
+	})
+	for _, st := range sts {
 		measured.Add(st.TotalMIPS, st.Freq0MHz)
 		res.Predictor.Observe(units.MIPS(st.TotalMIPS), units.Megahertz(st.Freq0MHz))
 	}

@@ -6,6 +6,7 @@ import (
 	"agsim/internal/chip"
 	"agsim/internal/core"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/qos"
 	"agsim/internal/rng"
 	"agsim/internal/stats"
@@ -107,11 +108,14 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 	}
 
 	// Characterize each co-runner with live windows feeding the query
-	// stream.
-	candidates := make([]core.Candidate, 0, len(coRunners))
-	violations := map[string]float64{}
-	p90Means := map[string]float64{}
-	for _, cr := range coRunners {
+	// stream. Each characterization owns its chip and QoS tracker (seeded
+	// from its own named stream), so the three fan out on the pool.
+	type charac struct {
+		violationRate float64
+		hist          []float64
+		coMIPS        float64
+	}
+	characs := parallel.Sweep(o.pool(), coRunners, func(_ int, cr coRunner) charac {
 		c := colocatedChip(o, cr.name, cr)
 		tr := qos.NewTracker(cfg, rng.New(o.Seed, "qos/"+cr.name))
 		var coMIPS float64
@@ -120,18 +124,25 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 			tr.RunWindow(own)
 			coMIPS += float64(chipTotal) - float64(own)
 		}
-		violations[cr.name] = tr.ViolationRate()
-		hist := tr.P90History()
-		p90Means[cr.name] = stats.Mean(hist)
-		cdf := stats.NewCDF(hist)
+		return charac{violationRate: tr.ViolationRate(), hist: tr.P90History(), coMIPS: coMIPS}
+	})
+
+	candidates := make([]core.Candidate, 0, len(coRunners))
+	violations := map[string]float64{}
+	p90Means := map[string]float64{}
+	for i, cr := range coRunners {
+		ch := characs[i]
+		violations[cr.name] = ch.violationRate
+		p90Means[cr.name] = stats.Mean(ch.hist)
+		cdf := stats.NewCDF(ch.hist)
 		s := res.CDF.NewSeries(cr.name, "p90 (s)", "cumulative fraction")
 		for _, q := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
 			s.Add(cdf.Quantile(q), q)
 		}
 		candidates = append(candidates, core.Candidate{
 			Name:         cr.name,
-			MIPS:         units.MIPS(coMIPS / float64(windows)),
-			BandwidthGBs: workload.MustGet("coremark").BandwidthGBs(units.MIPS(coMIPS / float64(windows))),
+			MIPS:         units.MIPS(ch.coMIPS / float64(windows)),
+			BandwidthGBs: workload.MustGet("coremark").BandwidthGBs(units.MIPS(ch.coMIPS / float64(windows))),
 		})
 	}
 	res.ViolationLight = violations["light"]
@@ -139,11 +150,14 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 	res.ViolationHeavy = violations["heavy"]
 
 	// Train the frequency predictor across throttle levels (the profiling
-	// the middleware would have accumulated).
+	// the middleware would have accumulated). Measurements fan out; the
+	// predictor observes in input order.
 	predictor := &core.FreqPredictor{}
-	for _, th := range []float64{0.1, 0.3, 0.5, 0.7, 0.96} {
+	trainSts := parallel.Sweep(o.pool(), []float64{0.1, 0.3, 0.5, 0.7, 0.96}, func(_ int, th float64) steady {
 		c := colocatedChip(o, fmt.Sprintf("train/%.2f", th), coRunner{"train", th})
-		st := measureChip(o, c)
+		return measureChip(o, c)
+	})
+	for _, st := range trainSts {
 		predictor.Observe(units.MIPS(st.TotalMIPS), units.Megahertz(st.Freq0MHz))
 	}
 	if err := predictor.Train(); err != nil {

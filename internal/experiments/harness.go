@@ -11,6 +11,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/server"
 	"agsim/internal/stats"
 	"agsim/internal/units"
@@ -32,6 +33,11 @@ type Options struct {
 	// Quick restricts sweeps to representative subsets (used by unit
 	// tests and quick benchmark runs).
 	Quick bool
+	// Workers bounds sweep-point concurrency: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. Results are
+	// bit-identical at any worker count — every sweep point owns its
+	// chip/server/cluster and tag-hashed RNG streams.
+	Workers int
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -43,6 +49,9 @@ func DefaultOptions() Options {
 func QuickOptions() Options {
 	return Options{Seed: 20151205, SettleSec: 1.2, MeasureSec: 0.5, WorkScale: 0.05, Quick: true}
 }
+
+// pool returns the worker pool the options select for sweep fan-out.
+func (o Options) pool() *parallel.Pool { return parallel.NewPool(o.Workers) }
 
 // steady holds steady-state averages of one chip measurement.
 type steady struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"agsim/internal/firmware"
+	"agsim/internal/parallel"
 	"agsim/internal/trace"
 	"agsim/internal/workload"
 )
@@ -39,8 +40,7 @@ func SMTScaling(o Options) SMTResult {
 	if o.Quick {
 		counts = []int{8, 32}
 	}
-	byCount := map[int]steady{}
-	for _, threads := range counts {
+	sts := parallel.Sweep(o.pool(), counts, func(_ int, threads int) steady {
 		c := newChip(o, fmt.Sprintf("smt/%d", threads))
 		perCore := threads / 8
 		for core := 0; core < 8; core++ {
@@ -49,7 +49,11 @@ func SMTScaling(o Options) SMTResult {
 			}
 		}
 		c.SetMode(firmware.Undervolt)
-		st := measureChip(o, c)
+		return measureChip(o, c)
+	})
+	byCount := map[int]steady{}
+	for i, threads := range counts {
+		st := sts[i]
 		byCount[threads] = st
 		res.Table.AddRow(fmt.Sprintf("%d threads", threads),
 			st.TotalMIPS, st.PowerW, st.UndervoltMV, st.TotalMIPS/st.PowerW)

@@ -1,0 +1,147 @@
+// Package parallel is the simulator's deterministic fan-out layer: a
+// bounded worker pool with order-preserving Map/Sweep primitives.
+//
+// Every headline result is produced by embarrassingly-parallel sweeps —
+// each sweep point builds its own chip, server or cluster from a
+// point-specific seed and never touches another point's state. The pool
+// exploits that: points execute concurrently on up to Workers goroutines,
+// results land in the slot of their input index, and aggregation happens
+// in input order on the caller's goroutine. Because each point's float
+// operations are an identical instruction sequence regardless of which
+// worker runs them, a parallel sweep is bit-identical to the serial one.
+//
+// Determinism contract for callers:
+//
+//   - a sweep point must derive all randomness from its own streams
+//     (`internal/rng` named streams seeded per point, e.g. via the
+//     experiment tag hash or SplitSeed) — never from a source shared with
+//     another point;
+//   - a point must not mutate state visible to other points;
+//   - aggregation of the returned slice happens after Map/Sweep returns,
+//     in input order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool size used when none is specified:
+// GOMAXPROCS, the number of OS threads Go will actually run.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Pool bounds the concurrency of Map/Sweep/ForEach calls that use it.
+// A Pool is stateless between calls and safe for concurrent use; the
+// bound applies per call, not across calls.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given size; n <= 0 selects
+// DefaultWorkers(). A one-worker pool runs everything inline on the
+// caller's goroutine — the serial path, with zero goroutine overhead.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Serial reports whether the pool runs tasks inline on the caller's
+// goroutine (nil pool or a single worker).
+func (p *Pool) Serial() bool { return p == nil || p.workers <= 1 }
+
+// ForEach runs fn(i) for every i in [0, n), on up to p.Workers()
+// goroutines. It returns when all calls have completed. A panic in any
+// fn is re-raised on the caller's goroutine after the remaining workers
+// drain, so sweeps keep their fail-fast panic semantics.
+func ForEach(p *Pool, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p.Serial() || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[recovered]
+	)
+	work := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, &recovered{value: r})
+						// Stop claiming new work; in-flight items on
+						// other workers finish normally.
+						next.Store(int64(n))
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r.value)
+	}
+}
+
+// recovered carries the first panic out of the worker goroutines.
+type recovered struct{ value any }
+
+// Map applies fn to every index in [0, n) and returns the results in
+// input order. fn runs on the pool's workers; see ForEach for panic and
+// ordering semantics.
+func Map[R any](p *Pool, n int, fn func(int) R) []R {
+	out := make([]R, n)
+	ForEach(p, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Sweep applies fn to every point of a sweep and returns the results in
+// point order — the shape of every experiment driver: a list of sweep
+// points, one independent simulation per point.
+func Sweep[T, R any](p *Pool, points []T, fn func(i int, pt T) R) []R {
+	out := make([]R, len(points))
+	ForEach(p, len(points), func(i int) { out[i] = fn(i, points[i]) })
+	return out
+}
+
+// SplitSeed derives a per-point seed from a base seed and a point index
+// using the SplitMix64 finalizer, so adjacent indices produce
+// decorrelated streams. Sweep points that do not already own a
+// tag-hashed seed can use this to satisfy the determinism contract.
+func SplitSeed(base uint64, i int) uint64 {
+	z := base + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

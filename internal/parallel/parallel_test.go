@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if got := NewPool(0).Workers(); got != DefaultWorkers() {
+		t.Errorf("NewPool(0).Workers() = %d, want %d", got, DefaultWorkers())
+	}
+	if got := NewPool(-3).Workers(); got != DefaultWorkers() {
+		t.Errorf("NewPool(-3).Workers() = %d, want %d", got, DefaultWorkers())
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Errorf("NewPool(5).Workers() = %d", got)
+	}
+	if !NewPool(1).Serial() {
+		t.Error("one-worker pool must be serial")
+	}
+	if NewPool(2).Serial() {
+		t.Error("two-worker pool must not be serial")
+	}
+	var nilPool *Pool
+	if !nilPool.Serial() || nilPool.Workers() != 1 {
+		t.Error("nil pool must behave as serial single worker")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := NewPool(workers)
+		got := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapParallelMatchesSerial(t *testing.T) {
+	fn := func(i int) float64 {
+		// A float computation whose result must be bit-identical
+		// regardless of execution order.
+		x := float64(i) + 0.1
+		for k := 0; k < 50; k++ {
+			x = x*1.000001 + float64(k)*1e-9
+		}
+		return x
+	}
+	serial := Map(NewPool(1), 64, fn)
+	par := Map(NewPool(8), 64, fn)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("point %d diverged: %v vs %v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	points := []string{"a", "bb", "ccc"}
+	got := Sweep(NewPool(4), points, func(i int, pt string) int { return i*100 + len(pt) })
+	want := []int{1, 102, 203}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	var count atomic.Int64
+	ForEach(NewPool(8), 1000, func(i int) { count.Add(1) })
+	if count.Load() != 1000 {
+		t.Errorf("ran %d of 1000 tasks", count.Load())
+	}
+	// Zero and negative n are no-ops.
+	ForEach(NewPool(8), 0, func(i int) { t.Error("called for n=0") })
+	ForEach(NewPool(8), -1, func(i int) { t.Error("called for n=-1") })
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(NewPool(workers), 16, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestSplitSeedDecorrelates(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SplitSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if SplitSeed(42, 7) != SplitSeed(42, 7) {
+		t.Error("SplitSeed not deterministic")
+	}
+	if SplitSeed(42, 7) == SplitSeed(43, 7) {
+		t.Error("SplitSeed ignores base seed")
+	}
+}

@@ -14,6 +14,10 @@ type Network interface {
 	Cores() int
 	// Drops returns per-core passive IR drop for the given draw.
 	Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt
+	// DropsInto is Drops writing into dst when dst has the network's core
+	// count, allocating a fresh slice only otherwise — the allocation-free
+	// form the chip's step loop uses with a per-chip scratch buffer.
+	DropsInto(dst []units.Millivolt, coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt
 	// WorstDrop returns the largest per-core drop.
 	WorstDrop(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) units.Millivolt
 	// GlobalDropMV returns the shared-path component at the given total
@@ -101,6 +105,9 @@ type Mesh struct {
 	// effGlobal is the calibrated effective global resistance (mΩ) used
 	// by GlobalDropMV.
 	effGlobal float64
+
+	// inject is solver scratch reused across DropsInto calls.
+	inject []float64
 }
 
 // NewMesh builds and calibrates the mesh.
@@ -153,11 +160,21 @@ func (m *Mesh) Cores() int { return m.p.Cores }
 // Drops solves the grid for the given draw and returns each core's mean
 // regional drop.
 func (m *Mesh) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
+	return m.DropsInto(nil, coreCurrents, uncoreCurrent)
+}
+
+// DropsInto is Drops writing into dst when it has the mesh's core count.
+// The injection vector is per-mesh scratch, so a Mesh (like the Chip that
+// owns it) is not safe for concurrent solves.
+func (m *Mesh) DropsInto(dst []units.Millivolt, coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
 	if len(coreCurrents) != m.p.Cores {
 		panic(fmt.Sprintf("pdn: %d currents for %d cores", len(coreCurrents), m.p.Cores))
 	}
 	n := m.p.Rows * m.p.Cols
-	inject := make([]float64, n)
+	if len(m.inject) != n {
+		m.inject = make([]float64, n)
+	}
+	inject := m.inject
 	// Uncore current spreads uniformly; core currents spread over their
 	// regions.
 	per := float64(uncoreCurrent) / float64(n)
@@ -191,7 +208,10 @@ func (m *Mesh) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []
 		m.solve(inject)
 	}
 
-	out := make([]units.Millivolt, m.p.Cores)
+	out := dst
+	if len(out) != m.p.Cores {
+		out = make([]units.Millivolt, m.p.Cores)
+	}
 	for core, nodes := range m.coreNodes {
 		sum := 0.0
 		for _, idx := range nodes {

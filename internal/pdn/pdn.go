@@ -102,6 +102,12 @@ func (pl *Plane) Neighbors(i int) []int { return pl.adjacent[i] }
 // the plane. The rail (VRM output) voltage minus these drops is each core's
 // DC operating voltage before di/dt noise.
 func (pl *Plane) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
+	return pl.DropsInto(nil, coreCurrents, uncoreCurrent)
+}
+
+// DropsInto is Drops writing into dst when it has the plane's core count,
+// allocating a fresh slice only otherwise.
+func (pl *Plane) DropsInto(dst []units.Millivolt, coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
 	if len(coreCurrents) != pl.p.Cores {
 		panic(fmt.Sprintf("pdn: %d currents for %d cores", len(coreCurrents), pl.p.Cores))
 	}
@@ -114,7 +120,10 @@ func (pl *Plane) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) 
 	}
 	total += uncoreCurrent
 
-	drops := make([]units.Millivolt, pl.p.Cores)
+	drops := dst
+	if len(drops) != pl.p.Cores {
+		drops = make([]units.Millivolt, pl.p.Cores)
+	}
 	global := units.IRDrop(total, pl.p.GlobalMilliohm)
 	for i := range drops {
 		d := global + units.IRDrop(coreCurrents[i], pl.p.LocalMilliohm)

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench.sh [pattern] [outfile] — run the microbenchmarks with -benchmem and
+# record the raw lines plus environment as JSON for trend tracking.
+#
+# Defaults: the hot-path and sweep-engine benches, BENCH_<date>.json.
+set -eu
+
+pattern="${1:-BenchmarkChipStep|BenchmarkSweep}"
+out="${2:-BENCH_$(date +%Y%m%d).json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime 2000x . | tee "$tmp"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 0)"
+	printf '  "pattern": "%s",\n' "$pattern"
+	printf '  "results": [\n'
+	grep '^Benchmark' "$tmp" | tr '\t' ' ' | tr -s ' ' | sed 's/"/\\"/g' | awk '
+		{ lines[NR] = $0 }
+		END {
+			for (i = 1; i <= NR; i++) {
+				comma = (i < NR) ? "," : ""
+				printf "    \"%s\"%s\n", lines[i], comma
+			}
+		}'
+	printf '  ]\n'
+	printf '}\n'
+} > "$out"
+
+echo "wrote $out"
