@@ -1,17 +1,23 @@
 # agsim build/test/bench entry points.
 #
-#   make check   — the tier-1 gate: build, vet, full test suite
-#   make race    — race-detector lane over the concurrency-bearing packages
-#   make bench   — microbenchmarks with -benchmem, JSON'd to BENCH_<date>.json
-#   make ci      — everything CI runs: check + race + bench
+#   make check         — the tier-1 gate: build, vet, full test suite
+#   make race          — race-detector lane over the concurrency-bearing packages
+#   make bench         — microbenchmarks with -benchmem, JSON'd to BENCH_<date>.json
+#   make bench-compare — diff the two most recent BENCH_*.json; fails on >10%
+#                        ns/op regressions in the chip-step and sweep benches
+#   make profile       — CPU+heap profile one experiment via cmd/agsim
+#                        (PROFILE_EXP selects it, default fig7 on the mesh lane)
+#   make ci            — everything CI runs: check + race + bench
 #
 # GO selects the toolchain; WORKERS feeds -workers through AGSIM benches.
 
-GO      ?= go
-DATE    := $(shell date +%Y%m%d)
-BENCHES ?= BenchmarkChipStep|BenchmarkSweep
+GO          ?= go
+DATE        := $(shell date +%Y%m%d)
+BENCHES     ?= BenchmarkChipStep|BenchmarkSweep
+PROFILE_EXP ?= fig7
+PROFILE_FLAGS ?= -quick -mesh
 
-.PHONY: all build vet test check race bench ci
+.PHONY: all build vet test check race bench bench-compare profile ci
 
 all: check
 
@@ -31,5 +37,13 @@ race:
 
 bench:
 	./scripts/bench.sh '$(BENCHES)' BENCH_$(DATE).json
+
+bench-compare:
+	./scripts/bench_compare.sh
+
+profile:
+	$(GO) run ./cmd/agsim run $(PROFILE_EXP) $(PROFILE_FLAGS) \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: $(GO) tool pprof cpu.pprof"
 
 ci: check race bench

@@ -181,6 +181,35 @@ func BenchmarkChipStep(b *testing.B) {
 	}
 }
 
+// BenchmarkChipStepMesh is BenchmarkChipStep on the mesh-fidelity lane:
+// the distributed-grid PDN solved through the precomputed
+// transfer-resistance matrix. The kernel's contract is 0 allocs/op and
+// ns/op within ~2x of the lumped plane — constant time in the grid size.
+func BenchmarkChipStepMesh(b *testing.B) {
+	c := chip.MustNew(chip.DefaultConfig("bench", 1).WithMesh())
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e12, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	c.Settle(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(chip.DefaultStepSec)
+	}
+}
+
+// BenchmarkNewMesh prices the one-off setup the constant-time step buys:
+// Laplacian assembly, sparse Cholesky, and Cores+1 unit-injection solves.
+func BenchmarkNewMesh(b *testing.B) {
+	cfg := chip.DefaultConfig("bench", 1).WithMesh()
+	var c *chip.Chip
+	for i := 0; i < b.N; i++ {
+		c = chip.MustNew(cfg)
+	}
+	_ = c
+}
+
 func BenchmarkChipStepOverclock(b *testing.B) {
 	c := chip.MustNew(chip.DefaultConfig("bench", 1))
 	d := workload.MustGet("lu_cb")
@@ -199,9 +228,10 @@ func BenchmarkChipStepOverclock(b *testing.B) {
 // On a multi-core host the parallel run should show a multi-× wall-clock
 // win with bit-identical metrics (pinned by TestFig03ParallelBitIdentical).
 
-func benchSweep(b *testing.B, workers int) {
+func benchSweep(b *testing.B, workers int, mesh bool) {
 	o := benchOptions()
 	o.Workers = workers
+	o.Mesh = mesh
 	var r experiments.Fig14Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Fig14FullSuite(o)
@@ -209,8 +239,24 @@ func benchSweep(b *testing.B, workers int) {
 	b.ReportMetric(r.AvgPowerImprovement, "avg_power_imp_%")
 }
 
-func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
-func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1, false) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4, false) }
+
+// Mesh-fidelity sweep lanes: the same driver with every chip on the
+// distributed-grid PDN, pricing the transfer-matrix kernel end to end.
+func BenchmarkSweepSerialMesh(b *testing.B)   { benchSweep(b, 1, true) }
+func BenchmarkSweepParallelMesh(b *testing.B) { benchSweep(b, 4, true) }
+
+func BenchmarkFig07VoltageDropMesh(b *testing.B) {
+	o := benchOptions()
+	o.Mesh = true
+	var r experiments.Fig07Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig07VoltageDrop(o)
+	}
+	b.ReportMetric(r.Core0DropAt1, "drop@1core_%")
+	b.ReportMetric(r.Core0DropAt8, "drop@8core_%")
+}
 
 func BenchmarkDatacenterSweepSerial(b *testing.B) {
 	o := benchOptions()

@@ -84,6 +84,15 @@ func DefaultConfig(name string, seed uint64) Config {
 	}
 }
 
+// WithMesh returns the config with the distributed-grid PDN enabled at
+// the default mesh calibration (pdn.DefaultMeshParams), the mesh-fidelity
+// lane every experiment driver can run in.
+func (c Config) WithMesh() Config {
+	mp := pdn.DefaultMeshParams()
+	c.Mesh = &mp
+	return c
+}
+
 // validate reports the first inconsistent parameter, or nil.
 func (c Config) validate() error {
 	if c.Cores < 1 {

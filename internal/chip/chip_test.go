@@ -459,6 +459,41 @@ func TestMeshPDNOption(t *testing.T) {
 	}
 }
 
+func TestWithMeshEnablesMeshLane(t *testing.T) {
+	cfg := DefaultConfig("mesh", 7).WithMesh()
+	if cfg.Mesh == nil {
+		t.Fatal("WithMesh left Mesh nil")
+	}
+	if got, want := *cfg.Mesh, pdn.DefaultMeshParams(); got != want {
+		t.Errorf("WithMesh params = %+v, want defaults %+v", got, want)
+	}
+	// The original config is untouched (value semantics).
+	if DefaultConfig("mesh", 7).Mesh != nil {
+		t.Error("WithMesh mutated its receiver's source")
+	}
+	c := MustNew(cfg)
+	placeN(c, "raytrace", 8)
+	c.SetMode(firmware.Undervolt)
+	c.Settle(0.5)
+	if c.TotalDropMV(0) <= 0 {
+		t.Error("mesh-lane chip reports no drop under load")
+	}
+}
+
+func TestChipStepMeshAllocFree(t *testing.T) {
+	// The transfer-matrix kernel keeps the mesh-fidelity step loop at the
+	// same zero-allocation standard as the lumped plane.
+	c := MustNew(DefaultConfig("mesh", 1).WithMesh())
+	placeN(c, "raytrace", 8)
+	c.SetMode(firmware.Undervolt)
+	c.Settle(0.5)
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Step(DefaultStepSec)
+	}); allocs != 0 {
+		t.Errorf("mesh chip step allocated %v times per step", allocs)
+	}
+}
+
 func TestPerCoreTemperatureGradient(t *testing.T) {
 	// An active core runs hotter than an idle one on the same chip, and
 	// per-core leakage follows: placement has a thermal cost.

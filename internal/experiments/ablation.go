@@ -69,7 +69,7 @@ func measureWithReserve(o Options, name string, n int, mode firmware.Mode, reser
 }
 
 func serverSteadyWithReserve(o Options, tag string, d workload.Descriptor, pl []server.Placement, keepOn []int, reserve float64) float64 {
-	s := server.MustNew(server.DefaultConfig(o.Seed ^ hash(tag)))
+	s := server.MustNew(o.serverConfig(o.Seed ^ hash(tag)))
 	for si := 0; si < s.Sockets(); si++ {
 		s.Chip(si).Controller().LoadReserveMilliohm = reserve
 	}
@@ -112,7 +112,7 @@ func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
 	}
 	type droopRow struct{ absorbed, violations int }
 	rows := parallel.Sweep(o.pool(), authorities, func(_ int, a float64) droopRow {
-		c := chip.MustNew(chip.DefaultConfig("abl-dpll", o.Seed))
+		c := chip.MustNew(o.chipConfig("abl-dpll", o.Seed))
 		c.SetDroopSlewAuthority(a)
 		d := stress.Synthesize(stress.Virus)
 		for i := 0; i < c.Cores(); i++ {
@@ -161,7 +161,7 @@ func AblationCPMVariation(o Options) AblationCPMVariationResult {
 		spreads = []float64{0, 10}
 	}
 	uvs := parallel.Sweep(o.pool(), spreads, func(_ int, sp float64) float64 {
-		cfg := chip.DefaultConfig("abl-cpm", o.Seed)
+		cfg := o.chipConfig("abl-cpm", o.Seed)
 		cfg.CPM.PathOffsetSpreadMV = sp
 		c := chip.MustNew(cfg)
 		placeThreads(c, workload.MustGet("raytrace"), 4)
@@ -199,7 +199,7 @@ func AblationContention(o Options) AblationContentionResult {
 	d := workload.MustGet("radix")
 	speedups := parallel.Sweep(o.pool(), exponents, func(_ int, exp float64) float64 {
 		runOne := func(pl []server.Placement) float64 {
-			cfg := server.DefaultConfig(o.Seed)
+			cfg := o.serverConfig(o.Seed)
 			cfg.ContentionExponent = exp
 			s := server.MustNew(cfg)
 			s.MustSubmit("j", d, pl, d.WorkGInst*o.WorkScale)

@@ -118,7 +118,7 @@ func runNaive(o Options, jobs int) (float64, float64) {
 	const nodes = 4
 	srvs := make([]*server.Server, nodes)
 	for i := range srvs {
-		srvs[i] = server.MustNew(server.DefaultConfig(o.Seed + uint64(i)))
+		srvs[i] = server.MustNew(o.serverConfig(o.Seed + uint64(i)))
 		srvs[i].SetMode(firmware.Static)
 	}
 	d := workload.MustGet("raytrace")
@@ -158,7 +158,7 @@ func runNaive(o Options, jobs int) (float64, float64) {
 // borrowing within nodes only when ags is true (otherwise each job stays
 // on one socket, the conventional schedule).
 func runCluster(o Options, jobs int, ags bool) (float64, float64) {
-	c := cluster.MustNew(4, cluster.DefaultNodeConfig(o.Seed))
+	c := cluster.MustNew(4, o.nodeConfig(o.Seed))
 	c.SetMode(firmware.Undervolt)
 	d := workload.MustGet("raytrace")
 	if !ags {

@@ -33,6 +33,22 @@ func TestDatacenterParallelBitIdentical(t *testing.T) {
 	}
 }
 
+func TestFig07MeshParallelBitIdentical(t *testing.T) {
+	// The mesh-fidelity lane keeps the determinism contract: the transfer
+	// matrix is computed once per chip from pure arithmetic, so worker
+	// count cannot leak into the numbers.
+	meshOpts := func(w int) Options {
+		o := optsWithWorkers(w)
+		o.Mesh = true
+		return o
+	}
+	serial := Fig07VoltageDrop(meshOpts(1))
+	par := Fig07VoltageDrop(meshOpts(4))
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("mesh Fig07 parallel result diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
 func TestSameSeedRunsMatch(t *testing.T) {
 	a := Fig03CoreScaling(optsWithWorkers(4))
 	b := Fig03CoreScaling(optsWithWorkers(4))

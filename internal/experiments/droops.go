@@ -63,7 +63,7 @@ func DroopCensus(o Options) DroopCensusResult {
 	d := workload.MustGet("bodytrack")
 	didtParams := didt.DefaultParams()
 	type point struct {
-		perSec, depthNow    float64
+		perSec, depthNow     float64
 		busyWindows, windows int
 	}
 	pts := parallel.Sweep(o.pool(), o.coreCounts(), func(_ int, n int) point {

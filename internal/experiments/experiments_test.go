@@ -102,6 +102,47 @@ func TestFig07(t *testing.T) {
 	}
 }
 
+func TestFig07MeshLane(t *testing.T) {
+	// The mesh-fidelity lane reproduces the same qualitative Fig. 7 story
+	// as the lumped plane in normal test time.
+	o := QuickOptions()
+	o.Mesh = true
+	r := Fig07VoltageDrop(o)
+	if r.Core0DropAt8 <= r.Core0DropAt1 {
+		t.Error("mesh: drop must grow with active cores")
+	}
+	if r.Core0DropAt8 < 4 || r.Core0DropAt8 > 16 {
+		t.Errorf("mesh: core 0 drop at 8 cores = %.1f%%", r.Core0DropAt8)
+	}
+	if r.IdleCoreDropAt4 <= 0.5 {
+		t.Errorf("mesh: idle core must see global drop, got %.1f%%", r.IdleCoreDropAt4)
+	}
+	if r.ActivationJumpPct <= 0 {
+		t.Errorf("mesh: activation jump = %.2f%%, want localized rise", r.ActivationJumpPct)
+	}
+}
+
+func TestFidelityAblation(t *testing.T) {
+	r := FidelityAblation(QuickOptions())
+	for _, label := range []string{"plane", "mesh"} {
+		row, ok := r.Table.Row(label)
+		if !ok {
+			t.Fatalf("missing %s row", label)
+		}
+		if row.Values[1] <= row.Values[0] {
+			t.Errorf("%s: drop@8 (%.2f) not above drop@1 (%.2f)", label, row.Values[1], row.Values[0])
+		}
+		if row.Values[3] <= 0 {
+			t.Errorf("%s: no adaptive saving at 1 core", label)
+		}
+	}
+	// The lanes must tell the same qualitative story: within a few
+	// percentage points of nominal on the drop headline.
+	if d := r.Drop8DeltaPP; d < -5 || d > 5 {
+		t.Errorf("mesh vs plane drop@8 delta = %.2f pp, lanes diverge", d)
+	}
+}
+
 func TestFig09(t *testing.T) {
 	r := Fig09Decomposition(QuickOptions())
 	if r.PassiveShareAt8 < 0.6 {

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"agsim/internal/trace"
+)
+
+// FidelityResult compares the two PDN fidelity lanes — the lumped Plane
+// and the distributed-grid Mesh (transfer-resistance kernel) — on the
+// headline numbers of the drop-structure figure (Fig. 7) and the power
+// figure (Fig. 3). The mesh resolves the spatial structure the paper's
+// drop decomposition rests on; this ablation quantifies how much of the
+// headline story survives the lumped simplification.
+type FidelityResult struct {
+	// Table has one row per fidelity lane: core-0 drop at 1 and 8 active
+	// cores (% of nominal), core-7 activation jump (%), and the adaptive
+	// power saving at 1 and 8 cores (%).
+	Table *trace.Table
+
+	// Drop8DeltaPP is the mesh-minus-plane difference in core-0 drop at 8
+	// active cores, in percentage points of nominal voltage.
+	Drop8DeltaPP float64
+	// ActivationJumpDeltaPP is the mesh-minus-plane difference in core
+	// 7's activation jump, in percentage points.
+	ActivationJumpDeltaPP float64
+	// Saving8DeltaPP is the mesh-minus-plane difference in the 8-core
+	// adaptive power saving, in percentage points.
+	Saving8DeltaPP float64
+}
+
+// FidelityAblation runs the Fig. 7 and Fig. 3 drivers under both PDN
+// fidelity lanes and tabulates the headline numbers side by side. Each
+// lane reuses the drivers' own sweep parallelism and tag-seeded chips, so
+// the comparison inherits their determinism.
+func FidelityAblation(o Options) FidelityResult {
+	res := FidelityResult{
+		Table: trace.NewTable("Fidelity ablation: lumped Plane vs distributed Mesh",
+			"drop@1core %", "drop@8core %", "activation jump %", "saving@1core %", "saving@8core %"),
+	}
+	type lane struct {
+		drop1, drop8, jump, save1, save8 float64
+	}
+	run := func(mesh bool) lane {
+		lo := o
+		lo.Mesh = mesh
+		f7 := Fig07VoltageDrop(lo)
+		f3 := Fig03CoreScaling(lo)
+		return lane{
+			drop1: f7.Core0DropAt1,
+			drop8: f7.Core0DropAt8,
+			jump:  f7.ActivationJumpPct,
+			save1: f3.SavingAt1,
+			save8: f3.SavingAt8,
+		}
+	}
+	plane := run(false)
+	mesh := run(true)
+	res.Table.AddRow("plane", plane.drop1, plane.drop8, plane.jump, plane.save1, plane.save8)
+	res.Table.AddRow("mesh", mesh.drop1, mesh.drop8, mesh.jump, mesh.save1, mesh.save8)
+	res.Drop8DeltaPP = mesh.drop8 - plane.drop8
+	res.ActivationJumpDeltaPP = mesh.jump - plane.jump
+	res.Saving8DeltaPP = mesh.save8 - plane.save8
+	return res
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"agsim/internal/chip"
+	"agsim/internal/cluster"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
 	"agsim/internal/server"
@@ -38,6 +39,11 @@ type Options struct {
 	// bit-identical at any worker count — every sweep point owns its
 	// chip/server/cluster and tag-hashed RNG streams.
 	Workers int
+	// Mesh runs every chip the drivers build on the distributed-grid PDN
+	// (pdn.Mesh) instead of the lumped Plane — the mesh-fidelity lane.
+	// The mesh's transfer-resistance matrix is computed once per chip, so
+	// the lane keeps the bit-identical-at-any-worker-count contract.
+	Mesh bool
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -70,10 +76,38 @@ type steady struct {
 	Breakdown0 chip.DropBreakdown
 }
 
+// chipConfig returns the calibrated chip configuration at the options'
+// fidelity: the lumped plane by default, the mesh lane when o.Mesh is set.
+func (o Options) chipConfig(name string, seed uint64) chip.Config {
+	cfg := chip.DefaultConfig(name, seed)
+	if o.Mesh {
+		cfg = cfg.WithMesh()
+	}
+	return cfg
+}
+
+// serverConfig is chipConfig's server-level counterpart.
+func (o Options) serverConfig(seed uint64) server.Config {
+	cfg := server.DefaultConfig(seed)
+	if o.Mesh {
+		cfg.ChipConfig = cfg.ChipConfig.WithMesh()
+	}
+	return cfg
+}
+
+// nodeConfig is chipConfig's cluster-node counterpart.
+func (o Options) nodeConfig(seed uint64) cluster.NodeConfig {
+	nc := cluster.DefaultNodeConfig(seed)
+	if o.Mesh {
+		nc.Server.ChipConfig = nc.Server.ChipConfig.WithMesh()
+	}
+	return nc
+}
+
 // newChip builds the calibrated single-socket chip for chip-local
 // experiments.
 func newChip(o Options, tag string) *chip.Chip {
-	return chip.MustNew(chip.DefaultConfig("P0", o.Seed^hash(tag)))
+	return chip.MustNew(o.chipConfig("P0", o.Seed^hash(tag)))
 }
 
 func hash(s string) uint64 {
@@ -189,7 +223,7 @@ func runChipToCompletion(o Options, name string, n int, mode firmware.Mode) runR
 // serverRun runs a job to completion on the two-socket server under the
 // given placement/gating schedule and guardband mode.
 func serverRun(o Options, tag string, d workload.Descriptor, placements []server.Placement, keepOn []int, mode firmware.Mode) runResult {
-	s := server.MustNew(server.DefaultConfig(o.Seed ^ hash(tag)))
+	s := server.MustNew(o.serverConfig(o.Seed ^ hash(tag)))
 	j := s.MustSubmit("j", d, placements, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)
@@ -212,7 +246,7 @@ func serverRun(o Options, tag string, d workload.Descriptor, placements []server
 // serverSteady measures the server's steady totals under a schedule with
 // endless work.
 func serverSteady(o Options, tag string, d workload.Descriptor, placements []server.Placement, keepOn []int, mode firmware.Mode) (totalPowerW float64, undervolts []float64) {
-	s := server.MustNew(server.DefaultConfig(o.Seed ^ hash(tag)))
+	s := server.MustNew(o.serverConfig(o.Seed ^ hash(tag)))
 	s.MustSubmit("j", d, placements, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)

@@ -356,6 +356,21 @@ func Registry() []Experiment {
 			},
 		},
 		{
+			ID: "ext-fidelity", Title: "Extension: PDN fidelity ablation (Plane vs Mesh)",
+			Paper: "the drop decomposition (Figs. 7/9/12) rests on spatial IR structure; the mesh lane checks the lumped model does not distort the headline numbers",
+			Run: func(o Options) Report {
+				r := FidelityAblation(o)
+				return Report{
+					Headline: []Stat{
+						{"drop@8core delta, mesh-plane (pp)", r.Drop8DeltaPP, "small (models agree)"},
+						{"activation jump delta (pp)", r.ActivationJumpDeltaPP, "small"},
+						{"saving@8core delta (pp)", r.Saving8DeltaPP, "small"},
+					},
+					Tables: []*trace.Table{r.Table},
+				}
+			},
+		},
+		{
 			ID: "ext-datacenter", Title: "Extension: datacenter energy proportionality",
 			Paper: "conclusion: node-level improvements yield large savings at hundreds-to-thousands of nodes; §5.1.1: consolidate across servers, borrow within",
 			Run: func(o Options) Report {

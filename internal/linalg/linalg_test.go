@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPD builds a random symmetric diagonally dominant matrix (hence SPD)
+// with a banded sparsity pattern, as both CSR and a dense mirror.
+func randSPD(r *rand.Rand, n, band int) (*CSR, [][]float64) {
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i - band; j < i; j++ {
+			if j < 0 || r.Float64() < 0.3 {
+				continue
+			}
+			v := -r.Float64()
+			b.Add(i, j, v)
+			b.Add(j, i, v)
+			dense[i][j] += v
+			dense[j][i] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for j := 0; j < n; j++ {
+			row += math.Abs(dense[i][j])
+		}
+		v := row + 1 + r.Float64()
+		b.Add(i, i, v)
+		dense[i][i] += v
+	}
+	return b.Build(), dense
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(1, 2, 1.5)
+	b.Add(0, 0, 2)
+	b.Add(1, 2, 0.5)
+	a := b.Build()
+	if got := a.At(1, 2); got != 2 {
+		t.Errorf("duplicate entries not merged: %v", got)
+	}
+	if got := a.At(0, 0); got != 2 {
+		t.Errorf("entry (0,0) = %v", got)
+	}
+	if got := a.At(2, 1); got != 0 {
+		t.Errorf("unset entry = %v", got)
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, dense := randSPD(r, 20, 4)
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	got := a.MulVec(nil, x)
+	for i := range dense {
+		want := 0.0
+		for j := range dense[i] {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("row %d: MulVec %v, dense %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCholeskySolvesRandomSystems(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(60)
+		band := 1 + r.Intn(8)
+		a, _ := randSPD(r, n, band)
+		ch, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x := ch.Solve(nil, b)
+		ax := a.MulVec(nil, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-9 {
+				t.Fatalf("trial %d row %d: residual %v", trial, i, ax[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestSolveInPlaceAndInto(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a, _ := randSPD(r, 12, 3)
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	want := ch.Solve(nil, b)
+	dst := make([]float64, 12)
+	got := ch.Solve(dst, b)
+	if &got[0] != &dst[0] {
+		t.Error("Solve did not write into provided dst")
+	}
+	inPlace := append([]float64(nil), b...)
+	ch.Solve(inPlace, inPlace)
+	for i := range want {
+		if got[i] != want[i] || inPlace[i] != want[i] {
+			t.Fatalf("row %d: dst %v, aliased %v, want %v", i, got[i], inPlace[i], want[i])
+		}
+	}
+}
+
+func TestSolveRefinedTightensResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a, _ := randSPD(r, 50, 6)
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = 100 * r.NormFloat64()
+	}
+	x := ch.SolveRefined(a, b, 2)
+	ax := a.MulVec(nil, x)
+	norm := 0.0
+	for i := range b {
+		norm += (ax[i] - b[i]) * (ax[i] - b[i])
+	}
+	if math.Sqrt(norm) > 1e-10 {
+		t.Errorf("refined residual norm %g", math.Sqrt(norm))
+	}
+}
+
+func TestFactorRejectsIndefinite(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 5)
+	b.Add(1, 0, 5)
+	b.Add(1, 1, 1) // eigenvalues 6, -4: not SPD
+	if _, err := FactorCholesky(b.Build()); err == nil {
+		t.Error("expected positive-definiteness error")
+	}
+	z := NewBuilder(2) // empty matrix: zero pivot
+	if _, err := FactorCholesky(z.Build()); err == nil {
+		t.Error("expected zero-pivot error")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range entry")
+		}
+	}()
+	NewBuilder(2).Add(0, 2, 1)
+}

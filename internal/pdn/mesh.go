@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"agsim/internal/linalg"
 	"agsim/internal/units"
 )
 
@@ -48,9 +49,11 @@ type MeshParams struct {
 	BumpMilliohm float64
 	// BumpEvery places a bump at every k-th node in both directions.
 	BumpEvery int
-	// Tolerance is the Gauss-Seidel convergence threshold in mV.
+	// Tolerance is the Gauss-Seidel convergence threshold in mV for the
+	// iterative reference solver (gaussSeidelDrops), which the golden
+	// tests hold the direct kernel against.
 	Tolerance float64
-	// MaxIters bounds the solver.
+	// MaxIters bounds the reference solver.
 	MaxIters int
 }
 
@@ -87,13 +90,18 @@ func (p MeshParams) Validate() error {
 }
 
 // Mesh is the distributed-grid network.
+//
+// The grid is purely resistive, so every node voltage is a linear function
+// of the injected currents. NewMesh therefore solves the nodal system once
+// per unit injection — one right-hand side per core region plus one for
+// the uniformly spread uncore draw — with a direct sparse Cholesky
+// factorization, and collapses the responses into a dense
+// Cores x (Cores+1) transfer-resistance matrix. DropsInto is then an
+// exact, allocation-free O(Cores²) matvec per step instead of an
+// O(MaxIters·Rows·Cols) iterative solve, and the full node field is
+// reconstructed lazily (NodeDropsInto) only when a caller asks for it.
 type Mesh struct {
 	p MeshParams
-
-	// v holds each node's drop below the package plane, in mV; it is kept
-	// across solves as a warm start (the chip steps change currents only
-	// slightly, so the solver typically converges in a few sweeps).
-	v []float64
 
 	// coreNodes lists each core's node indices; bump marks bump nodes.
 	coreNodes [][]int
@@ -102,23 +110,32 @@ type Mesh struct {
 	// gSheet and gBump are conductances in 1/mΩ.
 	gSheet, gBump float64
 
-	// effGlobal is the calibrated effective global resistance (mΩ) used
-	// by GlobalDropMV.
-	effGlobal float64
+	// transfer is the dense transfer-resistance matrix in mΩ, row-major
+	// with stride Cores+1: transfer[i*(Cores+1)+j] is core i's mean
+	// regional drop per ampere injected by core j; column Cores is the
+	// response to one ampere of uncore draw spread across the die.
+	transfer []float64
 
-	// inject is solver scratch reused across DropsInto calls.
-	inject []float64
+	// unitNode[j] is the full node-drop field (mV per A) of unit
+	// injection j, kept for lazy field reconstruction.
+	unitNode [][]float64
+
+	// effGlobal is the calibrated effective global resistance (mΩ) used
+	// by GlobalDropMV, derived exactly from the transfer matrix.
+	effGlobal float64
 }
 
-// NewMesh builds and calibrates the mesh.
+// NewMesh builds the mesh: it assembles the grid's nodal conductance
+// matrix, factorizes it once, solves the Cores+1 unit-injection systems,
+// and calibrates the effective global resistance from the exact responses.
 func NewMesh(p MeshParams) (*Mesh, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	n := p.Rows * p.Cols
 	m := &Mesh{
 		p:      p,
-		v:      make([]float64, p.Rows*p.Cols),
-		bump:   make([]bool, p.Rows*p.Cols),
+		bump:   make([]bool, n),
 		gSheet: 1 / p.SheetMilliohm,
 		gBump:  1 / p.BumpMilliohm,
 	}
@@ -139,7 +156,75 @@ func NewMesh(p MeshParams) (*Mesh, error) {
 			}
 		}
 	}
-	// Calibrate the effective global resistance: uniform unit draw.
+
+	// Assemble the nodal equations G·v = inject: sheet conductances on
+	// the grid edges, bump conductances to the package plane on the
+	// diagonal. The bumps ground the system, making G positive definite.
+	b := linalg.NewBuilder(n)
+	for r := 0; r < p.Rows; r++ {
+		for c := 0; c < p.Cols; c++ {
+			idx := r*p.Cols + c
+			if r < p.Rows-1 {
+				down := idx + p.Cols
+				b.Add(idx, idx, m.gSheet)
+				b.Add(down, down, m.gSheet)
+				b.Add(idx, down, -m.gSheet)
+				b.Add(down, idx, -m.gSheet)
+			}
+			if c < p.Cols-1 {
+				right := idx + 1
+				b.Add(idx, idx, m.gSheet)
+				b.Add(right, right, m.gSheet)
+				b.Add(idx, right, -m.gSheet)
+				b.Add(right, idx, -m.gSheet)
+			}
+			if m.bump[idx] {
+				b.Add(idx, idx, m.gBump)
+			}
+		}
+	}
+	g := b.Build()
+	ch, err := linalg.FactorCholesky(g)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: mesh conductance matrix: %w", err)
+	}
+
+	// Solve one unit-injection system per core plus one for the uncore,
+	// and collapse each node field into its per-core regional means.
+	w := p.Cores + 1
+	m.transfer = make([]float64, p.Cores*w)
+	m.unitNode = make([][]float64, w)
+	rhs := make([]float64, n)
+	for j := 0; j < w; j++ {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		if j < p.Cores {
+			share := 1 / float64(len(m.coreNodes[j]))
+			for _, idx := range m.coreNodes[j] {
+				rhs[idx] = share
+			}
+		} else {
+			per := 1 / float64(n)
+			for i := range rhs {
+				rhs[i] = per
+			}
+		}
+		m.unitNode[j] = ch.SolveRefined(g, rhs, 1)
+		for i, nodes := range m.coreNodes {
+			sum := 0.0
+			for _, idx := range nodes {
+				sum += m.unitNode[j][idx]
+			}
+			m.transfer[i*w+j] = sum / float64(len(nodes))
+		}
+	}
+
+	// Calibrate the effective global resistance at the same operating
+	// point the lumped model is calibrated against: a uniform draw of
+	// 10 A per core plus 10 A of uncore. The transfer matrix makes the
+	// mean drop exact, so GlobalDropMV agrees with the uniform-draw mean
+	// to float precision on any scaling of this draw.
 	uniform := make([]units.Ampere, p.Cores)
 	for i := range uniform {
 		uniform[i] = 10
@@ -157,6 +242,22 @@ func NewMesh(p MeshParams) (*Mesh, error) {
 // Cores returns the core count.
 func (m *Mesh) Cores() int { return m.p.Cores }
 
+// Rows returns the grid's row count.
+func (m *Mesh) Rows() int { return m.p.Rows }
+
+// Cols returns the grid's column count.
+func (m *Mesh) Cols() int { return m.p.Cols }
+
+// TransferMilliohm returns the effective transfer resistance from
+// injection j to core i's mean regional drop, in mΩ; j == Cores() selects
+// the uncore column.
+func (m *Mesh) TransferMilliohm(i, j int) float64 {
+	if i < 0 || i >= m.p.Cores || j < 0 || j > m.p.Cores {
+		panic(fmt.Sprintf("pdn: transfer entry (%d,%d) outside %dx%d", i, j, m.p.Cores, m.p.Cores+1))
+	}
+	return m.transfer[i*(m.p.Cores+1)+j]
+}
+
 // Drops solves the grid for the given draw and returns each core's mean
 // regional drop.
 func (m *Mesh) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
@@ -164,68 +265,87 @@ func (m *Mesh) Drops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []
 }
 
 // DropsInto is Drops writing into dst when it has the mesh's core count.
-// The injection vector is per-mesh scratch, so a Mesh (like the Chip that
-// owns it) is not safe for concurrent solves.
+// It is an exact transfer-matrix matvec: constant time in the grid size,
+// allocation-free with a caller-provided dst, and safe for concurrent use
+// (the mesh is immutable after NewMesh). Zero injection yields exactly
+// zero drops with no special casing — the zero matvec is free.
 func (m *Mesh) DropsInto(dst []units.Millivolt, coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
 	if len(coreCurrents) != m.p.Cores {
 		panic(fmt.Sprintf("pdn: %d currents for %d cores", len(coreCurrents), m.p.Cores))
 	}
-	n := m.p.Rows * m.p.Cols
-	if len(m.inject) != n {
-		m.inject = make([]float64, n)
+	for _, i := range coreCurrents {
+		if i < 0 {
+			panic(fmt.Sprintf("pdn: negative core current %v", i))
+		}
 	}
-	inject := m.inject
-	// Uncore current spreads uniformly; core currents spread over their
-	// regions.
+	out := dst
+	if len(out) != m.p.Cores {
+		out = make([]units.Millivolt, m.p.Cores)
+	}
+	w := m.p.Cores + 1
+	unc := float64(uncoreCurrent)
+	for i := 0; i < m.p.Cores; i++ {
+		row := m.transfer[i*w : (i+1)*w]
+		d := row[m.p.Cores] * unc
+		for j, cur := range coreCurrents {
+			d += row[j] * float64(cur)
+		}
+		out[i] = units.Millivolt(d)
+	}
+	return out
+}
+
+// NodeDropsInto reconstructs the full node-drop field (mV below the
+// package plane, row-major) for the given draw, writing into dst when it
+// has Rows*Cols elements. The field is not needed on the step hot path, so
+// it is assembled lazily here from the stored unit responses only when a
+// caller asks for the spatial structure.
+func (m *Mesh) NodeDropsInto(dst []float64, coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []float64 {
+	if len(coreCurrents) != m.p.Cores {
+		panic(fmt.Sprintf("pdn: %d currents for %d cores", len(coreCurrents), m.p.Cores))
+	}
+	n := m.p.Rows * m.p.Cols
+	out := dst
+	if len(out) != n {
+		out = make([]float64, n)
+	}
+	unc := float64(uncoreCurrent)
+	uncField := m.unitNode[m.p.Cores]
+	for k := 0; k < n; k++ {
+		out[k] = uncField[k] * unc
+	}
+	for j, cur := range coreCurrents {
+		if cur == 0 {
+			continue
+		}
+		field := m.unitNode[j]
+		c := float64(cur)
+		for k := 0; k < n; k++ {
+			out[k] += field[k] * c
+		}
+	}
+	return out
+}
+
+// gaussSeidelDrops solves the same nodal system iteratively from a cold
+// start, to the params' Tolerance/MaxIters budget. It is the independent
+// reference implementation the golden tests hold the direct
+// transfer-matrix kernel against; nothing on the simulation path uses it.
+func (m *Mesh) gaussSeidelDrops(coreCurrents []units.Ampere, uncoreCurrent units.Ampere) []units.Millivolt {
+	rows, cols := m.p.Rows, m.p.Cols
+	n := rows * cols
+	inject := make([]float64, n)
 	per := float64(uncoreCurrent) / float64(n)
 	for i := range inject {
 		inject[i] = per
 	}
 	for core, nodes := range m.coreNodes {
-		if coreCurrents[core] < 0 {
-			panic(fmt.Sprintf("pdn: negative core current %v", coreCurrents[core]))
-		}
 		share := float64(coreCurrents[core]) / float64(len(nodes))
 		for _, idx := range nodes {
 			inject[idx] += share
 		}
 	}
-
-	allZero := true
-	for _, x := range inject {
-		if x != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
-		// The homogeneous solution is exactly zero; skip the solver so no
-		// warm-start residue leaks through the tolerance.
-		for i := range m.v {
-			m.v[i] = 0
-		}
-	} else {
-		m.solve(inject)
-	}
-
-	out := dst
-	if len(out) != m.p.Cores {
-		out = make([]units.Millivolt, m.p.Cores)
-	}
-	for core, nodes := range m.coreNodes {
-		sum := 0.0
-		for _, idx := range nodes {
-			sum += m.v[idx]
-		}
-		out[core] = units.Millivolt(sum / float64(len(nodes)))
-	}
-	return out
-}
-
-// solve runs Gauss-Seidel on the nodal equations, warm-started from the
-// previous solution.
-func (m *Mesh) solve(inject []float64) {
-	rows, cols := m.p.Rows, m.p.Cols
+	v := make([]float64, n)
 	for iter := 0; iter < m.p.MaxIters; iter++ {
 		maxDelta := 0.0
 		for r := 0; r < rows; r++ {
@@ -234,35 +354,44 @@ func (m *Mesh) solve(inject []float64) {
 				num := inject[idx]
 				den := 0.0
 				if r > 0 {
-					num += m.gSheet * m.v[idx-cols]
+					num += m.gSheet * v[idx-cols]
 					den += m.gSheet
 				}
 				if r < rows-1 {
-					num += m.gSheet * m.v[idx+cols]
+					num += m.gSheet * v[idx+cols]
 					den += m.gSheet
 				}
 				if c > 0 {
-					num += m.gSheet * m.v[idx-1]
+					num += m.gSheet * v[idx-1]
 					den += m.gSheet
 				}
 				if c < cols-1 {
-					num += m.gSheet * m.v[idx+1]
+					num += m.gSheet * v[idx+1]
 					den += m.gSheet
 				}
 				if m.bump[idx] {
 					den += m.gBump
 				}
 				next := num / den
-				if d := math.Abs(next - m.v[idx]); d > maxDelta {
+				if d := math.Abs(next - v[idx]); d > maxDelta {
 					maxDelta = d
 				}
-				m.v[idx] = next
+				v[idx] = next
 			}
 		}
 		if maxDelta < m.p.Tolerance {
-			return
+			break
 		}
 	}
+	out := make([]units.Millivolt, m.p.Cores)
+	for core, nodes := range m.coreNodes {
+		sum := 0.0
+		for _, idx := range nodes {
+			sum += v[idx]
+		}
+		out[core] = units.Millivolt(sum / float64(len(nodes)))
+	}
+	return out
 }
 
 // WorstDrop returns the largest per-core drop.

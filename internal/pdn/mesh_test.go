@@ -2,6 +2,7 @@ package pdn
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"agsim/internal/units"
@@ -37,11 +38,13 @@ func TestMeshParamsValidation(t *testing.T) {
 }
 
 func TestMeshZeroLoadZeroDrop(t *testing.T) {
+	// Regression: the transfer-matrix kernel makes the zero-injection case
+	// exact by construction — no warm-start residue, no tolerance leakage.
 	m := newMesh(t)
 	drops := m.Drops(make([]units.Ampere, 8), 0)
 	for i, d := range drops {
-		if math.Abs(float64(d)) > 0.05 {
-			t.Errorf("core %d drop %v at zero load", i, d)
+		if d != 0 {
+			t.Errorf("core %d drop %v at zero load, want exactly 0", i, d)
 		}
 	}
 }
@@ -99,9 +102,9 @@ func TestMeshMagnitudeMatchesLumpedRegime(t *testing.T) {
 	}
 }
 
-func TestMeshLinearityApprox(t *testing.T) {
-	// A purely resistive network is linear; the warm-started iterative
-	// solve must preserve that within tolerance.
+func TestMeshLinearityExact(t *testing.T) {
+	// A purely resistive network is linear; the direct transfer-matrix
+	// kernel preserves that exactly, not just within solver tolerance.
 	m := newMesh(t)
 	currents := make([]units.Ampere, 8)
 	for i := range currents {
@@ -114,9 +117,164 @@ func TestMeshLinearityApprox(t *testing.T) {
 	d2 := m.Drops(currents, 20)
 	for i := range d1 {
 		ratio := float64(d2[i]) / float64(d1[i])
-		if ratio < 1.95 || ratio > 2.05 {
+		if math.Abs(ratio-2) > 1e-12 {
 			t.Errorf("core %d: doubling load scaled drop by %v", i, ratio)
 		}
+	}
+}
+
+func TestMeshSuperposition(t *testing.T) {
+	// Property test: the drop under arbitrary injections must equal the
+	// sum of the scaled unit responses — the linearity the kernel exploits.
+	m := newMesh(t)
+	r := rand.New(rand.NewSource(20151205))
+	for trial := 0; trial < 25; trial++ {
+		currents := make([]units.Ampere, 8)
+		for i := range currents {
+			currents[i] = units.Ampere(12 * r.Float64())
+		}
+		uncore := units.Ampere(15 * r.Float64())
+		got := m.Drops(currents, uncore)
+
+		want := make([]float64, 8)
+		unit := make([]units.Ampere, 8)
+		for j := 0; j < 8; j++ {
+			unit[j] = 1
+			resp := m.Drops(unit, 0)
+			unit[j] = 0
+			for i := range want {
+				want[i] += float64(resp[i]) * float64(currents[j])
+			}
+		}
+		uncResp := m.Drops(unit, 1)
+		for i := range want {
+			want[i] += float64(uncResp[i]) * float64(uncore)
+		}
+		for i := range want {
+			if math.Abs(float64(got[i])-want[i]) > 1e-9 {
+				t.Fatalf("trial %d core %d: drops %v, summed unit responses %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMeshGoldenGaussSeidel(t *testing.T) {
+	// Golden test: the direct solve must agree with a converged
+	// Gauss-Seidel solve of the same nodal system on DefaultMeshParams.
+	// The reference runs at a much tighter tolerance than the default so
+	// its own convergence error does not mask a kernel bug.
+	p := DefaultMeshParams()
+	p.Tolerance = 1e-7
+	p.MaxIters = 200000
+	m, err := NewMesh(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		currents []units.Ampere
+		uncore   units.Ampere
+	}{
+		{"uniform", []units.Ampere{9, 9, 9, 9, 9, 9, 9, 9}, 14},
+		{"single corner", []units.Ampere{10, 0, 0, 0, 0, 0, 0, 0}, 0},
+		{"skewed", []units.Ampere{2, 0, 7, 1, 0, 12, 3, 5}, 6},
+	}
+	for _, tc := range cases {
+		direct := m.Drops(tc.currents, tc.uncore)
+		ref := m.gaussSeidelDrops(tc.currents, tc.uncore)
+		for i := range direct {
+			if d := math.Abs(float64(direct[i]) - float64(ref[i])); d > 0.01 {
+				t.Errorf("%s core %d: direct %v vs Gauss-Seidel %v (delta %v mV)",
+					tc.name, i, direct[i], ref[i], d)
+			}
+		}
+	}
+}
+
+func TestMeshGlobalDropMatchesUniformMean(t *testing.T) {
+	// effGlobal is calibrated from the exact solver: on (any scaling of)
+	// the uniform calibration draw, GlobalDropMV must equal the mean
+	// per-core drop to float precision.
+	m := newMesh(t)
+	for _, scale := range []float64{1, 0.25, 3.5} {
+		currents := make([]units.Ampere, 8)
+		for i := range currents {
+			currents[i] = units.Ampere(10 * scale)
+		}
+		uncore := units.Ampere(10 * scale)
+		drops := m.Drops(currents, uncore)
+		mean := 0.0
+		for _, d := range drops {
+			mean += float64(d)
+		}
+		mean /= float64(len(drops))
+		total := units.Ampere(10*8*scale + 10*scale)
+		got := float64(m.GlobalDropMV(total))
+		if math.Abs(got-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+			t.Errorf("scale %v: GlobalDropMV %v vs uniform-draw mean drop %v", scale, got, mean)
+		}
+	}
+}
+
+func TestMeshNodeField(t *testing.T) {
+	// The lazily reconstructed node field must be consistent with the
+	// collapsed per-core drops: each core's drop is its regional mean.
+	m := newMesh(t)
+	currents := []units.Ampere{3, 0, 8, 2, 0, 11, 1, 4}
+	field := m.NodeDropsInto(nil, currents, 9)
+	if len(field) != m.Rows()*m.Cols() {
+		t.Fatalf("field has %d nodes for %dx%d grid", len(field), m.Rows(), m.Cols())
+	}
+	drops := m.Drops(currents, 9)
+	perRow := m.Cores() / 2
+	regionRows, regionCols := m.Rows()/2, m.Cols()/perRow
+	for core := 0; core < m.Cores(); core++ {
+		cr, cc := core/perRow, core%perRow
+		sum, n := 0.0, 0
+		for r := cr * regionRows; r < (cr+1)*regionRows; r++ {
+			for c := cc * regionCols; c < (cc+1)*regionCols; c++ {
+				sum += field[r*m.Cols()+c]
+				n++
+			}
+		}
+		if math.Abs(sum/float64(n)-float64(drops[core])) > 1e-9 {
+			t.Errorf("core %d: field regional mean %v vs drop %v", core, sum/float64(n), drops[core])
+		}
+	}
+	// Zero draw reconstructs an exactly zero field.
+	zero := m.NodeDropsInto(make([]float64, len(field)), make([]units.Ampere, 8), 0)
+	for k, v := range zero {
+		if v != 0 {
+			t.Fatalf("node %d nonzero (%v) at zero load", k, v)
+		}
+	}
+}
+
+func TestMeshDropsIntoAllocFree(t *testing.T) {
+	m := newMesh(t)
+	currents := []units.Ampere{9, 9, 9, 9, 9, 9, 9, 9}
+	dst := make([]units.Millivolt, 8)
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.DropsInto(dst, currents, 14)
+	}); allocs != 0 {
+		t.Errorf("DropsInto allocated %v times per call", allocs)
+	}
+}
+
+func TestMeshTransferMilliohm(t *testing.T) {
+	m := newMesh(t)
+	// Diagonal entries dominate their row (local drop is largest), and
+	// the matrix is consistent with a direct unit-injection solve.
+	unit := make([]units.Ampere, 8)
+	unit[2] = 1
+	resp := m.Drops(unit, 0)
+	for i := 0; i < 8; i++ {
+		if got := m.TransferMilliohm(i, 2); math.Abs(got-float64(resp[i])) > 1e-12 {
+			t.Errorf("transfer(%d,2) = %v, unit response %v", i, got, resp[i])
+		}
+	}
+	if m.TransferMilliohm(3, 3) <= m.TransferMilliohm(3, 4) {
+		t.Error("self transfer resistance not dominant over neighbour")
 	}
 }
 

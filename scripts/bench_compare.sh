@@ -1,0 +1,74 @@
+#!/bin/sh
+# bench_compare.sh [old.json new.json] — diff two bench.sh recordings and
+# flag ns/op regressions beyond the threshold on the guarded benchmarks
+# (chip-step and sweep lanes). With no arguments, compares the two most
+# recent BENCH_*.json in the repo root.
+#
+# Exit status: 0 clean, 1 regression found, 2 usage/input error.
+#
+# Environment:
+#   THRESHOLD_PCT  regression threshold in percent (default 10)
+#   GUARD_RE       awk regex of benchmark names to guard
+#                  (default ChipStep|Sweep)
+set -eu
+
+threshold="${THRESHOLD_PCT:-10}"
+guard="${GUARD_RE:-ChipStep|Sweep}"
+
+if [ $# -ge 2 ]; then
+	old="$1"
+	new="$2"
+else
+	set -- $(ls BENCH_*.json 2>/dev/null | sort | tail -2)
+	if [ $# -lt 2 ]; then
+		echo "bench_compare.sh: need two BENCH_*.json files (run 'make bench' twice)" >&2
+		exit 2
+	fi
+	old="$1"
+	new="$2"
+fi
+[ -r "$old" ] && [ -r "$new" ] || { echo "bench_compare.sh: cannot read $old / $new" >&2; exit 2; }
+
+echo "comparing $old (old) -> $new (new), threshold ${threshold}% on /$guard/"
+
+awk -v threshold="$threshold" -v guard="$guard" '
+	/"Benchmark/ {
+		line = $0
+		gsub(/^[ \t]*"/, "", line)
+		gsub(/",?[ \t]*$/, "", line)
+		n = split(line, f, " ")
+		name = f[1]
+		sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+		v = ""
+		for (i = 2; i < n; i++) if (f[i+1] == "ns/op") v = f[i]
+		if (v == "") next
+		if (FILENAME == ARGV[1]) {
+			oldv[name] = v
+		} else if (!(name in newv)) {
+			newv[name] = v
+			order[++cnt] = name
+		}
+	}
+	END {
+		status = 0
+		printf "%-36s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+		for (i = 1; i <= cnt; i++) {
+			name = order[i]
+			if (!(name in oldv)) {
+				printf "%-36s %14s %14.0f %9s\n", name, "-", newv[name], "new"
+				continue
+			}
+			d = (newv[name] - oldv[name]) / oldv[name] * 100
+			flag = ""
+			if (name ~ guard && d > threshold) {
+				flag = "  << REGRESSION"
+				status = 1
+			}
+			printf "%-36s %14.0f %14.0f %+8.1f%%%s\n", name, oldv[name], newv[name], d, flag
+		}
+		if (status) {
+			print ""
+			printf "FAIL: guarded benchmark regressed more than %s%% ns/op\n", threshold
+		}
+		exit status
+	}' "$old" "$new"
