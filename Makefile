@@ -3,17 +3,21 @@
 #   make check         — the tier-1 gate: build, vet, full test suite
 #   make race          — race-detector lane over the concurrency-bearing packages
 #   make bench         — microbenchmarks with -benchmem, JSON'd to BENCH_<date>.json
-#   make bench-compare — diff the two most recent BENCH_*.json; fails on >10%
-#                        ns/op regressions in the chip-step and sweep benches
+#   make bench-compare — diff the two most recent BENCH_*.json (falling back to
+#                        the committed version of the newest when only one file
+#                        exists); fails on >10% ns/op regressions in the
+#                        chip-step and sweep benches, and reports the
+#                        macro-vs-exact wall-clock speedups of the multi-rate
+#                        stepping lanes
 #   make profile       — CPU+heap profile one experiment via cmd/agsim
 #                        (PROFILE_EXP selects it, default fig7 on the mesh lane)
-#   make ci            — everything CI runs: check + race + bench
+#   make ci            — everything CI runs: check + race + bench + bench-compare
 #
 # GO selects the toolchain; WORKERS feeds -workers through AGSIM benches.
 
 GO          ?= go
 DATE        := $(shell date +%Y%m%d)
-BENCHES     ?= BenchmarkChipStep|BenchmarkSweep
+BENCHES     ?= BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep
 PROFILE_EXP ?= fig7
 PROFILE_FLAGS ?= -quick -mesh
 
@@ -46,4 +50,4 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof — inspect with: $(GO) tool pprof cpu.pprof"
 
-ci: check race bench
+ci: check race bench bench-compare

@@ -258,12 +258,44 @@ func BenchmarkFig07VoltageDropMesh(b *testing.B) {
 	b.ReportMetric(r.Core0DropAt8, "drop@8core_%")
 }
 
+// Multi-rate lane benches: the sweep and datacenter drivers on the pure
+// 1 ms reference lane (Options.Exact, the -exact flag). Their macro
+// counterparts above run the default event-horizon macro-stepping; the
+// wall-clock ratio between each pair is the speedup the multi-rate engine
+// buys (scripts/bench_compare.sh reports it per recording). The paired
+// headline metrics agree within 1% — pinned by the accuracy harness in
+// internal/experiments/accuracy_test.go.
+
+func BenchmarkSweepSerialExact(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 1
+	o.Exact = true
+	var r experiments.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14FullSuite(o)
+	}
+	b.ReportMetric(r.AvgPowerImprovement, "avg_power_imp_%")
+}
+
+func BenchmarkDatacenterSweepSerialExact(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 1
+	o.Exact = true
+	var r experiments.DatacenterResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.DatacenterSweep(o)
+	}
+	b.ReportMetric(r.SavingAtHalfLoad, "ags_vs_naive_%")
+}
+
 func BenchmarkDatacenterSweepSerial(b *testing.B) {
 	o := benchOptions()
 	o.Workers = 1
+	var r experiments.DatacenterResult
 	for i := 0; i < b.N; i++ {
-		experiments.DatacenterSweep(o)
+		r = experiments.DatacenterSweep(o)
 	}
+	b.ReportMetric(r.SavingAtHalfLoad, "ags_vs_naive_%")
 }
 
 func BenchmarkDatacenterSweepParallel(b *testing.B) {

@@ -61,6 +61,11 @@ type Config struct {
 	ThermalTauSec       float64
 
 	Seed uint64
+
+	// Exact disables the multi-rate stepping engine: every Advance call
+	// decomposes into pure 1 ms micro-steps. This is the golden reference
+	// lane the macro lane's accuracy harness compares against.
+	Exact bool
 }
 
 // DefaultConfig returns the calibrated POWER7+ configuration (DESIGN.md §4).
@@ -206,6 +211,17 @@ type Chip struct {
 	scratchCurrents []units.Ampere
 	scratchProfiles []didt.Profile
 	scratchDrops    []units.Millivolt
+
+	// Multi-rate stepping state (see macro.go). exact pins the chip to the
+	// 1 ms reference lane; stable counts consecutive micro-steps whose
+	// electrical state stayed within the convergence bands, against the
+	// prev* snapshots from the previous step. Any mutation that can move
+	// the operating point resets stable via markDirty.
+	exact     bool
+	stable    int
+	prevRailV units.Millivolt
+	prevCoreV []units.Millivolt
+	prevCoreF []units.Megahertz
 }
 
 // New builds a chip from the configuration.
@@ -243,6 +259,10 @@ func New(cfg Config) (*Chip, error) {
 		scratchCurrents: make([]units.Ampere, cfg.Cores),
 		scratchProfiles: make([]didt.Profile, 0, cfg.Cores),
 		scratchDrops:    make([]units.Millivolt, cfg.Cores),
+
+		exact:     cfg.Exact,
+		prevCoreV: make([]units.Millivolt, cfg.Cores),
+		prevCoreF: make([]units.Megahertz, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		core := &Core{
@@ -303,6 +323,7 @@ func (c *Chip) Rail() *vrm.Rail { return c.rail }
 // nominal voltage for Static/Overclock, target frequency for
 // Static/Undervolt. Manual mode freezes both for characterization sweeps.
 func (c *Chip) SetMode(m firmware.Mode) {
+	c.markDirty()
 	c.ctrl.SetMode(m)
 	switch m {
 	case firmware.Static:
@@ -324,6 +345,7 @@ func (c *Chip) SetMode(m firmware.Mode) {
 // SetManual places the chip in Manual (characterization) mode at the given
 // operating point, as the paper does to let CPM outputs float (§4.1).
 func (c *Chip) SetManual(v units.Millivolt, f units.Megahertz) {
+	c.markDirty()
 	c.ctrl.SetMode(firmware.Manual)
 	c.rail.Command(v)
 	for _, co := range c.cores {
@@ -354,12 +376,14 @@ func (c *Chip) SetCoreState(i int, s power.CoreState) {
 	if s == power.Active && len(co.threads) == 0 {
 		panic(fmt.Sprintf("chip %s: core %d cannot be Active without threads", c.cfg.Name, i))
 	}
+	c.markDirty()
 	co.state = s
 }
 
 // Place assigns threads to core i, activating it. Placing onto a gated core
 // implicitly wakes it (the OS would ungate before dispatch).
 func (c *Chip) Place(i int, threads ...*workload.Thread) {
+	c.markDirty()
 	co := c.cores[i]
 	co.threads = append(co.threads, threads...)
 	if len(co.threads) > 0 {
@@ -369,6 +393,7 @@ func (c *Chip) Place(i int, threads ...*workload.Thread) {
 
 // ClearCore removes all threads from core i, returning it to IdleOn.
 func (c *Chip) ClearCore(i int) {
+	c.markDirty()
 	co := c.cores[i]
 	co.threads = nil
 	if co.state == power.Active {
@@ -377,11 +402,16 @@ func (c *Chip) ClearCore(i int) {
 }
 
 // SetMemFactor sets the memory-contention multiplier for core i's threads.
+// The server re-applies factors every step, so only a changed value counts
+// as a perturbation for the multi-rate stepping engine.
 func (c *Chip) SetMemFactor(i int, f float64) {
 	if f < 1 {
 		f = 1
 	}
-	c.cores[i].memFactor = f
+	if c.cores[i].memFactor != f {
+		c.markDirty()
+		c.cores[i].memFactor = f
+	}
 }
 
 // SetIssueThrottle constrains core i's issue rate to the given fraction.
@@ -389,6 +419,7 @@ func (c *Chip) SetIssueThrottle(i int, frac float64) {
 	if frac <= 0 || frac > 1 {
 		panic(fmt.Sprintf("chip %s: issue throttle %v out of (0,1]", c.cfg.Name, frac))
 	}
+	c.markDirty()
 	c.cores[i].issueThrottle = frac
 }
 
@@ -398,6 +429,7 @@ func (c *Chip) AgeBy(mv float64) {
 	if mv < 0 {
 		panic(fmt.Sprintf("chip %s: negative aging %v", c.cfg.Name, mv))
 	}
+	c.markDirty()
 	c.agingMV += mv
 }
 
@@ -412,6 +444,7 @@ func (c *Chip) MarginViolations() int { return c.marginViolations }
 // authority (fraction of frequency sheddable in-flight). Ablation use only;
 // pass 0 to restore the hardware default.
 func (c *Chip) SetDroopSlewAuthority(frac float64) {
+	c.markDirty()
 	for _, co := range c.cores {
 		co.dpll.FastSlewFracOverride = frac
 	}

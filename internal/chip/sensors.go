@@ -106,7 +106,10 @@ func (c *Chip) CoreCPMMean(i int) float64 {
 }
 
 // KillCPM fails sensor j on core i (failure injection).
-func (c *Chip) KillCPM(i, j int) { c.cores[i].cpms[j].Kill() }
+func (c *Chip) KillCPM(i, j int) {
+	c.markDirty() // the dead sensor changes firmware behaviour from here on
+	c.cores[i].cpms[j].Kill()
+}
 
 // CPMMVPerBit returns the sensitivity of CPM j on core i at the core's
 // current frequency.

@@ -149,10 +149,14 @@ func (c *Chip) Step(dtSec float64) {
 	c.energyJ += float64(chipPower) * dtSec
 	c.stepThermal(dtSec, chipPower)
 	c.timeSec += dtSec
+	c.updateStability()
 
-	// 9. Firmware voltage loop on its 32 ms tick.
+	// 9. Firmware voltage loop on its 32 ms tick. The slop covers macro-lane
+	// float accumulation (leap plus re-sync fragments can land a few ulps
+	// under the boundary); on the exact lane's pure 1 ms sums it never
+	// changes which step fires.
 	c.sinceTick += dtSec
-	if c.sinceTick >= firmware.TickSeconds {
+	if c.sinceTick+gridSnapSec >= firmware.TickSeconds {
 		c.sinceTick = 0
 		c.firmwareTick()
 	}
@@ -248,6 +252,10 @@ func (c *Chip) stepThermal(dtSec float64, p units.Watt) {
 // command the rail, then clears the per-window sticky latches (the AMESTER
 // window semantics).
 func (c *Chip) firmwareTick() {
+	// The tick redraws per-window CPM noise and may move the rail; either
+	// way the next window must re-prove convergence (and refresh the CPM
+	// reads the following tick will act on) at micro rate.
+	c.markDirty()
 	reading := c.marginReading()
 	next := c.ctrl.VoltageCommand(c.rail.SetPoint(), reading)
 	if c.ctrl.Mode() == firmware.Undervolt {
@@ -302,14 +310,20 @@ func (c *Chip) clearStickies() {
 	c.noise.StickyReset()
 }
 
+// settleEps is the residue below which a Settle/Advance loop considers a
+// time span covered; it absorbs float accumulation error without ever
+// dropping a meaningful fraction of a step.
+const settleEps = 1e-9
+
 // Settle runs the chip for the given simulated seconds so the electrical
 // relaxation and the firmware loop converge before measurements begin.
 // Thread progress during settling is real work: callers measuring
 // run-to-completion times should settle with placeholder load or accept the
-// small head start.
+// small head start. Settling rides the multi-rate path (see macro.go);
+// fractional remainders shorter than a full step are stepped explicitly
+// rather than truncated away.
 func (c *Chip) Settle(seconds float64) {
-	steps := int(seconds / DefaultStepSec)
-	for i := 0; i < steps; i++ {
-		c.Step(DefaultStepSec)
+	for remaining := seconds; remaining > settleEps; {
+		remaining -= c.Advance(remaining)
 	}
 }

@@ -53,6 +53,11 @@ type Node struct {
 
 	// jobs maps job id to its server job for release.
 	jobs map[string]*server.Job
+
+	// occupied caches the node's occupied-core count, maintained on
+	// Submit/Release/suspend so pick never walks every core of every
+	// socket per candidate node. loadedCores remains the ground truth.
+	occupied int
 }
 
 // On reports whether the node is powered.
@@ -156,6 +161,7 @@ func (c *Cluster) suspend(n *Node) {
 	}
 	n.srv = nil
 	n.on = false
+	n.occupied = 0
 }
 
 // Submit places a job of the named workload with the given thread count
@@ -182,20 +188,21 @@ func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGIns
 		return -1, err
 	}
 	node.jobs[id] = j
+	node.occupied += len(placements)
 	node.srv.GateUnloadedCores() // power-gate everything unused
 	return node.Index, nil
 }
 
 // pick chooses the target node: consolidation-first means the most-loaded
 // powered node that still fits, before waking a suspended one. One linear
-// scan with loads computed once per node — no sort, and no recomputing
-// loadedCores (a walk over every core of every socket) inside a comparator.
+// scan over the cached occupancy counts — no sort, no per-candidate walk
+// over every core of every socket.
 func (c *Cluster) pick(threads int) *Node {
 	var bestOn *Node
 	bestLoad := -1
 	var firstOff *Node
 	for _, n := range c.nodes {
-		load := n.loadedCores()
+		load := n.occupied
 		if n.capacity()-load < threads {
 			continue
 		}
@@ -273,6 +280,7 @@ func (c *Cluster) Release(id string) error {
 		if j, ok := n.jobs[id]; ok {
 			n.srv.Remove(j)
 			delete(n.jobs, id)
+			n.occupied -= len(j.Placements)
 			if len(n.jobs) == 0 {
 				c.suspend(n)
 			} else {
@@ -311,11 +319,72 @@ func (c *Cluster) Step(dtSec float64) {
 	})
 }
 
-// Settle advances the cluster for the given simulated seconds.
+// Advance moves every powered node forward by one multi-rate segment of at
+// most maxSec and returns the simulated seconds covered. The horizon gather
+// is serial and synchronized: only when *every* powered node is quiescent
+// does the cluster leap, and all nodes leap by the same cluster-wide minimum
+// horizon, so node state is independent of the worker count. The leap (or
+// the micro fallback step) then runs on the pool like Step does. The
+// fallback uses the earliest per-node grid re-sync fragment (see
+// chip.MicroStepSec) so nodes powered on together stay tick-aligned with
+// the exact lane.
+func (c *Cluster) Advance(maxSec float64) float64 {
+	micro := chip.DefaultStepSec
+	for _, n := range c.nodes {
+		if n.on {
+			if m := n.srv.MicroStepSec(); m < micro {
+				micro = m
+			}
+		}
+	}
+	if maxSec < micro {
+		c.Step(maxSec)
+		return maxSec
+	}
+	h := maxSec
+	for _, n := range c.nodes {
+		if !n.on {
+			continue
+		}
+		quiescent, nh := n.srv.Horizon(maxSec)
+		if !quiescent {
+			c.Step(micro)
+			return micro
+		}
+		if nh < h {
+			h = nh
+		}
+	}
+	if h <= micro {
+		c.Step(micro)
+		return micro
+	}
+	if c.pool.Serial() {
+		for _, n := range c.nodes {
+			if n.on {
+				n.srv.MacroStep(h)
+			}
+		}
+		return h
+	}
+	parallel.ForEach(c.pool, len(c.nodes), func(i int) {
+		if n := c.nodes[i]; n.on {
+			n.srv.MacroStep(h)
+		}
+	})
+	return h
+}
+
+// settleEps matches chip.Settle's residue threshold: spans within a
+// nanosecond of covered are complete, never silently truncated.
+const settleEps = 1e-9
+
+// Settle advances the cluster for the given simulated seconds on the
+// multi-rate path, including any fractional remainder shorter than a step
+// (the old int(seconds/step) loop dropped it).
 func (c *Cluster) Settle(seconds float64) {
-	steps := int(seconds / chip.DefaultStepSec)
-	for i := 0; i < steps; i++ {
-		c.Step(chip.DefaultStepSec)
+	for remaining := seconds; remaining > settleEps; {
+		remaining -= c.Advance(remaining)
 	}
 }
 

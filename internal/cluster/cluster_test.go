@@ -217,3 +217,89 @@ func TestModeAppliesToLateNodes(t *testing.T) {
 		t.Error("suspended node exposed a server")
 	}
 }
+
+// TestOccupiedCacheTracksLoadedCores holds the pick fast path's cached
+// occupancy against the ground-truth core walk through a full job
+// lifecycle: submits, releases, reaping, and node suspension.
+func TestOccupiedCacheTracksLoadedCores(t *testing.T) {
+	c := newCluster(t, 3)
+	check := func(when string) {
+		t.Helper()
+		for _, n := range c.nodes {
+			if got, want := n.occupied, n.loadedCores(); got != want {
+				t.Errorf("%s: node %d occupied cache %d, ground truth %d", when, n.Index, got, want)
+			}
+		}
+	}
+	d := workload.MustGet("raytrace")
+	if _, err := c.Submit("a", d, 4, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	check("after first submit")
+	if _, err := c.Submit("b", d, 6, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("c", d, 12, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	check("after filling two nodes")
+	if err := c.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	check("after release")
+	if err := c.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	check("after node suspension")
+	tiny := workload.MustGet("coremark")
+	if _, err := c.Submit("tiny", tiny, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(1)
+	c.ReapFinished()
+	check("after reap")
+}
+
+// TestClusterSettleFractionalRemainder is the cluster-level regression for
+// the old int(seconds/step) truncation in Settle.
+func TestClusterSettleFractionalRemainder(t *testing.T) {
+	c := newCluster(t, 1)
+	d := workload.MustGet("raytrace")
+	if _, err := c.Submit("a", d, 4, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(0.0315)
+	if got, want := c.Node(0).Server().Time(), 0.0315; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Settle(0.0315) advanced node time %v s, want %v", got, want)
+	}
+}
+
+// TestClusterMacroLaneMatchesExact holds the cluster's multi-rate Settle
+// against a pure 1 ms twin on power and per-node simulated time.
+func TestClusterMacroLaneMatchesExact(t *testing.T) {
+	build := func(exact bool) *Cluster {
+		cfg := DefaultNodeConfig(61)
+		cfg.Server.ChipConfig.Exact = exact
+		c := MustNew(2, cfg)
+		c.SetMode(firmware.Undervolt)
+		d := workload.MustGet("raytrace")
+		if _, err := c.Submit("a", d, 4, 1e9); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit("b", d, 4, 1e9); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	macro, exact := build(false), build(true)
+	macro.Settle(2)
+	exact.Settle(2)
+	mp, ep := float64(macro.TotalPower()), float64(exact.TotalPower())
+	if diff := mp - ep; diff > ep*0.005 || diff < -ep*0.005 {
+		t.Errorf("macro cluster power %v W, exact %v W (>0.5%% apart)", mp, ep)
+	}
+	mt, et := macro.Node(0).Server().Time(), exact.Node(0).Server().Time()
+	if mt < et-1e-9 || mt > et+1e-9 {
+		t.Errorf("macro lane covered %v s, exact %v s", mt, et)
+	}
+}

@@ -46,8 +46,15 @@ type Sensor struct {
 	// variation). Positive means the sensor is pessimistic.
 	pathOffsetMV float64
 
-	// noiseMV is the cycle-to-cycle measurement noise.
-	noiseMV float64
+	// noiseMV scales the measurement noise; noiseOffsetMV is the held
+	// noise realization, redrawn once per sticky window (at StickyReset)
+	// rather than per read. At the millisecond step every read inside a
+	// window sees essentially the same electrical state anyway, and a
+	// per-window draw makes the read sequence independent of how many
+	// reads happen in the window — which is what lets settled chips skip
+	// reads entirely during macro-steps without perturbing the RNG stream.
+	noiseMV       float64
+	noiseOffsetMV float64
 
 	r *rng.Source
 
@@ -100,13 +107,15 @@ func New(cfg Config, r *rng.Source) *Sensor {
 	}
 	spread := cfg.MVPerBitSpread
 	mvPerBit := cfg.MeanMVPerBit * (1 + r.Uniform(-spread, spread))
-	return &Sensor{
+	s := &Sensor{
 		law:          cfg.Law,
 		mvPerBitNom:  mvPerBit,
 		pathOffsetMV: r.Normal(0, cfg.PathOffsetSpreadMV),
 		noiseMV:      cfg.NoiseMV,
 		r:            r.Split("reads"),
 	}
+	s.noiseOffsetMV = s.r.Normal(0, s.noiseMV)
+	return s
 }
 
 // MVPerBit returns the sensor's sensitivity at frequency f. Delay elements
@@ -130,7 +139,7 @@ func (s *Sensor) Value(v units.Millivolt, f units.Megahertz) int {
 		return 0
 	}
 	marginMV := float64(s.law.MarginMV(v, f)) - float64(s.law.ResidualMV) + s.pathOffsetMV
-	marginMV += s.r.Normal(0, s.noiseMV)
+	marginMV += s.noiseOffsetMV
 	raw := CalibTarget + int(math.Round(marginMV/s.MVPerBit(f)))
 	if raw < 0 {
 		raw = 0
@@ -157,8 +166,14 @@ func (s *Sensor) Sticky() (int, bool) {
 	return s.stickyMin, s.hasSticky
 }
 
-// StickyReset clears the sticky latch.
-func (s *Sensor) StickyReset() { s.hasSticky = false; s.stickyMin = 0 }
+// StickyReset clears the sticky latch and redraws the held measurement
+// noise for the next window (the firmware reads stickies once per 32 ms
+// telemetry window, so this pins one noise realization per window).
+func (s *Sensor) StickyReset() {
+	s.hasSticky = false
+	s.stickyMin = 0
+	s.noiseOffsetMV = s.r.Normal(0, s.noiseMV)
+}
 
 // Kill marks the sensor failed (stuck at worst-case output).
 func (s *Sensor) Kill() { s.dead = true }

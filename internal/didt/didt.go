@@ -60,6 +60,14 @@ type Sample struct {
 	Events int
 }
 
+// WobbleWindowSec is the cadence of the typical-ripple wobble redraw. It
+// matches the firmware telemetry window: the wobble models the slow
+// envelope modulation telemetry sees across 32 ms reads, and pinning the
+// redraws to absolute simulated-time boundaries makes the draw sequence a
+// function of elapsed time only — a macro-step across a window consumes
+// exactly the draws the equivalent micro-steps would.
+const WobbleWindowSec = 0.032
+
 // Model generates noise samples for one chip.
 type Model struct {
 	p Params
@@ -68,6 +76,18 @@ type Model struct {
 	// worstSeen tracks the deepest droop since the last StickyReset, which
 	// is what a sticky CPM read over a 32 ms window reports.
 	worstSeen float64
+
+	// timeSec is elapsed simulated time; wobble holds until nextWobbleAt.
+	timeSec      float64
+	wobble       float64
+	nextWobbleAt float64
+
+	// unitToEvent is the remaining unit-rate exposure until the next
+	// worst-case alignment event. Drawing the schedule ahead of time (and
+	// consuming rate*dt of exposure per step) keeps the event sequence
+	// identical no matter how simulated time is sliced into steps, and lets
+	// TimeToNextEvent answer horizon queries without perturbing the stream.
+	unitToEvent float64
 }
 
 // New creates a model drawing randomness from r (must not be nil).
@@ -75,17 +95,32 @@ func New(p Params, r *rng.Source) *Model {
 	if r == nil {
 		panic("didt: nil randomness source")
 	}
-	return &Model{p: p, r: r}
+	return &Model{p: p, r: r, wobble: 1, unitToEvent: r.Exp(1)}
 }
 
 // Step produces the chip-wide noise sample for a step of dtSec seconds
 // given the profiles of the currently active cores. An empty profile list
 // (fully idle chip) yields a small floor ripple from background activity.
+//
+// The step length is free: all stochastic state is indexed by simulated
+// time (wobble redraws at WobbleWindowSec boundaries, events from the
+// pre-drawn exposure schedule), so slicing an interval into 1 ms steps or
+// crossing it in one macro-step consumes the same draws and produces the
+// same events.
 func (m *Model) Step(dtSec float64, active []Profile) Sample {
 	if dtSec <= 0 {
 		panic(fmt.Sprintf("didt: non-positive step %v", dtSec))
 	}
 	const floorMV = 1.5 // clock grid and background ripple
+	// Refresh the slow wobble at every window boundary the step starts on
+	// or has passed (catch-up keeps the draw count time-indexed even when
+	// a long idle macro-step skips several windows).
+	for m.timeSec+1e-12 >= m.nextWobbleAt {
+		m.wobble = 1 + 0.05*m.r.Normal(0, 1)
+		m.nextWobbleAt += WobbleWindowSec
+	}
+	m.timeSec += dtSec
+
 	n := len(active)
 	if n == 0 {
 		return Sample{TypicalMV: floorMV}
@@ -101,9 +136,7 @@ func (m *Model) Step(dtSec float64, active []Profile) Sample {
 	}
 	meanTyp := sumTyp / float64(n)
 
-	typ := meanTyp/math.Pow(float64(n), m.p.SmoothingExponent) + floorMV
-	// Small stochastic wobble so telemetry sees realistic variation.
-	typ *= 1 + 0.05*m.r.Normal(0, 1)
+	typ := (meanTyp/math.Pow(float64(n), m.p.SmoothingExponent) + floorMV) * m.wobble
 	if typ < floorMV {
 		typ = floorMV
 	}
@@ -112,26 +145,55 @@ func (m *Model) Step(dtSec float64, active []Profile) Sample {
 
 	// Worst-case alignment events: the per-core rates do not add linearly
 	// (events need cross-core coincidence); the combined rate saturates.
+	// The step consumes rate*dt of unit-rate exposure against the pre-drawn
+	// schedule — an inhomogeneous Poisson process by time change, so rate
+	// changes between steps are handled exactly.
 	rate := sumRate / math.Sqrt(float64(n))
-	s.Events = m.r.Poisson(rate * dtSec)
-	if s.Events > 0 {
+	if rate > 0 {
+		exposure := rate * dtSec
 		depth := maxWorst * (1 + m.p.AlignmentGrowth*(math.Sqrt(float64(n))-1))
-		// Event-to-event variation: droop depth is the worst of the
-		// events in the step, each within ±20% of the characteristic
-		// depth.
-		worst := 0.0
-		for i := 0; i < s.Events; i++ {
-			d := depth * m.r.Uniform(0.8, 1.2)
-			if d > worst {
-				worst = d
+		for exposure >= m.unitToEvent {
+			exposure -= m.unitToEvent
+			m.unitToEvent = m.r.Exp(1)
+			s.Events++
+			// Event-to-event variation: each droop lands within ±20% of
+			// the characteristic depth; the sample reports the deepest.
+			if d := depth * m.r.Uniform(0.8, 1.2); d > s.WorstEventMV {
+				s.WorstEventMV = d
 			}
 		}
-		s.WorstEventMV = worst
-		if worst > m.worstSeen {
-			m.worstSeen = worst
+		m.unitToEvent -= exposure
+		if s.WorstEventMV > m.worstSeen {
+			m.worstSeen = s.WorstEventMV
 		}
 	}
 	return s
+}
+
+// TimeToWobbleRefresh returns the simulated seconds until the next
+// typical-ripple wobble redraw. Macro-steps must not cross that boundary,
+// or the sliced (micro) and unsliced (macro) lanes would apply different
+// wobble values to the tail of the window.
+func (m *Model) TimeToWobbleRefresh() float64 { return m.nextWobbleAt - m.timeSec }
+
+// TimeToNextEvent returns the simulated seconds until the next scheduled
+// worst-case event at the current exposure rate implied by the active
+// profiles, +Inf when no events can occur. It is a pure query: the RNG
+// stream is untouched, so horizon planning never perturbs the simulation.
+func (m *Model) TimeToNextEvent(active []Profile) float64 {
+	n := len(active)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	var sumRate float64
+	for _, p := range active {
+		sumRate += p.RatePerSec
+	}
+	rate := sumRate / math.Sqrt(float64(n))
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return m.unitToEvent / rate
 }
 
 // WorstSinceReset returns the deepest droop since the last StickyReset;

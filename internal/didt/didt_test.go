@@ -1,6 +1,7 @@
 package didt
 
 import (
+	"math"
 	"testing"
 
 	"agsim/internal/rng"
@@ -134,6 +135,86 @@ func TestNewPanicsOnNilRNG(t *testing.T) {
 		}
 	}()
 	New(DefaultParams(), nil)
+}
+
+func TestStepSlicingInvariant(t *testing.T) {
+	// The multi-rate stepping engine leaps settled chips across many
+	// milliseconds in one Step call. All stochastic state is indexed by
+	// simulated time, so slicing an interval into 1 ms steps or crossing it
+	// in macro-steps must consume the same draws and fire the same events.
+	ps := profiles(8, 8, 25, 3)
+	micro := newModel()
+	macro := newModel()
+	var microEvents, macroEvents int
+	var microWorst, macroWorst float64
+	for w := 0; w < 40; w++ { // 40 windows of 32 ms
+		for i := 0; i < 32; i++ {
+			s := micro.Step(0.001, ps)
+			microEvents += s.Events
+			if s.WorstEventMV > microWorst {
+				microWorst = s.WorstEventMV
+			}
+		}
+		// The macro lane crosses each window with leaps bounded by the next
+		// scheduled event and the wobble redraw, mirroring Chip.HorizonSec.
+		remaining := 0.032
+		for remaining > 1e-12 {
+			h := remaining
+			if te := macro.TimeToNextEvent(ps); te < h {
+				h = te * (1 - 1e-9) // stop just short; fire in a micro step
+			}
+			if tw := macro.TimeToWobbleRefresh(); tw > 0 && tw < h {
+				h = tw
+			}
+			if h < 0.001 {
+				h = 0.001
+				if h > remaining {
+					h = remaining
+				}
+			}
+			s := macro.Step(h, ps)
+			macroEvents += s.Events
+			if s.WorstEventMV > macroWorst {
+				macroWorst = s.WorstEventMV
+			}
+			remaining -= h
+		}
+	}
+	if microEvents == 0 {
+		t.Fatal("no droop events in 1.28 s; cannot compare lanes")
+	}
+	if microEvents != macroEvents {
+		t.Errorf("event counts diverged: micro %d, macro %d", microEvents, macroEvents)
+	}
+	if microWorst != macroWorst {
+		t.Errorf("worst droop diverged: micro %v, macro %v", microWorst, macroWorst)
+	}
+	if micro.WorstSinceReset() != macro.WorstSinceReset() {
+		t.Errorf("sticky state diverged: micro %v, macro %v",
+			micro.WorstSinceReset(), macro.WorstSinceReset())
+	}
+}
+
+func TestTimeToNextEventMatchesStep(t *testing.T) {
+	m := newModel()
+	ps := profiles(4, 8, 25, 3)
+	for i := 0; i < 200; i++ {
+		te := m.TimeToNextEvent(ps)
+		if te <= 0 {
+			t.Fatalf("non-positive time to event: %v", te)
+		}
+		// Stepping to just short of the event must not fire it; crossing
+		// the remaining sliver must.
+		if s := m.Step(te*(1-1e-9), ps); s.Events != 0 {
+			t.Fatalf("iter %d: event fired before its scheduled time", i)
+		}
+		if s := m.Step(te*1e-9+1e-12, ps); s.Events == 0 {
+			t.Fatalf("iter %d: scheduled event did not fire when crossed", i)
+		}
+	}
+	if m.TimeToNextEvent(nil) != math.Inf(1) {
+		t.Error("idle chip must have no scheduled events")
+	}
 }
 
 func TestHeterogeneousProfilesUseWorstCore(t *testing.T) {

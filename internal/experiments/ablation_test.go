@@ -12,12 +12,22 @@ func TestAblationLoadReserve(t *testing.T) {
 	if !ok {
 		t.Fatal("missing k=1.08 row")
 	}
-	// Without the reserve the firmware undervolts to the CPM pin
-	// everywhere: savings at 8 cores exceed the tuned configuration, but
-	// the Fig. 5 heterogeneity collapse disappears — which is exactly why
-	// the reserve exists. Verify the direction.
-	if zero.Values[1] <= tuned.Values[1] {
-		t.Errorf("k=0 8-core saving %.1f should exceed tuned %.1f", zero.Values[1], tuned.Values[1])
+	over, ok := r.Table.Row("k=1.60")
+	if !ok {
+		t.Fatal("missing k=1.60 row")
+	}
+	// The reserve trades high-load savings for transient safety: without
+	// it the firmware undervolts to the CPM pin everywhere, and an
+	// over-reserve exhausts the whole 130 mV authority at 8-core current,
+	// collapsing the saving there while leaving light load untouched.
+	if zero.Values[1] < tuned.Values[1]-0.01 {
+		t.Errorf("k=0 8-core saving %.1f fell below tuned %.1f", zero.Values[1], tuned.Values[1])
+	}
+	if over.Values[1] > 1 {
+		t.Errorf("over-reserved k=1.6 kept %.1f%% saving at 8 cores, want near zero", over.Values[1])
+	}
+	if over.Values[0] < 5 {
+		t.Errorf("over-reserved k=1.6 lost the 1-core saving too (%.1f%%): reserve is not load-proportional", over.Values[0])
 	}
 	// With the reserve the 1-core vs 8-core gap is pronounced.
 	if tuned.Values[0] <= tuned.Values[1]+3 {

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// This file is the accuracy harness of the multi-rate stepping engine: the
+// macro lane (event-horizon leaps, the default) is held against the exact
+// lane (pure 1 ms stepping, Options.Exact) on every registered experiment's
+// headline statistics.
+//
+// Tolerance: each stat must land within 1% of the exact lane's value, with
+// a 0.05 absolute floor for near-zero stats (violation counts, percentage
+// points around zero) where a single quantized window decision flipping
+// would otherwise dominate the relative error.
+
+func headlineTol(exact float64) float64 {
+	return math.Max(0.01*math.Abs(exact), 0.05)
+}
+
+func TestMacroLaneHeadlinesMatchExact(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			macroOpts := QuickOptions()
+			exactOpts := QuickOptions()
+			exactOpts.Exact = true
+			macro := e.Run(macroOpts)
+			exact := e.Run(exactOpts)
+			if len(macro.Headline) != len(exact.Headline) {
+				t.Fatalf("headline count differs: macro %d, exact %d", len(macro.Headline), len(exact.Headline))
+			}
+			for i, ms := range macro.Headline {
+				es := exact.Headline[i]
+				if ms.Name != es.Name {
+					t.Fatalf("headline %d name differs: %q vs %q", i, ms.Name, es.Name)
+				}
+				if d := math.Abs(ms.Value - es.Value); d > headlineTol(es.Value) {
+					t.Errorf("%s: macro %.6g vs exact %.6g (|Δ|=%.4g > tol %.4g)",
+						ms.Name, ms.Value, es.Value, d, headlineTol(es.Value))
+				}
+			}
+		})
+	}
+}
+
+// TestMacroLaneParallelBitIdentical pins the macro lane's determinism
+// contract: the leap schedule is derived from per-chip state and
+// time-indexed RNG streams only, so worker count cannot change a single
+// bit. DroopCensus exercises the most leap-sensitive accounting (event
+// counts, busy-window shares).
+func TestMacroLaneParallelBitIdentical(t *testing.T) {
+	serial := DroopCensus(optsWithWorkers(1))
+	par := DroopCensus(optsWithWorkers(4))
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("macro DroopCensus diverged across worker counts:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}
+
+// TestExactLaneParallelBitIdentical keeps the same contract on the
+// reference lane.
+func TestExactLaneParallelBitIdentical(t *testing.T) {
+	exactOpts := func(w int) Options {
+		o := optsWithWorkers(w)
+		o.Exact = true
+		return o
+	}
+	serial := Fig03CoreScaling(exactOpts(1))
+	par := Fig03CoreScaling(exactOpts(4))
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("exact Fig03 diverged across worker counts:\nserial: %+v\nparallel: %+v", serial, par)
+	}
+}

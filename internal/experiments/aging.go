@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"agsim/internal/chip"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
 	"agsim/internal/trace"
@@ -62,14 +61,12 @@ func AgingSweep(o Options) AgingResult {
 			c.SetMode(mode)
 			c.Settle(o.SettleSec)
 			base := c.MarginViolations()
-			steps := int(o.MeasureSec / chip.DefaultStepSec)
 			var uvSum, fSum float64
-			for i := 0; i < steps; i++ {
-				c.Step(chip.DefaultStepSec)
-				uvSum += float64(c.UndervoltMV())
-				fSum += float64(c.CoreFreq(0))
-			}
-			return c.MarginViolations() - base, uvSum / float64(steps), fSum / float64(steps)
+			k := measureSpan(c, o.MeasureSec, func(dt float64) {
+				uvSum += float64(c.UndervoltMV()) * dt
+				fSum += float64(c.CoreFreq(0)) * dt
+			})
+			return c.MarginViolations() - base, uvSum / k, fSum / k
 		}
 		var pt point
 		pt.sv, _, _ = run(firmware.Static)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"agsim/internal/chip"
 	"agsim/internal/cluster"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
@@ -137,12 +136,11 @@ func runNaive(o Options, jobs int) (float64, float64) {
 	for _, s := range srvs {
 		s.Settle(o.SettleSec)
 	}
-	steps := int(o.MeasureSec / chip.DefaultStepSec)
 	var power, mips float64
 	cfg := cluster.DefaultNodeConfig(0)
-	for i := 0; i < steps; i++ {
-		for _, s := range srvs {
-			s.Step(chip.DefaultStepSec)
+	for _, s := range srvs {
+		for remaining := o.MeasureSec; remaining > settleEps; {
+			remaining -= s.Advance(remaining)
 		}
 	}
 	for _, s := range srvs {
@@ -173,9 +171,8 @@ func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 		}
 	}
 	c.Settle(o.SettleSec)
-	steps := int(o.MeasureSec / chip.DefaultStepSec)
-	for i := 0; i < steps; i++ {
-		c.Step(chip.DefaultStepSec)
+	for remaining := o.MeasureSec; remaining > settleEps; {
+		remaining -= c.Advance(remaining)
 	}
 	power := float64(c.TotalPower())
 	mips := 0.0

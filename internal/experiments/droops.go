@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"agsim/internal/chip"
 	"agsim/internal/didt"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
@@ -73,23 +72,27 @@ func DroopCensus(o Options) DroopCensusResult {
 		c.Settle(o.SettleSec)
 		c.ResetDroopStats()
 
-		steps := int(seconds / chip.DefaultStepSec)
+		// Multi-rate census: events always fire inside micro-steps and the
+		// window boundaries land at the same absolute times in both lanes,
+		// so a window is "busy" exactly when the droop counters moved while
+		// it was open — a lane-invariant count, unlike the sticky telemetry,
+		// whose one-window carryover (Breakdown reads the previous window's
+		// worst too) would double-count busy windows.
 		busyWindows, windows := 0, 0
 		sinceWindow := 0.0
-		windowHadEvent := false
-		for i := 0; i < steps; i++ {
-			c.Step(chip.DefaultStepSec)
-			if c.Breakdown(0).WorstDidtMV > 0 {
-				windowHadEvent = true
-			}
-			sinceWindow += chip.DefaultStepSec
-			if sinceWindow >= firmware.TickSeconds {
-				sinceWindow = 0
+		prevEvents := 0
+		for remaining := seconds; remaining > settleEps; {
+			dt := c.Advance(remaining)
+			remaining -= dt
+			sinceWindow += dt
+			if sinceWindow+1e-9 >= firmware.TickSeconds {
+				sinceWindow -= firmware.TickSeconds
 				windows++
-				if windowHadEvent {
+				absorbed, violations := c.DroopStats()
+				if absorbed+violations > prevEvents {
 					busyWindows++
 				}
-				windowHadEvent = false
+				prevEvents = absorbed + violations
 			}
 		}
 		absorbed, violations := c.DroopStats()

@@ -58,12 +58,12 @@ func DVFSComparison(o Options) DVFSResult {
 		c.ResetEnergy()
 		start := c.Time()
 		for !c.AllDone() {
-			c.Step(chip.DefaultStepSec)
+			c.Advance(1)
 			if c.Time()-start > 3600 {
 				panic("experiments: DVFS comparison did not finish")
 			}
 		}
-		sec := c.Time() - start
+		sec := stepQuantize(c.Time() - start)
 		return runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
 	}
 

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"agsim/internal/chip"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
 	"agsim/internal/trace"
@@ -59,16 +58,14 @@ func Fig07VoltageDrop(o Options) Fig07Result {
 		placeThreads(c, pt.d, pt.n)
 		c.SetMode(firmware.Static)
 		c.Settle(o.SettleSec)
-		steps := int(o.MeasureSec / chip.DefaultStepSec)
 		drops := make([]float64, cores)
-		for s := 0; s < steps; s++ {
-			c.Step(chip.DefaultStepSec)
+		span := measureSpan(c, o.MeasureSec, func(dt float64) {
 			for i := 0; i < cores; i++ {
-				drops[i] += c.TotalDropMV(i)
+				drops[i] += c.TotalDropMV(i) * dt
 			}
-		}
+		})
 		for i := range drops {
-			drops[i] = drops[i] / float64(steps) / nom * 100
+			drops[i] = drops[i] / span / nom * 100
 		}
 		return drops
 	})

@@ -85,15 +85,12 @@ func swapCoRunner(c *chip.Chip, r coRunner) {
 // windowObservation advances the chip by one QoS window and returns the
 // averaged conditions WebSearch saw.
 func windowObservation(c *chip.Chip, windowSec float64) (ownMIPS units.MIPS, freq units.Megahertz, chipMIPS units.MIPS) {
-	steps := int(windowSec / chip.DefaultStepSec)
 	var mips, f, total float64
-	for i := 0; i < steps; i++ {
-		c.Step(chip.DefaultStepSec)
-		mips += float64(c.CoreMIPS(0))
-		f += float64(c.CoreFreq(0))
-		total += float64(c.TotalMIPS())
-	}
-	k := float64(steps)
+	k := measureSpan(c, windowSec, func(dt float64) {
+		mips += float64(c.CoreMIPS(0)) * dt
+		f += float64(c.CoreFreq(0)) * dt
+		total += float64(c.TotalMIPS()) * dt
+	})
 	return units.MIPS(mips / k), units.Megahertz(f / k), units.MIPS(total / k)
 }
 

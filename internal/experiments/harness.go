@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"agsim/internal/chip"
 	"agsim/internal/cluster"
@@ -44,6 +45,10 @@ type Options struct {
 	// The mesh's transfer-resistance matrix is computed once per chip, so
 	// the lane keeps the bit-identical-at-any-worker-count contract.
 	Mesh bool
+	// Exact pins every chip to the pure 1 ms reference lane, disabling
+	// event-horizon macro-stepping. The default (false) rides the
+	// multi-rate path; Exact is the golden lane accuracy is held against.
+	Exact bool
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -83,6 +88,7 @@ func (o Options) chipConfig(name string, seed uint64) chip.Config {
 	if o.Mesh {
 		cfg = cfg.WithMesh()
 	}
+	cfg.Exact = o.Exact
 	return cfg
 }
 
@@ -92,6 +98,7 @@ func (o Options) serverConfig(seed uint64) server.Config {
 	if o.Mesh {
 		cfg.ChipConfig = cfg.ChipConfig.WithMesh()
 	}
+	cfg.ChipConfig.Exact = o.Exact
 	return cfg
 }
 
@@ -101,6 +108,7 @@ func (o Options) nodeConfig(seed uint64) cluster.NodeConfig {
 	if o.Mesh {
 		nc.Server.ChipConfig = nc.Server.ChipConfig.WithMesh()
 	}
+	nc.Server.ChipConfig.Exact = o.Exact
 	return nc
 }
 
@@ -128,36 +136,52 @@ func placeThreads(c *chip.Chip, d workload.Descriptor, n int) {
 	}
 }
 
-// measureChip settles the chip and averages its sensors over the
+// measureSpan drives the chip over spanSec on the multi-rate path, calling
+// sample(dt) with each segment's duration after it lands. Averages built as
+// sum(value*dt)/span are time-weighted, so a single macro leap contributes
+// the same weight as the micro-steps it replaces. It returns the covered
+// span (== spanSec up to float residue, never less than one step).
+func measureSpan(c *chip.Chip, spanSec float64, sample func(dt float64)) float64 {
+	if spanSec < chip.DefaultStepSec {
+		spanSec = chip.DefaultStepSec
+	}
+	covered := 0.0
+	for remaining := spanSec; remaining > settleEps; {
+		dt := c.Advance(remaining)
+		remaining -= dt
+		covered += dt
+		sample(dt)
+	}
+	return covered
+}
+
+// settleEps mirrors chip.Settle's loop residue.
+const settleEps = 1e-9
+
+// measureChip settles the chip and time-averages its sensors over the
 // measurement span.
 func measureChip(o Options, c *chip.Chip) steady {
 	c.Settle(o.SettleSec)
-	steps := int(o.MeasureSec / chip.DefaultStepSec)
-	if steps < 1 {
-		steps = 1
-	}
 	var s steady
 	// The passive-drop heuristic needs the shared-path resistance; the
 	// paper verified its equation against hardware, we read the model's
 	// own constants.
 	sharedMilliohm := chip.DefaultConfig("", 0).LoadlineMilliohm + 0.28
-	for i := 0; i < steps; i++ {
-		c.Step(chip.DefaultStepSec)
-		s.PowerW += float64(c.ChipPower())
-		s.Freq0MHz += float64(c.CoreFreq(0))
-		s.UndervoltMV += float64(c.UndervoltMV())
-		s.SetPointMV += float64(c.SetPoint())
-		s.TotalMIPS += float64(c.TotalMIPS())
-		s.CurrentA += float64(c.Rail().SenseCurrent())
-		s.PassiveMV += float64(c.Rail().SenseCurrent()) * sharedMilliohm
-		s.Drop0MV += c.TotalDropMV(0)
+	k := measureSpan(c, o.MeasureSec, func(dt float64) {
+		s.PowerW += float64(c.ChipPower()) * dt
+		s.Freq0MHz += float64(c.CoreFreq(0)) * dt
+		s.UndervoltMV += float64(c.UndervoltMV()) * dt
+		s.SetPointMV += float64(c.SetPoint()) * dt
+		s.TotalMIPS += float64(c.TotalMIPS()) * dt
+		s.CurrentA += float64(c.Rail().SenseCurrent()) * dt
+		s.PassiveMV += float64(c.Rail().SenseCurrent()) * sharedMilliohm * dt
+		s.Drop0MV += c.TotalDropMV(0) * dt
 		b := c.Breakdown(0)
-		s.Breakdown0.LoadlineMV += b.LoadlineMV
-		s.Breakdown0.IRDropMV += b.IRDropMV
-		s.Breakdown0.TypicalDidtMV += b.TypicalDidtMV
-		s.Breakdown0.WorstDidtMV += b.WorstDidtMV
-	}
-	k := float64(steps)
+		s.Breakdown0.LoadlineMV += b.LoadlineMV * dt
+		s.Breakdown0.IRDropMV += b.IRDropMV * dt
+		s.Breakdown0.TypicalDidtMV += b.TypicalDidtMV * dt
+		s.Breakdown0.WorstDidtMV += b.WorstDidtMV * dt
+	})
 	s.PowerW /= k
 	s.Freq0MHz /= k
 	s.UndervoltMV /= k
@@ -190,6 +214,14 @@ type runResult struct {
 	AvgPowerW float64
 }
 
+// stepQuantize rounds a run-to-completion span up to the micro-step grid.
+// The exact lane can only observe completion at step boundaries, while the
+// macro lane's completion horizon lands exactly on the continuous finish
+// line; quantizing keeps both lanes reporting the same clock.
+func stepQuantize(sec float64) float64 {
+	return math.Ceil(sec/chip.DefaultStepSec-1e-6) * chip.DefaultStepSec
+}
+
 // runChipToCompletion runs n threads of a fixed-size problem on one chip.
 // The chip settles under load first and each thread's work budget is then
 // reset, so measured time reflects steady operation and is not biased by
@@ -211,12 +243,14 @@ func runChipToCompletion(o Options, name string, n int, mode firmware.Mode) runR
 	c.ResetEnergy()
 	start := c.Time()
 	for !c.AllDone() {
-		c.Step(chip.DefaultStepSec)
+		// The horizon includes thread completion, so a settled chip leaps
+		// straight to (and never past) the finish line.
+		c.Advance(1)
 		if c.Time()-start > 3600 {
 			panic(fmt.Sprintf("experiments: %s with %d threads did not finish in an hour of simulated time", name, n))
 		}
 	}
-	sec := c.Time() - start
+	sec := stepQuantize(c.Time() - start)
 	return runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
 }
 
@@ -240,6 +274,7 @@ func serverRun(o Options, tag string, d workload.Descriptor, placements []server
 	if !done {
 		panic(fmt.Sprintf("experiments: %s did not finish in an hour of simulated time", tag))
 	}
+	elapsed = stepQuantize(elapsed)
 	return runResult{Seconds: elapsed, EnergyJ: s.TotalEnergyJ(), AvgPowerW: s.TotalEnergyJ() / elapsed}
 }
 
@@ -251,21 +286,33 @@ func serverSteady(o Options, tag string, d workload.Descriptor, placements []ser
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)
 	s.Settle(o.SettleSec)
-	steps := int(o.MeasureSec / chip.DefaultStepSec)
 	uv := make([]float64, s.Sockets())
 	var power float64
-	for i := 0; i < steps; i++ {
-		s.Step(chip.DefaultStepSec)
-		power += float64(s.TotalPower())
+	k := serverMeasureSpan(s, o.MeasureSec, func(dt float64) {
+		power += float64(s.TotalPower()) * dt
 		for si := 0; si < s.Sockets(); si++ {
-			uv[si] += float64(s.Chip(si).UndervoltMV())
+			uv[si] += float64(s.Chip(si).UndervoltMV()) * dt
 		}
-	}
-	k := float64(steps)
+	})
 	for si := range uv {
 		uv[si] /= k
 	}
 	return power / k, uv
+}
+
+// serverMeasureSpan is measureSpan for a whole server.
+func serverMeasureSpan(s *server.Server, spanSec float64, sample func(dt float64)) float64 {
+	if spanSec < chip.DefaultStepSec {
+		spanSec = chip.DefaultStepSec
+	}
+	covered := 0.0
+	for remaining := spanSec; remaining > settleEps; {
+		dt := s.Advance(remaining)
+		remaining -= dt
+		covered += dt
+		sample(dt)
+	}
+	return covered
 }
 
 // improvementPct returns (base-new)/base in percent.

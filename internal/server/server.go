@@ -324,6 +324,70 @@ func (s *Server) Step(dtSec float64) {
 	s.timeSec += dtSec
 }
 
+// Horizon applies the memory factors for the upcoming segment and reports
+// whether every chip is quiescent, and if so the server-wide event horizon
+// (the minimum of the per-chip horizons, capped at maxSec). Applying
+// factors first matters twice over: a factor change marks the chip dirty
+// (so quiescent correctly reads false), and the thread-completion horizons
+// are computed at the same MIPS a subsequent MacroStep will retire work at.
+func (s *Server) Horizon(maxSec float64) (quiescent bool, horizonSec float64) {
+	s.applyMemFactors()
+	h := maxSec
+	for _, c := range s.chips {
+		if !c.Quiescent() {
+			return false, 0
+		}
+		if ch := c.HorizonSec(maxSec); ch < h {
+			h = ch
+		}
+	}
+	return true, h
+}
+
+// MacroStep leaps every chip by h seconds. The caller must have bounded h
+// with Horizon (which also applied the memory factors for this segment).
+func (s *Server) MacroStep(h float64) {
+	for _, c := range s.chips {
+		c.MacroStep(h)
+	}
+	s.timeSec += h
+}
+
+// MicroStepSec returns the server's next micro-step duration. All chips
+// advance in lockstep from time zero, so socket 0's grid re-sync fragment
+// (see chip.MicroStepSec) applies server-wide.
+func (s *Server) MicroStepSec() float64 {
+	if len(s.chips) == 0 {
+		return chip.DefaultStepSec
+	}
+	return s.chips[0].MicroStepSec()
+}
+
+// Advance moves the server forward by one segment — a synchronized
+// macro-step to the earliest per-chip event horizon when every chip is
+// quiescent, one grid-aligned micro-step otherwise — and returns the
+// simulated seconds consumed. All chips always advance by the same dt, so
+// cross-socket coupling (memory factors) stays synchronous.
+func (s *Server) Advance(maxSec float64) float64 {
+	micro := s.MicroStepSec()
+	if maxSec < micro {
+		s.Step(maxSec)
+		return maxSec
+	}
+	quiescent, h := s.Horizon(maxSec)
+	if !quiescent || h <= micro {
+		// Factors are already applied for this segment; step the chips
+		// directly rather than re-deriving them through Step.
+		for _, c := range s.chips {
+			c.Step(micro)
+		}
+		s.timeSec += micro
+		return micro
+	}
+	s.MacroStep(h)
+	return h
+}
+
 // DefaultContentionExponent makes over-subscription superlinear: queueing at the
 // memory controllers inflates latency faster than the raw demand ratio once
 // the channels saturate. The exponent is calibrated so the paper's Fig. 14
@@ -425,23 +489,29 @@ func (s *Server) AllDone() bool {
 // Time returns the simulated seconds elapsed.
 func (s *Server) Time() float64 { return s.timeSec }
 
-// Settle advances the server for the given simulated seconds.
+// settleEps mirrors chip.Settle's residue bound for span-covering loops.
+const settleEps = 1e-9
+
+// Settle advances the server for the given simulated seconds on the
+// multi-rate path, stepping any fractional remainder explicitly.
 func (s *Server) Settle(seconds float64) {
-	steps := int(seconds / chip.DefaultStepSec)
-	for i := 0; i < steps; i++ {
-		s.Step(chip.DefaultStepSec)
+	for remaining := seconds; remaining > settleEps; {
+		remaining -= s.Advance(remaining)
 	}
 }
 
 // RunUntilDone advances until every job finishes or maxSeconds elapses,
 // returning the seconds consumed and whether completion was reached.
+// Thread completions are event horizons, so the multi-rate path lands on
+// them at micro-step resolution.
 func (s *Server) RunUntilDone(maxSeconds float64) (elapsed float64, done bool) {
 	start := s.timeSec
 	for !s.AllDone() {
-		if s.timeSec-start >= maxSeconds {
+		remaining := maxSeconds - (s.timeSec - start)
+		if remaining <= 0 {
 			return s.timeSec - start, false
 		}
-		s.Step(chip.DefaultStepSec)
+		s.Advance(remaining)
 	}
 	return s.timeSec - start, true
 }

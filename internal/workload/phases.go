@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Phase is one segment of a phased workload: real programs alternate
 // between compute-dense and memory-dense regions (ocean's compute/exchange
@@ -63,6 +66,27 @@ func (ps PhaseSchedule) At(t float64) (Phase, bool) {
 		pos -= p.DurationSec
 	}
 	return ps[len(ps)-1], true
+}
+
+// TimeToBoundary returns the seconds from time t until the schedule's
+// next segment boundary (the horizon at which activity/memory scales
+// change), +Inf for an empty schedule.
+func (ps PhaseSchedule) TimeToBoundary(t float64) float64 {
+	if len(ps) == 0 {
+		return math.Inf(1)
+	}
+	period := ps.PeriodSec()
+	if period <= 0 {
+		return math.Inf(1)
+	}
+	pos := t - float64(int(t/period))*period
+	for _, p := range ps {
+		if pos < p.DurationSec {
+			return p.DurationSec - pos
+		}
+		pos -= p.DurationSec
+	}
+	return math.Inf(1)
 }
 
 // SetPhases installs a phase schedule on the thread; nil restores steady

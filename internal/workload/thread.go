@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"agsim/internal/rng"
 	"agsim/internal/units"
@@ -26,6 +27,10 @@ type Thread struct {
 	// of the stochastic jitter; elapsedSec tracks position in the cycle.
 	phases     PhaseSchedule
 	elapsedSec float64
+
+	// sinceWalk accumulates executed time toward the next phase-walk
+	// update; the walk advances once per walkPeriodSec of thread time.
+	sinceWalk float64
 }
 
 // phaseSwing bounds the activity excursion of program phases around the
@@ -69,26 +74,81 @@ func (t *Thread) Step(dtSec float64, f units.Megahertz, memFactor, smtThreads fl
 	return retired, done
 }
 
+// walkPeriodSec is the cadence of the stochastic phase walk. Updates land
+// at fixed offsets of executed thread time — not once per Step — so the
+// walk's trajectory (and RNG consumption) is identical whether the engine
+// advances the thread in 1 ms micro-steps or one macro-step per firmware
+// window. The period matches the telemetry window the walk models.
+const walkPeriodSec = 0.032
+
 func (t *Thread) advancePhase(dtSec float64) {
 	if t.r == nil {
 		return
 	}
 	// Ornstein-Uhlenbeck style mean reversion toward 1 with small noise;
 	// the time constant (~50 ms) sits between the firmware tick and the
-	// benchmark runtime.
+	// benchmark runtime. The noise scale keeps the walk's stationary
+	// spread at ~10% of phaseSwing, the same envelope the per-millisecond
+	// walk had, at the coarser update cadence.
 	const tau = 0.05
-	alpha := dtSec / tau
-	if alpha > 1 {
-		alpha = 1
+	alpha := walkPeriodSec / tau
+	sigma := phaseSwing * 0.1 * math.Sqrt(1-(1-alpha)*(1-alpha))
+	t.sinceWalk += dtSec
+	for t.sinceWalk+1e-12 >= walkPeriodSec {
+		t.sinceWalk -= walkPeriodSec
+		t.phaseMul += alpha * (1 - t.phaseMul)
+		t.phaseMul += t.r.Normal(0, sigma)
+		if t.phaseMul < 1-phaseSwing {
+			t.phaseMul = 1 - phaseSwing
+		}
+		if t.phaseMul > 1+phaseSwing {
+			t.phaseMul = 1 + phaseSwing
+		}
 	}
-	t.phaseMul += alpha * (1 - t.phaseMul)
-	t.phaseMul += t.r.Normal(0, phaseSwing*alpha)
-	if t.phaseMul < 1-phaseSwing {
-		t.phaseMul = 1 - phaseSwing
+}
+
+// Horizon queries for the multi-rate stepping engine. All three return
+// *thread* seconds (the dtSec a Step call would consume); a caller that
+// throttles thread time against wall time divides by its throttle factor.
+
+// TimeToCompletion returns the thread seconds needed to retire the
+// remaining work at the given (frozen) operating conditions, +Inf for a
+// finished thread. It replicates Step's phase-scaled MIPS computation, so
+// at constant conditions a Step of exactly this length completes the
+// thread.
+func (t *Thread) TimeToCompletion(f units.Megahertz, memFactor, smtThreads float64) float64 {
+	if t.remainingGInst <= 0 {
+		return math.Inf(1)
 	}
-	if t.phaseMul > 1+phaseSwing {
-		t.phaseMul = 1 + phaseSwing
+	d := t.Desc
+	if _, scaleMem := t.phaseScales(); scaleMem != 1 {
+		d.MemNsPerInst *= scaleMem
 	}
+	mips := float64(d.MIPSPerThread(f, memFactor, smtThreads))
+	if mips <= 0 {
+		return math.Inf(1)
+	}
+	return t.remainingGInst * 1000 / mips
+}
+
+// TimeToPhaseBoundary returns the thread seconds until the deterministic
+// phase schedule switches segments (changing activity and memory scales),
+// +Inf without a schedule.
+func (t *Thread) TimeToPhaseBoundary() float64 {
+	return t.phases.TimeToBoundary(t.elapsedSec)
+}
+
+// TimeToPhaseWalk returns the thread seconds until the next stochastic
+// phase-walk update, +Inf for deterministic (phase-free) threads.
+func (t *Thread) TimeToPhaseWalk() float64 {
+	if t.r == nil {
+		return math.Inf(1)
+	}
+	left := walkPeriodSec - t.sinceWalk
+	if left < 0 {
+		left = 0
+	}
+	return left
 }
 
 // ActivityNow returns the instantaneous switching-activity factor,

@@ -2,16 +2,20 @@
 # bench.sh [pattern] [outfile] — run the microbenchmarks with -benchmem and
 # record the raw lines plus environment as JSON for trend tracking.
 #
-# Defaults: the hot-path and sweep-engine benches, BENCH_<date>.json.
+# Defaults: the hot-path, sweep-engine and datacenter benches (including the
+# -exact reference lanes of the multi-rate pairs), BENCH_<date>.json.
+# BENCHTIME overrides the per-bench iteration budget (default 2000x; the
+# experiment-scale benches amortize fine at far fewer, e.g. BENCHTIME=50x).
 set -eu
 
-pattern="${1:-BenchmarkChipStep|BenchmarkSweep}"
+pattern="${1:-BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep}"
 out="${2:-BENCH_$(date +%Y%m%d).json}"
+benchtime="${BENCHTIME:-2000x}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime 2000x . | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
 {
 	printf '{\n'
@@ -19,6 +23,7 @@ go test -run '^$' -bench "$pattern" -benchmem -benchtime 2000x . | tee "$tmp"
 	printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 0)"
 	printf '  "pattern": "%s",\n' "$pattern"
+	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "results": [\n'
 	grep '^Benchmark' "$tmp" | tr '\t' ' ' | tr -s ' ' | sed 's/"/\\"/g' | awk '
 		{ lines[NR] = $0 }

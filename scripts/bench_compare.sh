@@ -2,7 +2,11 @@
 # bench_compare.sh [old.json new.json] — diff two bench.sh recordings and
 # flag ns/op regressions beyond the threshold on the guarded benchmarks
 # (chip-step and sweep lanes). With no arguments, compares the two most
-# recent BENCH_*.json in the repo root.
+# recent BENCH_*.json in the repo root; when only one exists (a fresh run
+# on the same date as the committed baseline), its committed version from
+# git HEAD serves as the old side. The report also prints the wall-clock
+# speedup of each multi-rate benchmark pair (BenchmarkX vs BenchmarkXExact)
+# found in the new recording.
 #
 # Exit status: 0 clean, 1 regression found, 2 usage/input error.
 #
@@ -15,17 +19,33 @@ set -eu
 threshold="${THRESHOLD_PCT:-10}"
 guard="${GUARD_RE:-ChipStep|Sweep}"
 
+baseline_tmp=""
+cleanup() { [ -z "$baseline_tmp" ] || rm -f "$baseline_tmp"; }
+trap cleanup EXIT
+
 if [ $# -ge 2 ]; then
 	old="$1"
 	new="$2"
 else
 	set -- $(ls BENCH_*.json 2>/dev/null | sort | tail -2)
-	if [ $# -lt 2 ]; then
+	if [ $# -eq 1 ]; then
+		# Same-date rerun: the lone file shadows the committed baseline.
+		new="$1"
+		baseline_tmp="$(mktemp)"
+		if git show "HEAD:$new" > "$baseline_tmp" 2>/dev/null; then
+			old="$baseline_tmp"
+			echo "bench_compare.sh: using committed HEAD:$new as the old side"
+		else
+			echo "bench_compare.sh: need two BENCH_*.json files (run 'make bench' twice)" >&2
+			exit 2
+		fi
+	elif [ $# -lt 1 ]; then
 		echo "bench_compare.sh: need two BENCH_*.json files (run 'make bench' twice)" >&2
 		exit 2
+	else
+		old="$1"
+		new="$2"
 	fi
-	old="$1"
-	new="$2"
 fi
 [ -r "$old" ] && [ -r "$new" ] || { echo "bench_compare.sh: cannot read $old / $new" >&2; exit 2; }
 
@@ -65,6 +85,20 @@ awk -v threshold="$threshold" -v guard="$guard" '
 				status = 1
 			}
 			printf "%-36s %14.0f %14.0f %+8.1f%%%s\n", name, oldv[name], newv[name], d, flag
+		}
+		# Multi-rate stepping lanes: wall-clock speedup of each macro
+		# benchmark over its -exact reference twin, within the new recording.
+		header = 0
+		for (i = 1; i <= cnt; i++) {
+			name = order[i]
+			exact = name "Exact"
+			if (!(exact in newv) || newv[name] <= 0) continue
+			if (!header) {
+				print ""
+				print "multi-rate stepping (macro vs exact, new recording):"
+				header = 1
+			}
+			printf "%-36s %13.1fx faster than %s\n", name, newv[exact] / newv[name], exact
 		}
 		if (status) {
 			print ""
