@@ -11,7 +11,13 @@
 #                        stepping lanes
 #   make profile       — CPU+heap profile one experiment via cmd/agsim
 #                        (PROFILE_EXP selects it, default fig7 on the mesh lane)
-#   make ci            — everything CI runs: check + race + bench + bench-compare
+#   make smoke         — run one quick experiment with every flight-recorder
+#                        exporter enabled, validate the Chrome trace with
+#                        cmd/tracecheck, and grep the Prometheus output for
+#                        the core metric families
+#   make ci            — everything CI runs: check + race + smoke + bench +
+#                        bench-compare (bench-compare gates both ns/op
+#                        regressions and the recorder's overhead/alloc budget)
 #
 # GO selects the toolchain; WORKERS feeds -workers through AGSIM benches.
 
@@ -20,8 +26,10 @@ DATE        := $(shell date +%Y%m%d)
 BENCHES     ?= BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep
 PROFILE_EXP ?= fig7
 PROFILE_FLAGS ?= -quick -mesh
+SMOKE_EXP   ?= fig3
+SMOKE_DIR   ?= /tmp/agsim-smoke
 
-.PHONY: all build vet test check race bench bench-compare profile ci
+.PHONY: all build vet test check race bench bench-compare profile smoke ci
 
 all: check
 
@@ -50,4 +58,14 @@ profile:
 		-cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof — inspect with: $(GO) tool pprof cpu.pprof"
 
-ci: check race bench bench-compare
+smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/agsim run $(SMOKE_EXP) -quick -events \
+		-trace-out $(SMOKE_DIR)/trace.json -metrics-out $(SMOKE_DIR)/metrics.prom
+	$(GO) run ./cmd/tracecheck $(SMOKE_DIR)/trace.json
+	@grep -q '^agsim_micro_steps_total{' $(SMOKE_DIR)/metrics.prom
+	@grep -q '^# TYPE agsim_macro_leap_seconds histogram' $(SMOKE_DIR)/metrics.prom
+	@grep -q '^agsim_sim_time_seconds{' $(SMOKE_DIR)/metrics.prom
+	@echo "smoke: exporters validated in $(SMOKE_DIR)"
+
+ci: check race smoke bench bench-compare

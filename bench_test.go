@@ -17,6 +17,7 @@ import (
 	"agsim/internal/cluster"
 	"agsim/internal/experiments"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/workload"
 )
 
@@ -178,6 +179,49 @@ func BenchmarkChipStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Step(chip.DefaultStepSec)
+	}
+}
+
+// BenchmarkChipStepRecorded is BenchmarkChipStep with the flight recorder
+// attached and its event ring enabled. The recorder's contract is 0
+// allocs/op and ns/op within a few percent of the uninstrumented loop
+// (scripts/bench_compare.sh gates the ratio); every emission site is a
+// nil-check plus array writes into storage preallocated at construction.
+func BenchmarkChipStepRecorded(b *testing.B) {
+	rec := obs.New("bench", obs.DefaultEventCap)
+	cfg := chip.DefaultConfig("bench", 1)
+	cfg.Recorder = rec
+	c := chip.MustNew(cfg)
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e12, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	c.Settle(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(chip.DefaultStepSec)
+	}
+}
+
+// TestChipStepRecordedZeroAlloc pins the recorder's zero-allocation
+// contract outside the benchmark harness, so `go test` alone catches a
+// regression that puts an allocation on the instrumented step path.
+func TestChipStepRecordedZeroAlloc(t *testing.T) {
+	rec := obs.New("alloc", obs.DefaultEventCap)
+	cfg := chip.DefaultConfig("alloc", 1)
+	cfg.Recorder = rec
+	c := chip.MustNew(cfg)
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e12, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	c.Settle(1)
+	if got := testing.AllocsPerRun(2000, func() {
+		c.Step(chip.DefaultStepSec)
+	}); got != 0 {
+		t.Errorf("instrumented chip step allocates %v allocs/op, want 0", got)
 	}
 }
 

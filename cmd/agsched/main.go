@@ -116,6 +116,9 @@ func main() {
 		}
 		sampler.Tick(chip.DefaultStepSec)
 	}
+	// A duration that is not a multiple of 32 ms leaves a window in
+	// flight; flush it so the report reflects the whole measured span.
+	sampler.Flush()
 
 	schedule := "consolidated"
 	if *borrow {

@@ -19,17 +19,27 @@
 //	-cpuprofile f write a CPU profile of the run to f
 //	-memprofile f write a heap profile at exit to f
 //	-full         also print every series as CSV (run only)
+//	-events       attach the flight recorder and print each experiment's
+//	              event timeline and metric summary
+//	-trace-out f  write a Chrome trace_event JSON timeline (open in
+//	              Perfetto / chrome://tracing); implies recording
+//	-metrics-out f write the merged metrics in Prometheus text format;
+//	              implies recording
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"agsim/internal/experiments"
+	"agsim/internal/obs"
 	"agsim/internal/workload"
 )
 
@@ -60,18 +70,88 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: agsim {list | run <id|all> [flags] [-full] | report [flags] | workloads}")
-	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-cpuprofile f] [-memprofile f]")
+	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-events]")
+	fmt.Fprintln(os.Stderr, "       [-trace-out f] [-metrics-out f] [-cpuprofile f] [-memprofile f]")
+}
+
+// recording bundles the flight-recorder outputs requested on the command
+// line.
+type recording struct {
+	events     bool
+	traceOut   string
+	metricsOut string
+}
+
+// enabled reports whether any output wants the recorder attached.
+func (rc recording) enabled() bool {
+	return rc.events || rc.traceOut != "" || rc.metricsOut != ""
+}
+
+// recorder builds a fresh recorder for one experiment. Each experiment
+// gets its own because shard names are salted by workload/mode tags, not
+// figure ids, and two figures measuring the same configuration would
+// collide in a shared recorder. Event rings are only paid for when an
+// event consumer (timeline or Chrome trace) asked for them.
+func (rc recording) recorder(id string) *obs.Recorder {
+	if !rc.enabled() {
+		return nil
+	}
+	eventCap := 0
+	if rc.events || rc.traceOut != "" {
+		eventCap = obs.DefaultEventCap
+	}
+	return obs.New(id, eventCap)
+}
+
+// outPath splices the experiment id into the output file name when several
+// experiments run, so each keeps its own trace/metrics file.
+func outPath(base, id string, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + id + ext
+}
+
+// writeRecording renders the snapshot to the requested exporter files.
+func writeRecording(lg *obs.Log, rc recording, id string, multi bool) error {
+	write := func(path string, render func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if rc.traceOut != "" {
+		if err := write(outPath(rc.traceOut, id, multi), lg.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if rc.metricsOut != "" {
+		if err := write(outPath(rc.metricsOut, id, multi), lg.WriteProm); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // options registers the shared run/report flags, parses, and returns the
-// resolved experiment options plus a profile stopper the caller must
-// invoke (directly or deferred) when the measured work is done.
-func options(fs *flag.FlagSet, args []string) (experiments.Options, func()) {
+// resolved experiment options, the requested recording outputs, plus a
+// profile stopper the caller must invoke (directly or deferred) when the
+// measured work is done.
+func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, func()) {
 	quick := fs.Bool("quick", false, "reduced-fidelity sweeps")
 	seed := fs.Uint64("seed", 0, "experiment seed (0 = default)")
 	workers := fs.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 	mesh := fs.Bool("mesh", false, "run every chip on the distributed-grid PDN (mesh-fidelity lane)")
 	exact := fs.Bool("exact", false, "disable event-horizon macro-stepping; pure 1 ms reference lane")
+	events := fs.Bool("events", false, "attach the flight recorder; print event timeline and metric summary")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file")
+	metricsOut := fs.String("metrics-out", "", "write Prometheus text-format metrics to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +167,8 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, func()) {
 	o.Workers = *workers
 	o.Mesh = *mesh
 	o.Exact = *exact
-	return o, startProfiles(*cpuprofile, *memprofile)
+	rc := recording{events: *events, traceOut: *traceOut, metricsOut: *metricsOut}
+	return o, rc, startProfiles(*cpuprofile, *memprofile)
 }
 
 // startProfiles begins CPU profiling when requested and returns the stop
@@ -135,7 +216,7 @@ func runCmd(args []string) {
 	id := args[0]
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	full := fs.Bool("full", false, "print full series as CSV")
-	o, stopProfiles := options(fs, args[1:])
+	o, rc, stopProfiles := options(fs, args[1:])
 	defer stopProfiles()
 
 	var targets []experiments.Experiment
@@ -150,6 +231,7 @@ func runCmd(args []string) {
 		targets = []experiments.Experiment{e}
 	}
 	for _, e := range targets {
+		o.Recorder = rc.recorder(e.ID)
 		start := time.Now()
 		rep := e.Run(o)
 		fmt.Printf("%s — %s  [%s]\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond))
@@ -157,13 +239,32 @@ func runCmd(args []string) {
 			fmt.Fprintln(os.Stderr, "agsim:", err)
 			os.Exit(1)
 		}
+		if o.Recorder != nil {
+			lg := o.Recorder.Snapshot()
+			fmt.Println()
+			if err := lg.SummaryTable().WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "agsim:", err)
+				os.Exit(1)
+			}
+			if rc.events {
+				fmt.Println()
+				if err := lg.TimelineFigure().RenderASCII(os.Stdout, 72, 14); err != nil {
+					fmt.Fprintln(os.Stderr, "agsim:", err)
+					os.Exit(1)
+				}
+			}
+			if err := writeRecording(&lg, rc, e.ID, len(targets) > 1); err != nil {
+				fmt.Fprintln(os.Stderr, "agsim:", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Println()
 	}
 }
 
 func reportCmd(args []string) {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
-	o, stopProfiles := options(fs, args)
+	o, rc, stopProfiles := options(fs, args)
 	defer stopProfiles()
 
 	fmt.Println("# EXPERIMENTS — paper vs. measured")
@@ -196,8 +297,15 @@ func reportCmd(args []string) {
 		fmt.Println("the accuracy harness). See ARCHITECTURE.md, \"Multi-rate stepping\",")
 		fmt.Println("and the runtime comparison at the end of this report.")
 	}
+	fmt.Println()
+	fmt.Println("Observability: `-events`, `-trace-out FILE` and `-metrics-out FILE`")
+	fmt.Println("attach the flight recorder — a per-experiment summary table, plus a")
+	fmt.Println("Chrome trace_event timeline (open it in Perfetto) and Prometheus text")
+	fmt.Println("metrics written per experiment. Recording never perturbs results; see")
+	fmt.Println("ARCHITECTURE.md, \"Observability\".")
 	runtimes := make([]time.Duration, 0, len(experiments.Registry()))
 	for _, e := range experiments.Registry() {
+		o.Recorder = rc.recorder(e.ID)
 		start := time.Now()
 		rep := e.Run(o)
 		runtimes = append(runtimes, time.Since(start))
@@ -211,6 +319,18 @@ func reportCmd(args []string) {
 		for _, t := range rep.Tables {
 			fmt.Println()
 			if err := t.WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "agsim:", err)
+				os.Exit(1)
+			}
+		}
+		if o.Recorder != nil {
+			lg := o.Recorder.Snapshot()
+			fmt.Println()
+			if err := lg.SummaryTable().WriteMarkdown(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "agsim:", err)
+				os.Exit(1)
+			}
+			if err := writeRecording(&lg, rc, e.ID, true); err != nil {
 				fmt.Fprintln(os.Stderr, "agsim:", err)
 				os.Exit(1)
 			}
@@ -237,6 +357,9 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 	fmt.Println("|---|---|---|---|")
 	exact := o
 	exact.Exact = true
+	// The timing rerun never records: a stale recorder would panic on
+	// duplicate shard names and the recording already happened above.
+	exact.Recorder = nil
 	var exactTotal, macroTotal time.Duration
 	for i, e := range experiments.Registry() {
 		start := time.Now()

@@ -12,20 +12,28 @@
 //
 //	amesterd -connect 127.0.0.1:7007
 //	amesterd -connect 127.0.0.1:7007 -watch power_w,p0_undervolt_mv -samples 20
+//
+// With -http ADDR the server also exposes the flight recorder over HTTP:
+// GET /metrics returns the merged counters, gauges and histograms in
+// Prometheus text format, and GET /manifest returns the JSON run manifest
+// (workload config, seed, git revision, wall and simulated time).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"agsim/internal/amester"
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/server"
 	"agsim/internal/telemetry"
 	"agsim/internal/workload"
@@ -38,13 +46,15 @@ func main() {
 	threads := flag.Int("threads", 8, "thread count (server mode)")
 	mode := flag.String("mode", "undervolt", "guardband mode: static | undervolt | overclock")
 	borrow := flag.Bool("borrow", true, "balance threads across sockets (server mode)")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /manifest (JSON) on this address (server mode)")
+	seed := flag.Uint64("seed", 0, "simulation seed (0 = wall clock, server mode)")
 	watch := flag.String("watch", "", "comma-separated sensors to stream (client mode)")
 	samples := flag.Int("samples", 10, "samples to stream in watch mode")
 	flag.Parse()
 
 	switch {
 	case *listen != "" && *connect == "":
-		if err := serve(*listen, *name, *threads, *mode, *borrow); err != nil {
+		if err := serve(*listen, *httpAddr, *name, *threads, *mode, *borrow, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "amesterd:", err)
 			os.Exit(1)
 		}
@@ -59,7 +69,7 @@ func main() {
 	}
 }
 
-func serve(addr, name string, threads int, modeName string, borrow bool) error {
+func serve(addr, httpAddr, name string, threads int, modeName string, borrow bool, seed uint64) error {
 	d, err := workload.Get(name)
 	if err != nil {
 		return err
@@ -76,7 +86,13 @@ func serve(addr, name string, threads int, modeName string, borrow bool) error {
 		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
-	srv := server.MustNew(server.DefaultConfig(uint64(time.Now().UnixNano())))
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	rec := obs.New("amesterd", obs.DefaultEventCap)
+	cfg := server.DefaultConfig(seed)
+	cfg.Recorder = rec
+	srv := server.MustNew(cfg)
 	var placements []server.Placement
 	if borrow {
 		placements = server.BorrowedPlacements(threads, srv.Sockets())
@@ -98,6 +114,51 @@ func serve(addr, name string, threads int, modeName string, borrow bool) error {
 	fmt.Printf("amesterd: serving %d threads of %s (%s, borrow=%v) on %s\n",
 		threads, name, modeName, borrow, l.Addr())
 
+	// The step loop owns the server and recorder; scrape handlers take the
+	// same mutex so a snapshot never races a live step. The recorder's hot
+	// path is deliberately unlocked, so this is the only synchronization.
+	var mu sync.Mutex
+	if httpAddr != "" {
+		manifest := obs.NewManifest("amesterd", seed)
+		manifest.Config = map[string]any{
+			"workload": name,
+			"threads":  threads,
+			"mode":     modeName,
+			"borrow":   borrow,
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			lg := rec.Snapshot()
+			mu.Unlock()
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := lg.WriteProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			manifest.SimSeconds = srv.Time()
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			if err := manifest.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		hl, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer hl.Close()
+		go func() {
+			if err := http.Serve(hl, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "amesterd: http:", err)
+			}
+		}()
+		fmt.Printf("amesterd: metrics on http://%s/metrics, manifest on http://%s/manifest\n",
+			hl.Addr(), hl.Addr())
+	}
+
 	// Run the simulation forever, publishing on the firmware cadence.
 	// Wall-clock pacing keeps remote watch output humane: one publish per
 	// 32 ms of real time.
@@ -105,10 +166,12 @@ func serve(addr, name string, threads int, modeName string, borrow bool) error {
 	defer ticker.Stop()
 	stepsPerTick := int(telemetry.Interval / chip.DefaultStepSec)
 	for range ticker.C {
+		mu.Lock()
 		for i := 0; i < stepsPerTick; i++ {
 			srv.Step(chip.DefaultStepSec)
 		}
 		svc.Publish()
+		mu.Unlock()
 	}
 	return nil
 }

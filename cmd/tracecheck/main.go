@@ -1,0 +1,117 @@
+// Command tracecheck validates a Chrome trace_event JSON file (the JSON
+// Object Format) the way Perfetto's loader would: the document must parse,
+// carry a traceEvents array, and every record must satisfy the schema —
+// a known phase, a name, a non-negative timestamp, positive pid, and a
+// non-negative duration on complete ("X") slices. make ci runs it against
+// the smoke experiment's trace so a malformed exporter fails the build
+// rather than the first person to open the file.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceDoc mirrors the trace_event JSON Object Format envelope.
+type traceDoc struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	TS   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	PID  int             `json:"pid"`
+	TID  *int            `json:"tid"`
+	S    string          `json:"s"`
+	Args json.RawMessage `json:"args"`
+}
+
+// knownPhases are the trace_event phases the validator accepts — the ones
+// the simulator's exporter emits plus the rest of the common set, so the
+// checker stays useful if the exporter grows.
+var knownPhases = map[string]bool{
+	"B": true, "E": true, "X": true, // duration events
+	"i": true, "I": true, // instants
+	"C": true, // counters
+	"M": true, // metadata
+	"b": true, "e": true, "n": true, // async
+	"s": true, "t": true, "f": true, // flow
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	var slices, instants, counters int
+	for i, ev := range doc.TraceEvents {
+		where := func(field, problem string) error {
+			return fmt.Errorf("traceEvents[%d] (%q): %s %s", i, ev.Name, field, problem)
+		}
+		if !knownPhases[ev.Ph] {
+			return where("ph", fmt.Sprintf("unknown phase %q", ev.Ph))
+		}
+		if ev.Name == "" {
+			return where("name", "missing")
+		}
+		if ev.PID < 1 {
+			return where("pid", "must be positive")
+		}
+		if ev.TS == nil {
+			return where("ts", "missing")
+		}
+		if *ev.TS < 0 {
+			return where("ts", "negative")
+		}
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return where("dur", "missing or negative on complete slice")
+			}
+		case "i", "I":
+			instants++
+		case "C":
+			counters++
+			if len(ev.Args) == 0 {
+				return where("args", "counter event carries no series")
+			}
+		}
+	}
+	fmt.Printf("tracecheck: %s: ok (%d events: %d slices, %d instants, %d counter samples)\n",
+		path, len(doc.TraceEvents), slices, instants, counters)
+	return nil
+}

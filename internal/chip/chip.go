@@ -17,6 +17,7 @@ import (
 	"agsim/internal/didt"
 	"agsim/internal/dpll"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/pdn"
 	"agsim/internal/power"
 	"agsim/internal/rng"
@@ -66,6 +67,12 @@ type Config struct {
 	// decomposes into pure 1 ms micro-steps. This is the golden reference
 	// lane the macro lane's accuracy harness compares against.
 	Exact bool
+
+	// Recorder, when non-nil, is the flight recorder the chip emits
+	// counters, gauges and structured events into (see internal/obs). The
+	// chip registers itself as a source under its configured Name. A nil
+	// recorder costs one pointer test per emission site.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the calibrated POWER7+ configuration (DESIGN.md §4).
@@ -222,6 +229,17 @@ type Chip struct {
 	prevRailV units.Millivolt
 	prevCoreV []units.Millivolt
 	prevCoreF []units.Megahertz
+
+	// Flight recorder handle and this chip's source index in it (nil/-1
+	// when unattached; every obs method is nil-safe).
+	rec *obs.Recorder
+	src int32
+
+	// lastHorizon* remember what HorizonSec last computed so MacroStep can
+	// attribute the leap: when the server/cluster leaps by a shorter
+	// synchronized minimum, the reason becomes obs.ReasonExternal.
+	lastHorizonSec    float64
+	lastHorizonReason obs.Reason
 }
 
 // New builds a chip from the configuration.
@@ -263,6 +281,9 @@ func New(cfg Config) (*Chip, error) {
 		exact:     cfg.Exact,
 		prevCoreV: make([]units.Millivolt, cfg.Cores),
 		prevCoreF: make([]units.Megahertz, cfg.Cores),
+
+		rec: cfg.Recorder,
+		src: cfg.Recorder.Source(cfg.Name),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		core := &Core{
@@ -324,6 +345,11 @@ func (c *Chip) Rail() *vrm.Rail { return c.rail }
 // Static/Undervolt. Manual mode freezes both for characterization sweeps.
 func (c *Chip) SetMode(m firmware.Mode) {
 	c.markDirty()
+	if c.rec != nil {
+		c.rec.Inc(c.src, obs.CModeChanges)
+		c.rec.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDVFS,
+			Source: c.src, Core: -1, C: int64(m)})
+	}
 	c.ctrl.SetMode(m)
 	switch m {
 	case firmware.Static:
@@ -346,6 +372,11 @@ func (c *Chip) SetMode(m firmware.Mode) {
 // operating point, as the paper does to let CPM outputs float (§4.1).
 func (c *Chip) SetManual(v units.Millivolt, f units.Megahertz) {
 	c.markDirty()
+	if c.rec != nil {
+		c.rec.Inc(c.src, obs.CModeChanges)
+		c.rec.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDVFS,
+			Source: c.src, Core: -1, A: float64(v), B: float64(f), C: int64(firmware.Manual)})
+	}
 	c.ctrl.SetMode(firmware.Manual)
 	c.rail.Command(v)
 	for _, co := range c.cores {
@@ -420,6 +451,11 @@ func (c *Chip) SetIssueThrottle(i int, frac float64) {
 		panic(fmt.Sprintf("chip %s: issue throttle %v out of (0,1]", c.cfg.Name, frac))
 	}
 	c.markDirty()
+	if c.rec != nil && frac != c.cores[i].issueThrottle {
+		c.rec.Inc(c.src, obs.CThrottleChanges)
+		c.rec.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindThrottle,
+			Source: c.src, Core: int32(i), A: frac, B: c.cores[i].issueThrottle})
+	}
 	c.cores[i].issueThrottle = frac
 }
 

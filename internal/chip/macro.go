@@ -6,6 +6,7 @@ import (
 
 	"agsim/internal/didt"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/power"
 	"agsim/internal/units"
 )
@@ -151,8 +152,10 @@ func (c *Chip) MicroStepSec() float64 {
 // and the ripple wobble redraw boundary.
 func (c *Chip) HorizonSec(maxSec float64) float64 {
 	h := maxSec
+	reason := obs.ReasonCap
 	if tt := firmware.TickSeconds - c.sinceTick - DefaultStepSec; tt < h {
 		h = tt
+		reason = obs.ReasonTick
 	}
 
 	profiles := c.scratchProfiles[:0]
@@ -174,17 +177,21 @@ func (c *Chip) HorizonSec(maxSec float64) float64 {
 			// accounting matches the 1 ms lane.
 			if tc := th.TimeToCompletion(f, co.memFactor, smt) * inv * (1 - 1e-9); tc < h {
 				h = tc
+				reason = obs.ReasonCompletion
 			}
 			if pb := th.TimeToPhaseBoundary() * inv; pb < h {
 				h = pb
+				reason = obs.ReasonPhaseBoundary
 			}
 			if pw := th.TimeToPhaseWalk() * inv; pw < h {
 				h = pw
+				reason = obs.ReasonPhaseWalk
 			}
 		}
 	}
 	if te := c.noise.TimeToNextEvent(profiles) * (1 - 1e-9); te < h {
 		h = te
+		reason = obs.ReasonDidtEvent
 	}
 	tw := c.noise.TimeToWobbleRefresh()
 	for tw <= 0 {
@@ -194,7 +201,10 @@ func (c *Chip) HorizonSec(maxSec float64) float64 {
 	}
 	if tw < h {
 		h = tw
+		reason = obs.ReasonWobble
 	}
+	c.lastHorizonSec = h
+	c.lastHorizonReason = reason
 	return h
 }
 
@@ -218,7 +228,7 @@ func (c *Chip) MacroStep(h float64) {
 	}
 
 	for _, co := range c.cores {
-		co.advanceThreads(h)
+		co.advanceThreads(c, h)
 	}
 
 	sample := c.noise.Step(h, profiles)
@@ -243,6 +253,20 @@ func (c *Chip) MacroStep(h float64) {
 	c.energyJ += float64(c.lastChipPower) * h
 	c.macroThermal(h)
 	c.timeSec += h
+	if r := c.rec; r != nil {
+		// Attribute the leap: when the caller (server/cluster) bounded it
+		// below this chip's own horizon, another chip's event did — the
+		// reason is external to this chip.
+		reason := c.lastHorizonReason
+		if h < c.lastHorizonSec-1e-12 {
+			reason = obs.ReasonExternal
+		}
+		r.Inc(c.src, obs.CMacroSteps)
+		r.Observe(obs.HLeapSec, h)
+		r.SetGauge(c.src, obs.GTimeSec, c.timeSec)
+		r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindLeap,
+			Source: c.src, Core: -1, A: h, C: int64(reason)})
+	}
 
 	// The horizon may coincide with a state change (thread completion,
 	// phase switch); require fresh micro-steps to re-prove convergence.

@@ -6,6 +6,7 @@ import (
 	"agsim/internal/cpm"
 	"agsim/internal/didt"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/power"
 	"agsim/internal/units"
 )
@@ -53,8 +54,16 @@ func (c *Chip) Step(dtSec float64) {
 	railV := c.rail.Output(total)
 	drops := c.plane.DropsInto(c.scratchDrops, coreCurrents, uncoreI)
 
-	// 3. Chip-wide di/dt noise for this step.
+	// 3. Chip-wide di/dt noise for this step. Droop events stamp the end
+	// of the step they fire in; micro-steps end on the 1 ms grid in both
+	// stepping lanes, so the recorded stream is lane-invariant.
 	sample := c.noise.Step(dtSec, profiles)
+	if c.rec != nil && sample.Events > 0 {
+		c.rec.Add(c.src, obs.CDidtEvents, uint64(sample.Events))
+		c.rec.Observe(obs.HDroopDepthMV, sample.WorstEventMV)
+		c.rec.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec + dtSec), Kind: obs.KindDroop,
+			Source: c.src, Core: -1, A: sample.WorstEventMV, B: sample.TypicalMV, C: int64(sample.Events)})
+	}
 
 	mode := c.ctrl.Mode()
 	adaptive := mode == firmware.Undervolt || mode == firmware.Overclock
@@ -71,6 +80,7 @@ func (c *Chip) Step(dtSec float64) {
 		agedMin := co.voltageMin - units.Millivolt(c.agingMV)
 		if co.state != power.Gated && c.cfg.Law.MarginMV(agedMin, co.dpll.Freq()) < 0 {
 			c.marginViolations++
+			c.rec.Inc(c.src, obs.CMarginViolations)
 		}
 
 		// 4. Droop reaction: with adaptive guardbanding on, the DPLL
@@ -87,6 +97,11 @@ func (c *Chip) Step(dtSec float64) {
 					droopLatches = !co.dpll.AbsorbDroop(agedMin, extra)
 				} else {
 					droopLatches = true
+				}
+				if droopLatches {
+					c.rec.Inc(c.src, obs.CDroopsLatched)
+				} else {
+					c.rec.Inc(c.src, obs.CDroopsAbsorbed)
 				}
 			}
 		}
@@ -128,7 +143,7 @@ func (c *Chip) Step(dtSec float64) {
 		}
 
 		// 7. Advance the threads at the step's conditions.
-		co.advanceThreads(dtSec)
+		co.advanceThreads(c, dtSec)
 	}
 
 	// 8. Bookkeeping: energy, thermals, telemetry state. The rail power
@@ -150,6 +165,15 @@ func (c *Chip) Step(dtSec float64) {
 	c.stepThermal(dtSec, chipPower)
 	c.timeSec += dtSec
 	c.updateStability()
+	if r := c.rec; r != nil {
+		r.Inc(c.src, obs.CMicroSteps)
+		r.SetGauge(c.src, obs.GTimeSec, c.timeSec)
+		r.SetGauge(c.src, obs.GRailMV, float64(railV))
+		r.SetGauge(c.src, obs.GSetPointMV, float64(c.rail.SetPoint()))
+		r.SetGauge(c.src, obs.GPowerW, float64(chipPower))
+		r.SetGauge(c.src, obs.GTempC, float64(c.tempC))
+		r.SetGauge(c.src, obs.GFreqMHz, float64(c.cores[0].dpll.Freq()))
+	}
 
 	// 9. Firmware voltage loop on its 32 ms tick. The slop covers macro-lane
 	// float accumulation (leap plus re-sync fragments can land a few ulps
@@ -214,8 +238,10 @@ func (co *Core) didtProfile() didt.Profile {
 	return p
 }
 
-// advanceThreads retires work on the core's threads for one step.
-func (co *Core) advanceThreads(dtSec float64) {
+// advanceThreads retires work on the core's threads for one step,
+// recording each completion (the chip's clock has not advanced yet at the
+// call sites, so the event stamps the end of the current step).
+func (co *Core) advanceThreads(c *Chip, dtSec float64) {
 	if co.state != power.Active {
 		co.lastMIPS = 0
 		return
@@ -229,6 +255,11 @@ func (co *Core) advanceThreads(dtSec float64) {
 		}
 		retired, _ := th.Step(dtSec*co.issueThrottle, f, co.memFactor, smt)
 		mips += retired * 1000 / dtSec // GInst per step back to MIPS
+		if c.rec != nil && th.Done() {
+			c.rec.Inc(c.src, obs.CThreadsCompleted)
+			c.rec.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec + dtSec), Kind: obs.KindThreadDone,
+				Source: c.src, Core: int32(co.Index)})
+		}
 	}
 	co.lastMIPS = units.MIPS(mips)
 }
@@ -257,9 +288,25 @@ func (c *Chip) firmwareTick() {
 	// reads the following tick will act on) at micro rate.
 	c.markDirty()
 	reading := c.marginReading()
-	next := c.ctrl.VoltageCommand(c.rail.SetPoint(), reading)
+	old := c.rail.SetPoint()
+	next := c.ctrl.VoltageCommand(old, reading)
 	if c.ctrl.Mode() == firmware.Undervolt {
 		c.rail.Command(next)
+	}
+	if r := c.rec; r != nil {
+		r.Inc(c.src, obs.CFirmwareTicks)
+		r.Observe(obs.HWindowMinCPM, float64(reading.MinStickyCPM))
+		var dead int64
+		if reading.AnyDead {
+			dead = 1
+		}
+		r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindWindow,
+			Source: c.src, Core: -1, A: float64(reading.MinCPM), B: float64(reading.MinStickyCPM), C: dead})
+		if c.ctrl.Mode() == firmware.Undervolt && next != old {
+			r.Inc(c.src, obs.CRailCommands)
+			r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDVFS,
+				Source: c.src, Core: -1, A: float64(next), B: float64(old), C: -1})
+		}
 	}
 	c.clearStickies()
 }

@@ -110,6 +110,12 @@ func New(n int, template NodeConfig) (*Cluster, error) {
 	for i := 0; i < n; i++ {
 		cfg := template
 		cfg.Server.Seed = template.Server.Seed + uint64(i)*104729
+		// Each node owns a recorder shard: nodes step concurrently under
+		// SetWorkers, and per-node shards (created here, deterministically,
+		// in index order) keep the merged log independent of scheduling. A
+		// re-powered node re-registers its chips into the same shard, so
+		// counters accumulate across power cycles.
+		cfg.Server.Recorder = template.Server.Recorder.Shard(fmt.Sprintf("node%02d", i))
 		node := &Node{Index: i, cfg: cfg, jobs: map[string]*server.Job{}}
 		c.nodes = append(c.nodes, node)
 	}

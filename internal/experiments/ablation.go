@@ -72,7 +72,9 @@ func measureWithReserve(o Options, name string, n int, mode firmware.Mode, reser
 }
 
 func serverSteadyWithReserve(o Options, tag string, d workload.Descriptor, pl []server.Placement, keepOn []int, reserve float64) float64 {
-	s := server.MustNew(o.serverConfig(o.Seed ^ hash(tag)))
+	cfg := o.serverConfig(o.Seed ^ hash(tag))
+	cfg.Recorder = o.Recorder.Shard("server/" + tag)
+	s := server.MustNew(cfg)
 	for si := 0; si < s.Sockets(); si++ {
 		s.Chip(si).Controller().LoadReserveMilliohm = reserve
 	}
@@ -113,7 +115,9 @@ func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
 	}
 	type droopRow struct{ absorbed, violations int }
 	rows := parallel.Sweep(o.pool(), authorities, func(_ int, a float64) droopRow {
-		c := chip.MustNew(o.chipConfig("abl-dpll", o.Seed))
+		cfg := o.chipConfig("abl-dpll", o.Seed)
+		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("chip/abl-dpll/%g", a))
+		c := chip.MustNew(cfg)
 		c.SetDroopSlewAuthority(a)
 		d := stress.Synthesize(stress.Virus)
 		for i := 0; i < c.Cores(); i++ {
@@ -166,6 +170,7 @@ func AblationCPMVariation(o Options) AblationCPMVariationResult {
 	uvs := parallel.Sweep(o.pool(), spreads, func(_ int, sp float64) float64 {
 		cfg := o.chipConfig("abl-cpm", o.Seed)
 		cfg.CPM.PathOffsetSpreadMV = sp
+		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("chip/abl-cpm/%g", sp))
 		c := chip.MustNew(cfg)
 		placeThreads(c, workload.MustGet("raytrace"), 4)
 		c.SetMode(firmware.Undervolt)
@@ -201,9 +206,10 @@ func AblationContention(o Options) AblationContentionResult {
 	}
 	d := workload.MustGet("radix")
 	speedups := parallel.Sweep(o.pool(), exponents, func(_ int, exp float64) float64 {
-		runOne := func(pl []server.Placement) float64 {
+		runOne := func(split string, pl []server.Placement) float64 {
 			cfg := o.serverConfig(o.Seed)
 			cfg.ContentionExponent = exp
+			cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("server/abl-contention/%g/%s", exp, split))
 			s := server.MustNew(cfg)
 			s.MustSubmit("j", d, pl, d.WorkGInst*o.WorkScale)
 			s.SetMode(firmware.Static)
@@ -213,7 +219,7 @@ func AblationContention(o Options) AblationContentionResult {
 			}
 			return stepQuantize(elapsed)
 		}
-		return runOne(server.ConsolidatedPlacements(8)) / runOne(server.BorrowedPlacements(8, 2))
+		return runOne("consolidated", server.ConsolidatedPlacements(8)) / runOne("borrowed", server.BorrowedPlacements(8, 2))
 	})
 	for i, exp := range exponents {
 		res.Table.AddRow(fmt.Sprintf("exp=%.1f", exp), speedups[i])

@@ -117,7 +117,9 @@ func runNaive(o Options, jobs int) (float64, float64) {
 	const nodes = 4
 	srvs := make([]*server.Server, nodes)
 	for i := range srvs {
-		srvs[i] = server.MustNew(o.serverConfig(o.Seed + uint64(i)))
+		cfg := o.serverConfig(o.Seed + uint64(i))
+		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("dc/naive/%d/node%02d", jobs, i))
+		srvs[i] = server.MustNew(cfg)
 		srvs[i].SetMode(firmware.Static)
 	}
 	d := workload.MustGet("raytrace")
@@ -156,7 +158,9 @@ func runNaive(o Options, jobs int) (float64, float64) {
 // borrowing within nodes only when ags is true (otherwise each job stays
 // on one socket, the conventional schedule).
 func runCluster(o Options, jobs int, ags bool) (float64, float64) {
-	c := cluster.MustNew(4, o.nodeConfig(o.Seed))
+	nc := o.nodeConfig(o.Seed)
+	nc.Server.Recorder = o.Recorder.Shard(fmt.Sprintf("dc/cluster/%d/ags=%v", jobs, ags))
+	c := cluster.MustNew(4, nc)
 	c.SetMode(firmware.Undervolt)
 	d := workload.MustGet("raytrace")
 	if !ags {

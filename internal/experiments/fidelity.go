@@ -39,9 +39,12 @@ func FidelityAblation(o Options) FidelityResult {
 	type lane struct {
 		drop1, drop8, jump, save1, save8 float64
 	}
-	run := func(mesh bool) lane {
+	run := func(name string, mesh bool) lane {
 		lo := o
 		lo.Mesh = mesh
+		// Both lanes rerun the same drivers with the same work-unit tags,
+		// so each lane records under its own shard to keep tags unique.
+		lo.Recorder = o.Recorder.Shard(name)
 		f7 := Fig07VoltageDrop(lo)
 		f3 := Fig03CoreScaling(lo)
 		return lane{
@@ -52,8 +55,8 @@ func FidelityAblation(o Options) FidelityResult {
 			save8: f3.SavingAt8,
 		}
 	}
-	plane := run(false)
-	mesh := run(true)
+	plane := run("plane", false)
+	mesh := run("mesh", true)
 	res.Table.AddRow("plane", plane.drop1, plane.drop8, plane.jump, plane.save1, plane.save8)
 	res.Table.AddRow("mesh", mesh.drop1, mesh.drop8, mesh.jump, mesh.save1, mesh.save8)
 	res.Drop8DeltaPP = mesh.drop8 - plane.drop8

@@ -13,6 +13,7 @@ import (
 	"agsim/internal/chip"
 	"agsim/internal/cluster"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/parallel"
 	"agsim/internal/server"
 	"agsim/internal/stats"
@@ -49,6 +50,12 @@ type Options struct {
 	// event-horizon macro-stepping. The default (false) rides the
 	// multi-rate path; Exact is the golden lane accuracy is held against.
 	Exact bool
+	// Recorder, when non-nil, receives every chip's metrics and event
+	// stream. Each sweep point registers a shard named after its tag —
+	// the same tag that salts its RNG — so the merged snapshot is
+	// bit-identical at any worker count. Nil disables recording at the
+	// cost of one pointer test per emission site.
+	Recorder *obs.Recorder
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -115,7 +122,9 @@ func (o Options) nodeConfig(seed uint64) cluster.NodeConfig {
 // newChip builds the calibrated single-socket chip for chip-local
 // experiments.
 func newChip(o Options, tag string) *chip.Chip {
-	return chip.MustNew(o.chipConfig("P0", o.Seed^hash(tag)))
+	cfg := o.chipConfig("P0", o.Seed^hash(tag))
+	cfg.Recorder = o.Recorder.Shard("chip/" + tag)
+	return chip.MustNew(cfg)
 }
 
 func hash(s string) uint64 {
@@ -257,7 +266,9 @@ func runChipToCompletion(o Options, name string, n int, mode firmware.Mode) runR
 // serverRun runs a job to completion on the two-socket server under the
 // given placement/gating schedule and guardband mode.
 func serverRun(o Options, tag string, d workload.Descriptor, placements []server.Placement, keepOn []int, mode firmware.Mode) runResult {
-	s := server.MustNew(o.serverConfig(o.Seed ^ hash(tag)))
+	cfg := o.serverConfig(o.Seed ^ hash(tag))
+	cfg.Recorder = o.Recorder.Shard("server/" + tag)
+	s := server.MustNew(cfg)
 	j := s.MustSubmit("j", d, placements, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)
@@ -281,7 +292,9 @@ func serverRun(o Options, tag string, d workload.Descriptor, placements []server
 // serverSteady measures the server's steady totals under a schedule with
 // endless work.
 func serverSteady(o Options, tag string, d workload.Descriptor, placements []server.Placement, keepOn []int, mode firmware.Mode) (totalPowerW float64, undervolts []float64) {
-	s := server.MustNew(o.serverConfig(o.Seed ^ hash(tag)))
+	cfg := o.serverConfig(o.Seed ^ hash(tag))
+	cfg.Recorder = o.Recorder.Shard("server/" + tag)
+	s := server.MustNew(cfg)
 	s.MustSubmit("j", d, placements, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)

@@ -1,0 +1,116 @@
+package obs
+
+import "math"
+
+// Kind tags one structured event record.
+type Kind uint8
+
+const (
+	// KindDroop: a worst-case di/dt event (or several in one step) fired.
+	// Core -1 (the noise process is chip-wide); A = worst event depth mV,
+	// B = typical ripple mV, C = events this step.
+	KindDroop Kind = 1 + iota
+	// KindWindow: the firmware tick read the CPM sticky window. Core -1;
+	// A = minimum sample-mode CPM, B = minimum sticky CPM (cpm.MaxValue
+	// when no core is clocked), C = 1 when any CPM is dead.
+	KindWindow
+	// KindThrottle: a core's issue throttle moved. Core = index;
+	// A = new fraction, B = old fraction.
+	KindThrottle
+	// KindDVFS: an operating-point decision. Core -1. A firmware rail move
+	// has A = new set point mV, B = old set point mV, C = -1; a mode
+	// transition has C = the firmware.Mode value (A, B zero); a manual
+	// point has A = voltage mV, B = frequency MHz and C = the Manual mode.
+	KindDVFS
+	// KindLeap: the multi-rate engine took a macro-step. Core -1;
+	// A = leap seconds, C = the Reason bounding the horizon. TimeUS stamps
+	// the leap's end.
+	KindLeap
+	// KindThreadDone: a thread retired its work budget. Core = index of
+	// the core it ran on.
+	KindThreadDone
+)
+
+// String names the kind for traces and tables.
+func (k Kind) String() string {
+	switch k {
+	case KindDroop:
+		return "droop"
+	case KindWindow:
+		return "cpm-window"
+	case KindThrottle:
+		return "throttle"
+	case KindDVFS:
+		return "dvfs"
+	case KindLeap:
+		return "macro-leap"
+	case KindThreadDone:
+		return "thread-done"
+	}
+	return "unknown"
+}
+
+// Reason says which event horizon bounded a macro-leap (KindLeap's C).
+type Reason uint8
+
+const (
+	// ReasonCap: the caller's maxSec bound, not a simulation event.
+	ReasonCap Reason = iota
+	// ReasonTick: one micro-step short of the 32 ms firmware tick.
+	ReasonTick
+	// ReasonCompletion: a thread's work budget runs out.
+	ReasonCompletion
+	// ReasonPhaseBoundary: a thread's deterministic phase boundary.
+	ReasonPhaseBoundary
+	// ReasonPhaseWalk: a thread's stochastic phase-walk update.
+	ReasonPhaseWalk
+	// ReasonDidtEvent: the next pre-drawn worst-case di/dt event.
+	ReasonDidtEvent
+	// ReasonWobble: the ripple wobble redraw boundary.
+	ReasonWobble
+	// ReasonExternal: a server- or cluster-wide minimum shorter than this
+	// chip's own horizon (another chip's event bound the synchronized leap).
+	ReasonExternal
+)
+
+// String names the reason for traces and tables.
+func (r Reason) String() string {
+	switch r {
+	case ReasonCap:
+		return "cap"
+	case ReasonTick:
+		return "tick"
+	case ReasonCompletion:
+		return "completion"
+	case ReasonPhaseBoundary:
+		return "phase-boundary"
+	case ReasonPhaseWalk:
+		return "phase-walk"
+	case ReasonDidtEvent:
+		return "didt-event"
+	case ReasonWobble:
+		return "wobble"
+	case ReasonExternal:
+		return "external"
+	}
+	return "unknown"
+}
+
+// Event is one fixed-size structured record. Payload semantics are per
+// Kind (see the Kind constants). TimeUS is microseconds of simulated time,
+// integral so that the macro and exact stepping lanes — whose float time
+// accumulators differ by ulps after millions of steps — stamp physical
+// events identically: everything except KindLeap fires inside grid-aligned
+// micro-steps whose boundaries are exact microsecond multiples in both
+// lanes.
+type Event struct {
+	TimeUS int64
+	Kind   Kind
+	Source int32 // index into the recorder's sources; -1 if none
+	Core   int32 // core index, -1 for chip-wide records
+	A, B   float64
+	C      int64
+}
+
+// StampUS converts simulated seconds to the event timestamp grid.
+func StampUS(tSec float64) int64 { return int64(math.Round(tSec * 1e6)) }

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest is the run's identity card: enough to re-run the exact
+// configuration that produced a recording. cmd/amesterd serves it from
+// /manifest next to the /metrics exposition.
+type Manifest struct {
+	Name        string         `json:"name"`
+	Seed        uint64         `json:"seed"`
+	GitRevision string         `json:"git_revision,omitempty"`
+	GitDirty    bool           `json:"git_dirty,omitempty"`
+	GoVersion   string         `json:"go_version"`
+	StartedAt   time.Time      `json:"started_at"`
+	WallSeconds float64        `json:"wall_seconds"`
+	SimSeconds  float64        `json:"sim_seconds"`
+	Config      map[string]any `json:"config,omitempty"`
+}
+
+// NewManifest starts a manifest for a run beginning now, stamping the Go
+// toolchain and — when the binary was built from a git checkout — the VCS
+// revision embedded by the linker.
+func NewManifest(name string, seed uint64) *Manifest {
+	m := &Manifest{
+		Name:      name,
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		StartedAt: time.Now(),
+		Config:    map[string]any{},
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// WriteJSON renders the manifest, refreshing WallSeconds from StartedAt.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	m.WallSeconds = time.Since(m.StartedAt).Seconds()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,313 @@
+// Package obs is the simulator's flight recorder: the structured
+// observability layer the paper's methodology (§4.1) implies but the
+// simulator lacked. Every layer — didt noise, CPM windows, chip stepping,
+// DPLL droop reactions, the server scheduler, the cluster — emits into a
+// Recorder through a nil-safe handle threaded down the Config structs, so
+// running without one costs a single pointer test per call site.
+//
+// A Recorder has three faces:
+//
+//   - a zero-allocation metrics registry: fixed-ID counters and gauges per
+//     registered source plus fixed-bucket histograms, all stored in arrays
+//     preallocated at construction so the 1 ms step loop never allocates;
+//   - a structured event log: a preallocated ring of typed records (droop
+//     fired, CPM window read, throttle moved, DVFS/AGS decision,
+//     macro-leap with horizon reason, thread completion), enabled by a
+//     non-zero event capacity;
+//   - exporters (chrome.go, prom.go, manifest.go, summary.go) that render
+//     a merged Snapshot as a Chrome trace_event file, Prometheus text
+//     exposition, a run manifest, or terminal tables and timelines.
+//
+// Determinism contract: parallel sweeps must NOT share one recorder
+// between concurrently stepping units. Instead each deterministic work
+// unit (a sweep point, a cluster node) takes its own child shard via
+// Shard(name); Snapshot merges shards by sorted shard name and stable
+// event-time order, so the merged view is bit-identical at any worker
+// count and independent of goroutine scheduling. Shard and Source are
+// mutex-protected (workers create shards concurrently); the per-shard hot
+// paths (Inc, Add, SetGauge, Observe, Emit) are deliberately unlocked and
+// rely on the one-goroutine-per-shard ownership the sweep engine already
+// guarantees for the chips themselves.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultEventCap is the per-shard event-ring capacity commands enable
+// when the user asks for event recording without picking a size.
+const DefaultEventCap = 8192
+
+// Recorder accumulates metrics and events for one deterministic unit of
+// work, plus any child shards created under it. The zero value is not
+// usable; construct with New. A nil *Recorder is valid everywhere and
+// records nothing.
+type Recorder struct {
+	name     string
+	eventCap int
+
+	// Registration state, mutex-guarded: sweep workers create shards and
+	// sources concurrently during setup.
+	mu       sync.Mutex
+	sources  []string
+	srcIndex map[string]int32
+	children []*Recorder
+
+	// Metric state, one row per source, preallocated at registration so
+	// the step-loop writers never allocate.
+	counters [][NumCounters]uint64
+	gauges   [][NumGauges]float64
+	hists    [NumHists]histogram
+
+	// Event ring: len grows to eventCap once, then wraps. lost counts
+	// overwritten (oldest-first) records.
+	events []Event
+	next   int
+	lost   uint64
+}
+
+type histogram struct {
+	counts []uint64 // len(buckets)+1; last bin is +Inf
+	sum    float64
+	n      uint64
+}
+
+// New creates a recorder. eventCap sizes the structured event ring of
+// this recorder and every shard created under it; 0 disables event
+// recording (metrics stay on).
+func New(name string, eventCap int) *Recorder {
+	if eventCap < 0 {
+		eventCap = 0
+	}
+	r := &Recorder{name: name, eventCap: eventCap, srcIndex: map[string]int32{}}
+	for i := range r.hists {
+		r.hists[i].counts = make([]uint64, len(histMeta[i].buckets)+1)
+	}
+	if eventCap > 0 {
+		r.events = make([]Event, 0, eventCap)
+	}
+	return r
+}
+
+// Name returns the recorder's name ("" on nil).
+func (r *Recorder) Name() string {
+	if r == nil {
+		return ""
+	}
+	return r.name
+}
+
+// Shard creates a child recorder for one deterministic work unit. Two
+// distinct work units must never share a shard name — their emissions
+// would race and the merged log would depend on scheduling — so a name
+// collision panics instead of silently sharing; callers derive shard
+// names from the same unique tags that seed the unit's RNG streams.
+// Nil-safe: nil.Shard returns nil.
+func (r *Recorder) Shard(name string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.children {
+		if c.name == name {
+			panic(fmt.Sprintf("obs: duplicate shard %q under %q (work-unit tags must be unique)", name, r.name))
+		}
+	}
+	child := New(name, r.eventCap)
+	r.children = append(r.children, child)
+	return child
+}
+
+// Source registers a named emitter (a chip, typically) and returns its
+// index for the per-source counter and gauge rows. Registering the same
+// name again returns the existing index — a cluster node re-registers its
+// chips on every power cycle and keeps accumulating into the same rows.
+// Nil-safe: returns -1 on a nil recorder (the index is only ever handed
+// back to the same recorder, where every method tolerates it).
+func (r *Recorder) Source(name string) int32 {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx, ok := r.srcIndex[name]; ok {
+		return idx
+	}
+	idx := int32(len(r.sources))
+	r.srcIndex[name] = idx
+	r.sources = append(r.sources, name)
+	r.counters = append(r.counters, [NumCounters]uint64{})
+	r.gauges = append(r.gauges, [NumGauges]float64{})
+	return idx
+}
+
+// Inc adds one to a source's counter. Nil-safe, allocation-free.
+func (r *Recorder) Inc(src int32, c CounterID) {
+	if r == nil || src < 0 {
+		return
+	}
+	r.counters[src][c]++
+}
+
+// Add adds n to a source's counter. Nil-safe, allocation-free.
+func (r *Recorder) Add(src int32, c CounterID, n uint64) {
+	if r == nil || src < 0 {
+		return
+	}
+	r.counters[src][c] += n
+}
+
+// SetGauge stores a source's gauge value. Nil-safe, allocation-free.
+func (r *Recorder) SetGauge(src int32, g GaugeID, v float64) {
+	if r == nil || src < 0 {
+		return
+	}
+	r.gauges[src][g] = v
+}
+
+// Observe records a histogram sample. Nil-safe, allocation-free.
+func (r *Recorder) Observe(h HistID, v float64) {
+	if r == nil {
+		return
+	}
+	hist := &r.hists[h]
+	buckets := histMeta[h].buckets
+	i := 0
+	for i < len(buckets) && v > buckets[i] {
+		i++
+	}
+	hist.counts[i]++
+	hist.sum += v
+	hist.n++
+}
+
+// Emit appends an event to the ring, overwriting the oldest record (and
+// counting it as lost) once the ring is full. Nil-safe; a no-op when the
+// recorder was built with eventCap 0. Allocation-free after construction.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil || r.eventCap == 0 {
+		return
+	}
+	if len(r.events) < r.eventCap {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.next] = ev
+	r.next++
+	if r.next == r.eventCap {
+		r.next = 0
+	}
+	r.lost++
+}
+
+// EventsEnabled reports whether this recorder records events.
+func (r *Recorder) EventsEnabled() bool { return r != nil && r.eventCap > 0 }
+
+// SourceMetrics is one emitter's merged metric rows in a Snapshot.
+type SourceMetrics struct {
+	Name     string
+	Counters [NumCounters]uint64
+	Gauges   [NumGauges]float64
+}
+
+// HistSnapshot is one merged histogram.
+type HistSnapshot struct {
+	Buckets []float64 // upper bounds, +Inf bin implied
+	Counts  []uint64  // per-bin (not cumulative), len(Buckets)+1
+	Sum     float64
+	Count   uint64
+}
+
+// Log is the merged, deterministic view of a recorder tree: sources in
+// sorted shard-then-registration order, events in stable time order, and
+// histograms summed across shards. Two runs of the same work produce
+// DeepEqual Logs regardless of worker count.
+type Log struct {
+	Name      string
+	Sources   []SourceMetrics
+	Hists     [NumHists]HistSnapshot
+	Events    []Event // Source re-indexed into Sources
+	EventsLost uint64
+}
+
+// Snapshot merges the recorder and all its shards into a Log. It must not
+// run concurrently with emission into any shard (finish or pause the
+// simulation first); shard *creation* racing a snapshot is tolerated.
+// Nil-safe: returns an empty Log.
+func (r *Recorder) Snapshot() Log {
+	var log Log
+	for i := range log.Hists {
+		log.Hists[i].Buckets = histMeta[i].buckets
+		log.Hists[i].Counts = make([]uint64, len(histMeta[i].buckets)+1)
+	}
+	if r == nil {
+		return log
+	}
+	log.Name = r.name
+	r.collect(&log, "")
+	sort.SliceStable(log.Events, func(i, j int) bool {
+		return log.Events[i].TimeUS < log.Events[j].TimeUS
+	})
+	return log
+}
+
+// collect folds one recorder (then its children, sorted by name) into the
+// log under the given source-name prefix.
+func (r *Recorder) collect(log *Log, prefix string) {
+	r.mu.Lock()
+	children := append([]*Recorder(nil), r.children...)
+	r.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].name < children[j].name })
+
+	base := int32(len(log.Sources))
+	for i, name := range r.sources {
+		log.Sources = append(log.Sources, SourceMetrics{
+			Name:     prefix + name,
+			Counters: r.counters[i],
+			Gauges:   r.gauges[i],
+		})
+	}
+	for i := range r.hists {
+		for b, n := range r.hists[i].counts {
+			log.Hists[i].Counts[b] += n
+		}
+		log.Hists[i].Sum += r.hists[i].sum
+		log.Hists[i].Count += r.hists[i].n
+	}
+	log.EventsLost += r.lost
+	// Ring in chronological order: the wrap point splits oldest from newest.
+	emit := func(ev Event) {
+		if ev.Source >= 0 {
+			ev.Source += base // re-index into the merged source list
+		}
+		log.Events = append(log.Events, ev)
+	}
+	if r.lost > 0 {
+		for _, ev := range r.events[r.next:] {
+			emit(ev)
+		}
+		for _, ev := range r.events[:r.next] {
+			emit(ev)
+		}
+	} else {
+		for _, ev := range r.events {
+			emit(ev)
+		}
+	}
+	for _, c := range children {
+		p := prefix + c.name + "/"
+		c.collect(log, p)
+	}
+}
+
+// TotalCounter sums a counter across every source of the log.
+func (l *Log) TotalCounter(c CounterID) uint64 {
+	var total uint64
+	for i := range l.Sources {
+		total += l.Sources[i].Counters[c]
+	}
+	return total
+}

@@ -21,6 +21,7 @@ import (
 
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
+	"agsim/internal/obs"
 	"agsim/internal/power"
 	"agsim/internal/rng"
 	"agsim/internal/units"
@@ -50,6 +51,10 @@ type Config struct {
 	// ChipConfig templates the per-socket chips; Name and Seed are
 	// overridden per socket.
 	ChipConfig chip.Config
+
+	// Recorder, when non-nil, is the flight recorder handed to every
+	// chip; each socket registers its own source ("P0", "P1") in it.
+	Recorder *obs.Recorder
 
 	Seed uint64
 }
@@ -139,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 		cc.Cores = cfg.CoresPerSocket
 		cc.PDN.Cores = cfg.CoresPerSocket
 		cc.Seed = cfg.Seed + uint64(i)*7919
+		cc.Recorder = cfg.Recorder
 		ch, err := chip.New(cc)
 		if err != nil {
 			return nil, err

@@ -37,6 +37,9 @@ type Sampler struct {
 	probes []Probe
 	since  float64
 	series map[string][]float64
+	// weights holds one entry per recorded row: 1 for a completed window,
+	// the covered fraction of Interval for a partial row added by Flush.
+	weights []float64
 }
 
 // NewSampler creates a sampler over the given probes. Probe names must be
@@ -70,7 +73,32 @@ func (s *Sampler) Tick(dtSec float64) {
 		for _, p := range s.probes {
 			s.series[p.Name] = append(s.series[p.Name], p.Read())
 		}
+		s.weights = append(s.weights, 1)
 	}
+}
+
+// flushEps ignores float residue left behind by window arithmetic so a run
+// that lands exactly on a boundary does not grow a zero-width row.
+const flushEps = 1e-9
+
+// Flush records the window in progress, if any, as one final row weighted
+// by the fraction of the sampling interval it covers. A run that stops
+// mid-window would otherwise silently drop up to 32 ms of telemetry; after
+// Flush the partial row participates in Mean with dt weight, so a short
+// tail cannot bias the average the way a full-weight row would. It returns
+// the partial row's weight (0 when the run ended on a window boundary and
+// nothing was added).
+func (s *Sampler) Flush() float64 {
+	if s.since <= flushEps {
+		return 0
+	}
+	w := s.since / Interval
+	for _, p := range s.probes {
+		s.series[p.Name] = append(s.series[p.Name], p.Read())
+	}
+	s.weights = append(s.weights, w)
+	s.since = 0
+	return w
 }
 
 // Series returns the recorded samples for a probe. It panics on unknown
@@ -83,8 +111,21 @@ func (s *Sampler) Series(name string) []float64 {
 	return vals
 }
 
-// Mean returns the mean of a probe's samples.
-func (s *Sampler) Mean(name string) float64 { return stats.Mean(s.Series(name)) }
+// Mean returns the dt-weighted mean of a probe's samples. Completed
+// windows weigh 1; a partial row recorded by Flush weighs its covered
+// fraction of the interval, so both average to sum(value*dt)/sum(dt).
+func (s *Sampler) Mean(name string) float64 {
+	vals := s.Series(name)
+	if len(vals) == 0 {
+		return stats.Mean(vals)
+	}
+	var sum, wsum float64
+	for i, v := range vals {
+		sum += v * s.weights[i]
+		wsum += s.weights[i]
+	}
+	return sum / wsum
+}
 
 // Min returns the smallest recorded sample.
 func (s *Sampler) Min(name string) float64 { return stats.Min(s.Series(name)) }
@@ -115,6 +156,7 @@ func (s *Sampler) Reset() {
 	for n := range s.series {
 		s.series[n] = nil
 	}
+	s.weights = nil
 	s.since = 0
 }
 

@@ -32,6 +32,48 @@ func TestSamplerWindows(t *testing.T) {
 	}
 }
 
+func TestSamplerFlushPartialWindow(t *testing.T) {
+	calls := 0
+	s := NewSampler(Probe{Name: "x", Read: func() float64 { calls++; return float64(calls) }})
+	// 80 ms = 2 complete windows (samples 1, 2) + 16 ms in flight.
+	for i := 0; i < 80; i++ {
+		s.Tick(0.001)
+	}
+	if got := s.Samples(); got != 2 {
+		t.Fatalf("Samples before Flush = %d, want 2", got)
+	}
+	w := s.Flush()
+	if w < 0.49 || w > 0.51 {
+		t.Errorf("Flush weight = %v, want 0.5", w)
+	}
+	if got := s.Samples(); got != 3 {
+		t.Errorf("Samples after Flush = %d, want 3", got)
+	}
+	// dt-weighted mean: (1*1 + 2*1 + 3*0.5) / 2.5 = 1.8, not the
+	// unweighted (1+2+3)/3 = 2.
+	if got := s.Mean("x"); got < 1.79 || got > 1.81 {
+		t.Errorf("Mean = %v, want 1.8", got)
+	}
+	// Flushing again with no progress must not add a row.
+	if w := s.Flush(); w != 0 {
+		t.Errorf("second Flush weight = %v, want 0", w)
+	}
+	if got := s.Samples(); got != 3 {
+		t.Errorf("Samples after idle Flush = %d, want 3", got)
+	}
+	// A run landing exactly on a boundary has nothing to flush.
+	s.Reset()
+	for i := 0; i < 64; i++ {
+		s.Tick(0.001)
+	}
+	if w := s.Flush(); w != 0 {
+		t.Errorf("boundary Flush weight = %v, want 0", w)
+	}
+	if got := s.Samples(); got != 2 {
+		t.Errorf("Samples = %d, want 2", got)
+	}
+}
+
 func TestSamplerPanics(t *testing.T) {
 	func() {
 		defer func() {

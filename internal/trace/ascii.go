@@ -3,7 +3,6 @@ package trace
 import (
 	"fmt"
 	"io"
-	"math"
 	"strings"
 )
 
@@ -18,16 +17,7 @@ func (f *Figure) RenderASCII(w io.Writer, width, height int) error {
 	if height < 6 {
 		height = 6
 	}
-	xmin, xmax := math.Inf(1), math.Inf(-1)
-	ymin, ymax := math.Inf(1), math.Inf(-1)
-	points := 0
-	for _, s := range f.Series {
-		for _, p := range s.Points {
-			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
-			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
-			points++
-		}
-	}
+	xmin, xmax, ymin, ymax, points := f.Bounds()
 	if points == 0 {
 		_, err := fmt.Fprintf(w, "%s\n(no data)\n", f.Title)
 		return err

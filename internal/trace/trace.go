@@ -10,6 +10,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -77,6 +78,22 @@ func (f *Figure) NewSeries(name, xlabel, ylabel string) *Series {
 	s := &Series{Name: name, XLabel: xlabel, YLabel: ylabel}
 	f.Series = append(f.Series, s)
 	return s
+}
+
+// Bounds returns the figure's data extent across every series plus the
+// total point count. With no points the extents are ±Inf and count 0;
+// renderers should check count before trusting the extents.
+func (f *Figure) Bounds() (xmin, xmax, ymin, ymax float64, points int) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+			points++
+		}
+	}
+	return xmin, xmax, ymin, ymax, points
 }
 
 // Lookup returns the series with the given name, or nil.

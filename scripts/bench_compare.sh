@@ -8,16 +8,23 @@
 # speedup of each multi-rate benchmark pair (BenchmarkX vs BenchmarkXExact)
 # found in the new recording.
 #
+# The new recording is also checked against the flight recorder's own
+# budget: BenchmarkChipStepRecorded must stay within RECORDER_THRESHOLD_PCT
+# of BenchmarkChipStep ns/op and keep 0 allocs/op.
+#
 # Exit status: 0 clean, 1 regression found, 2 usage/input error.
 #
 # Environment:
-#   THRESHOLD_PCT  regression threshold in percent (default 10)
-#   GUARD_RE       awk regex of benchmark names to guard
-#                  (default ChipStep|Sweep)
+#   THRESHOLD_PCT           regression threshold in percent (default 10)
+#   GUARD_RE                awk regex of benchmark names to guard
+#                           (default ChipStep|Sweep)
+#   RECORDER_THRESHOLD_PCT  instrumented-vs-plain step overhead budget in
+#                           percent (default 3)
 set -eu
 
 threshold="${THRESHOLD_PCT:-10}"
 guard="${GUARD_RE:-ChipStep|Sweep}"
+rthreshold="${RECORDER_THRESHOLD_PCT:-3}"
 
 baseline_tmp=""
 cleanup() { [ -z "$baseline_tmp" ] || rm -f "$baseline_tmp"; }
@@ -51,7 +58,7 @@ fi
 
 echo "comparing $old (old) -> $new (new), threshold ${threshold}% on /$guard/"
 
-awk -v threshold="$threshold" -v guard="$guard" '
+awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" '
 	/"Benchmark/ {
 		line = $0
 		gsub(/^[ \t]*"/, "", line)
@@ -60,12 +67,17 @@ awk -v threshold="$threshold" -v guard="$guard" '
 		name = f[1]
 		sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
 		v = ""
-		for (i = 2; i < n; i++) if (f[i+1] == "ns/op") v = f[i]
+		a = ""
+		for (i = 2; i < n; i++) {
+			if (f[i+1] == "ns/op") v = f[i]
+			if (f[i+1] == "allocs/op") a = f[i]
+		}
 		if (v == "") next
 		if (FILENAME == ARGV[1]) {
-			oldv[name] = v
+			if (!(name in oldv)) oldv[name] = v
 		} else if (!(name in newv)) {
 			newv[name] = v
+			newa[name] = a
 			order[++cnt] = name
 		}
 	}
@@ -100,9 +112,26 @@ awk -v threshold="$threshold" -v guard="$guard" '
 			}
 			printf "%-36s %13.1fx faster than %s\n", name, newv[exact] / newv[name], exact
 		}
+		# Flight recorder budget, measured inside the new recording: the
+		# instrumented step loop against the uninstrumented one.
+		base = "BenchmarkChipStep"
+		recd = "BenchmarkChipStepRecorded"
+		if ((base in newv) && (recd in newv) && newv[base] > 0) {
+			ovh = (newv[recd] - newv[base]) / newv[base] * 100
+			print ""
+			printf "flight recorder overhead (new recording): %+.1f%% ns/op (budget %s%%)\n", ovh, rthreshold
+			if (ovh > rthreshold + 0) {
+				printf "FAIL: %s exceeds %s by more than %s%% ns/op\n", recd, base, rthreshold
+				status = 1
+			}
+			if (newa[recd] != "" && newa[recd] + 0 > 0) {
+				printf "FAIL: %s allocates (%s allocs/op, want 0)\n", recd, newa[recd]
+				status = 1
+			}
+		}
 		if (status) {
 			print ""
-			printf "FAIL: guarded benchmark regressed more than %s%% ns/op\n", threshold
+			printf "FAIL: benchmark gate failed (see above)\n"
 		}
 		exit status
 	}' "$old" "$new"
