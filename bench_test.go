@@ -18,6 +18,7 @@ import (
 	"agsim/internal/experiments"
 	"agsim/internal/firmware"
 	"agsim/internal/obs"
+	"agsim/internal/pdn"
 	"agsim/internal/workload"
 )
 
@@ -245,13 +246,34 @@ func BenchmarkChipStepMesh(b *testing.B) {
 
 // BenchmarkNewMesh prices the one-off setup the constant-time step buys:
 // Laplacian assembly, sparse Cholesky, and Cores+1 unit-injection solves.
+// It calls pdn.NewMesh directly because chip construction now draws the
+// kernel from the process-wide cache and no longer pays this cost.
 func BenchmarkNewMesh(b *testing.B) {
-	cfg := chip.DefaultConfig("bench", 1).WithMesh()
-	var c *chip.Chip
+	mp := pdn.DefaultMeshParams()
+	var m *pdn.Mesh
 	for i := 0; i < b.N; i++ {
-		c = chip.MustNew(cfg)
+		var err error
+		m, err = pdn.NewMesh(mp)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
-	_ = c
+	_ = m
+}
+
+// BenchmarkSharedMeshHit prices what mesh-lane chip construction pays
+// instead of BenchmarkNewMesh: one lookup in the shared kernel cache.
+func BenchmarkSharedMeshHit(b *testing.B) {
+	mp := pdn.DefaultMeshParams()
+	if _, err := pdn.SharedMesh(mp); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdn.SharedMesh(mp); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkChipStepOverclock(b *testing.B) {
@@ -345,9 +367,11 @@ func BenchmarkDatacenterSweepSerial(b *testing.B) {
 func BenchmarkDatacenterSweepParallel(b *testing.B) {
 	o := benchOptions()
 	o.Workers = 4
+	var r experiments.DatacenterResult
 	for i := 0; i < b.N; i++ {
-		experiments.DatacenterSweep(o)
+		r = experiments.DatacenterSweep(o)
 	}
+	b.ReportMetric(r.SavingAtHalfLoad, "ags_vs_naive_%")
 }
 
 // Ablation benches: the design-choice sweeps DESIGN.md calls out.

@@ -240,7 +240,27 @@ type Chip struct {
 	// synchronized minimum, the reason becomes obs.ReasonExternal.
 	lastHorizonSec    float64
 	lastHorizonReason obs.Reason
+
+	// Retained RNG hierarchy: the root stream and each core's sensor-
+	// calibration parent, kept so Reset can rewind every stream in place —
+	// replaying New's exact split order — instead of allocating new ones.
+	root       *rng.Source
+	sensorSrcs []*rng.Source
 }
+
+// coreSrcName returns the split name New uses for core i's sensor parent
+// stream; Reset replays the same names so pooled chips re-derive identical
+// streams.
+func coreSrcName(i int) string { return fmt.Sprintf("cpm/core%d", i) }
+
+// sensorSplitNames are the per-sensor split names within a core.
+var sensorSplitNames = func() [CPMsPerCore]string {
+	var names [CPMsPerCore]string
+	for j := range names {
+		names[j] = fmt.Sprintf("s%d", j)
+	}
+	return names
+}()
 
 // New builds a chip from the configuration.
 func New(cfg Config) (*Chip, error) {
@@ -252,7 +272,9 @@ func New(cfg Config) (*Chip, error) {
 	if cfg.Mesh != nil {
 		mp := *cfg.Mesh
 		mp.Cores = cfg.Cores
-		plane, err = pdn.NewMesh(mp)
+		// The mesh kernel is immutable and a pure function of its params,
+		// so every chip on the same topology shares one factorized kernel.
+		plane, err = pdn.SharedMesh(mp)
 	} else {
 		plane, err = pdn.New(cfg.PDN)
 	}
@@ -284,6 +306,9 @@ func New(cfg Config) (*Chip, error) {
 
 		rec: cfg.Recorder,
 		src: cfg.Recorder.Source(cfg.Name),
+
+		root:       root,
+		sensorSrcs: make([]*rng.Source, 0, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		core := &Core{
@@ -304,9 +329,10 @@ func New(cfg Config) (*Chip, error) {
 				return s
 			}(),
 		}
-		sensorSrc := root.Split(fmt.Sprintf("cpm/core%d", i))
+		sensorSrc := root.Split(coreSrcName(i))
+		ch.sensorSrcs = append(ch.sensorSrcs, sensorSrc)
 		for j := 0; j < CPMsPerCore; j++ {
-			core.cpms = append(core.cpms, cpm.New(cfg.CPM, sensorSrc.Split(fmt.Sprintf("s%d", j))))
+			core.cpms = append(core.cpms, cpm.New(cfg.CPM, sensorSrc.Split(sensorSplitNames[j])))
 		}
 		ch.cores = append(ch.cores, core)
 	}

@@ -131,6 +131,40 @@ func MustNew(n int, template NodeConfig) *Cluster {
 	return c
 }
 
+// Reset rewinds the cluster to the state New(len(nodes), template) would
+// produce: every node suspended with its per-node seed and recorder shard
+// re-derived from the template, job maps cleared, Undervolt mode, serial
+// stepping. Servers retained from a previous run are NOT reset here — they
+// rewind lazily in powerOn — so a pooled cluster registers exactly the
+// flight-recorder sources a fresh one would, in the same order.
+func (c *Cluster) Reset(template NodeConfig) {
+	c.mode = firmware.Undervolt
+	c.seed = template.Server.Seed
+	c.pool = nil
+	for i, n := range c.nodes {
+		cfg := template
+		cfg.Server.Seed = template.Server.Seed + uint64(i)*104729
+		cfg.Server.Recorder = template.Server.Recorder.Shard(fmt.Sprintf("node%02d", i))
+		n.cfg = cfg
+		n.on = false
+		n.occupied = 0
+		clear(n.jobs)
+	}
+}
+
+// ShapeKey identifies the allocation shape of the node template — every
+// field except the identity (seed, recorder) Reset rewrites. Arena keys
+// for clusters combine it with the node count.
+func (nc NodeConfig) ShapeKey() string {
+	return fmt.Sprintf("node{%v %v %s}", nc.PlatformIdleW, nc.SuspendedW, nc.Server.ShapeKey())
+}
+
+// ShapeKey returns the cluster's shape key: node count plus the node
+// template's shape.
+func (c *Cluster) ShapeKey() string {
+	return fmt.Sprintf("cluster{%d %s}", len(c.nodes), c.nodes[0].cfg.ShapeKey())
+}
+
 // Nodes returns the node count.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 
@@ -147,25 +181,34 @@ func (c *Cluster) SetMode(m firmware.Mode) {
 	}
 }
 
-// powerOn boots a node: builds its server and applies the guardband mode.
+// powerOn boots a node: builds its server on first boot, or rewinds the
+// server retained across suspend to fresh-construction state, and applies
+// the guardband mode. The reset path is lazy on purpose: resetting at
+// suspend (or cluster Reset) time would register the chips' flight-recorder
+// sources for nodes that never power back on, diverging the merged log
+// from a freshly built cluster's.
 func (c *Cluster) powerOn(n *Node) error {
-	srv, err := server.New(n.cfg.Server)
-	if err != nil {
-		return err
+	if n.srv == nil {
+		srv, err := server.New(n.cfg.Server)
+		if err != nil {
+			return err
+		}
+		n.srv = srv
+	} else {
+		n.srv.Reset(n.cfg.Server.Seed, n.cfg.Server.Recorder)
 	}
-	n.srv = srv
 	n.on = true
 	n.srv.SetMode(c.mode)
 	n.srv.GateUnloadedCores() // everything gated until placed
 	return nil
 }
 
-// suspend powers a node down. Only empty nodes may suspend.
+// suspend powers a node down. Only empty nodes may suspend. The server is
+// retained for the next powerOn to rewind instead of reallocating.
 func (c *Cluster) suspend(n *Node) {
 	if len(n.jobs) > 0 {
 		panic(fmt.Sprintf("cluster: suspending node %d with %d jobs", n.Index, len(n.jobs)))
 	}
-	n.srv = nil
 	n.on = false
 	n.occupied = 0
 }

@@ -58,6 +58,11 @@ type Sensor struct {
 
 	r *rng.Source
 
+	// calib is the construction-time source the calibration parameters
+	// were drawn from, retained so Reset can rewind the sensor to exactly
+	// the state New would produce without allocating new streams.
+	calib *rng.Source
+
 	// dead simulates a failed sensor for fail-safe testing: it always
 	// outputs 0 (worst case), which a correct controller treats as "no
 	// margin" and refuses to undervolt on.
@@ -113,10 +118,37 @@ func New(cfg Config, r *rng.Source) *Sensor {
 		pathOffsetMV: r.Normal(0, cfg.PathOffsetSpreadMV),
 		noiseMV:      cfg.NoiseMV,
 		r:            r.Split("reads"),
+		calib:        r,
 	}
 	s.noiseOffsetMV = s.r.Normal(0, s.noiseMV)
 	return s
 }
+
+// Reset rewinds the sensor to the state New(cfg, r) produces, where the
+// caller has already rewound the retained calibration source (via
+// rng.SplitInto from the chip's reseeded root hierarchy) to r's fresh
+// state. The draw order replicates New exactly — sensitivity, path
+// offset, the "reads" child split, then the first held noise realization
+// — so pooled and fresh sensors emit bit-identical read sequences.
+func (s *Sensor) Reset(cfg Config) {
+	if cfg.MeanMVPerBit <= 0 {
+		panic(fmt.Sprintf("cpm: non-positive MeanMVPerBit %v", cfg.MeanMVPerBit))
+	}
+	spread := cfg.MVPerBitSpread
+	s.law = cfg.Law
+	s.mvPerBitNom = cfg.MeanMVPerBit * (1 + s.calib.Uniform(-spread, spread))
+	s.pathOffsetMV = s.calib.Normal(0, cfg.PathOffsetSpreadMV)
+	s.noiseMV = cfg.NoiseMV
+	s.calib.SplitInto(s.r, "reads")
+	s.noiseOffsetMV = s.r.Normal(0, s.noiseMV)
+	s.dead = false
+	s.stickyMin = 0
+	s.hasSticky = false
+}
+
+// CalibSource exposes the retained calibration source so the chip's reset
+// path can rewind it in place before calling Reset.
+func (s *Sensor) CalibSource() *rng.Source { return s.calib }
 
 // MVPerBit returns the sensor's sensitivity at frequency f. Delay elements
 // are a fixed fraction of the cycle, so the voltage worth of one detector

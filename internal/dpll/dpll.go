@@ -55,6 +55,13 @@ func New(law vf.Law) *DPLL {
 	return &DPLL{law: law, freq: law.FNom, MaxSlewFracPerStep: 0.25}
 }
 
+// Reset rewinds the DPLL to the state New(law) produces: nominal
+// frequency, default slew bound, no ablation override, zeroed droop
+// statistics. Arena-pooled chips call it instead of reallocating.
+func (d *DPLL) Reset(law vf.Law) {
+	*d = DPLL{law: law, freq: law.FNom, MaxSlewFracPerStep: 0.25}
+}
+
 // Freq returns the current output frequency.
 func (d *DPLL) Freq() units.Megahertz { return d.freq }
 

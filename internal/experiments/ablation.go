@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"agsim/internal/chip"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
 	"agsim/internal/server"
@@ -68,13 +67,15 @@ func measureWithReserve(o Options, name string, n int, mode firmware.Mode, reser
 	c.Controller().LoadReserveMilliohm = reserve
 	placeThreads(c, workload.MustGet(name), n)
 	c.SetMode(mode)
-	return measureChip(o, c).PowerW
+	p := measureChip(o, c).PowerW
+	releaseChip(c)
+	return p
 }
 
 func serverSteadyWithReserve(o Options, tag string, d workload.Descriptor, pl []server.Placement, keepOn []int, reserve float64) float64 {
 	cfg := o.serverConfig(o.Seed ^ hash(tag))
 	cfg.Recorder = o.Recorder.Shard("server/" + tag)
-	s := server.MustNew(cfg)
+	s := acquireServer(cfg)
 	for si := 0; si < s.Sockets(); si++ {
 		s.Chip(si).Controller().LoadReserveMilliohm = reserve
 	}
@@ -86,6 +87,7 @@ func serverSteadyWithReserve(o Options, tag string, d workload.Descriptor, pl []
 	k := serverMeasureSpan(s, o.MeasureSec, func(dt float64) {
 		power += float64(s.TotalPower()) * dt
 	})
+	releaseServer(s)
 	return power / k
 }
 
@@ -117,7 +119,7 @@ func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
 	rows := parallel.Sweep(o.pool(), authorities, func(_ int, a float64) droopRow {
 		cfg := o.chipConfig("abl-dpll", o.Seed)
 		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("chip/abl-dpll/%g", a))
-		c := chip.MustNew(cfg)
+		c := acquireChip(cfg)
 		c.SetDroopSlewAuthority(a)
 		d := stress.Synthesize(stress.Virus)
 		for i := 0; i < c.Cores(); i++ {
@@ -133,6 +135,7 @@ func AblationDPLLAuthority(o Options) AblationDPLLAuthorityResult {
 			remaining -= c.Advance(remaining)
 		}
 		absorbed, violations := c.DroopStats()
+		releaseChip(c)
 		return droopRow{absorbed: absorbed, violations: violations}
 	})
 	for i, a := range authorities {
@@ -171,10 +174,12 @@ func AblationCPMVariation(o Options) AblationCPMVariationResult {
 		cfg := o.chipConfig("abl-cpm", o.Seed)
 		cfg.CPM.PathOffsetSpreadMV = sp
 		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("chip/abl-cpm/%g", sp))
-		c := chip.MustNew(cfg)
+		c := acquireChip(cfg)
 		placeThreads(c, workload.MustGet("raytrace"), 4)
 		c.SetMode(firmware.Undervolt)
-		return measureChip(o, c).UndervoltMV
+		uv := measureChip(o, c).UndervoltMV
+		releaseChip(c)
+		return uv
 	})
 	for i, sp := range spreads {
 		res.Table.AddRow(fmt.Sprintf("spread=%.0fmV", sp), uvs[i])
@@ -210,13 +215,14 @@ func AblationContention(o Options) AblationContentionResult {
 			cfg := o.serverConfig(o.Seed)
 			cfg.ContentionExponent = exp
 			cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("server/abl-contention/%g/%s", exp, split))
-			s := server.MustNew(cfg)
+			s := acquireServer(cfg)
 			s.MustSubmit("j", d, pl, d.WorkGInst*o.WorkScale)
 			s.SetMode(firmware.Static)
 			elapsed, done := s.RunUntilDone(3600)
 			if !done {
 				panic("ablation: radix did not finish")
 			}
+			releaseServer(s)
 			return stepQuantize(elapsed)
 		}
 		return runOne("consolidated", server.ConsolidatedPlacements(8)) / runOne("borrowed", server.BorrowedPlacements(8, 2))

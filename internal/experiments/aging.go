@@ -66,7 +66,9 @@ func AgingSweep(o Options) AgingResult {
 				uvSum += float64(c.UndervoltMV()) * dt
 				fSum += float64(c.CoreFreq(0)) * dt
 			})
-			return c.MarginViolations() - base, uvSum / k, fSum / k
+			violations = c.MarginViolations() - base
+			releaseChip(c)
+			return violations, uvSum / k, fSum / k
 		}
 		var pt point
 		pt.sv, _, _ = run(firmware.Static)

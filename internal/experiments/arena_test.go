@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// drainArenas empties the process-wide pools so the next run of any
+// experiment constructs every object fresh.
+func drainArenas() {
+	chipArena.Drain()
+	serverArena.Drain()
+	clusterArena.Drain()
+}
+
+// TestPooledRunsBitIdenticalToFresh is the arena determinism contract at
+// driver level: for every registered experiment, a run drawing warm
+// objects from the arenas must be bit-identical to a run that constructed
+// everything fresh, at any worker count and on both stepping lanes. The
+// first run after a drain constructs each shape's first object fresh
+// (later sweep points may already reuse within the run — that is the
+// mechanism under test, not a confound); the second run starts with every
+// pool warm.
+func TestPooledRunsBitIdenticalToFresh(t *testing.T) {
+	lanes := []struct {
+		name  string
+		exact bool
+	}{{"macro", false}, {"exact", true}}
+	for _, lane := range lanes {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", lane.name, workers), func(t *testing.T) {
+				for _, e := range Registry() {
+					o := QuickOptions()
+					o.Workers = workers
+					o.Exact = lane.exact
+					drainArenas()
+					fresh := e.Run(o)
+					pooled := e.Run(o)
+					if !reflect.DeepEqual(fresh, pooled) {
+						t.Errorf("%s: pooled run diverged from fresh run", e.ID)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestArenaReuseActuallyHappens guards the perf mechanism itself: a
+// sweep's repeat run must draw from the pools, not silently miss on a
+// drifting shape key.
+func TestArenaReuseActuallyHappens(t *testing.T) {
+	drainArenas()
+	o := optsWithWorkers(1)
+	Fig03CoreScaling(o)
+	Fig03CoreScaling(o)
+	hits, _ := chipArena.Stats()
+	if hits == 0 {
+		t.Error("second Fig03 run recorded zero chip arena hits; shape keys must have diverged between release and acquire")
+	}
+}

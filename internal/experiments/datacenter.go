@@ -119,7 +119,7 @@ func runNaive(o Options, jobs int) (float64, float64) {
 	for i := range srvs {
 		cfg := o.serverConfig(o.Seed + uint64(i))
 		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("dc/naive/%d/node%02d", jobs, i))
-		srvs[i] = server.MustNew(cfg)
+		srvs[i] = acquireServer(cfg)
 		srvs[i].SetMode(firmware.Static)
 	}
 	d := workload.MustGet("raytrace")
@@ -150,6 +150,7 @@ func runNaive(o Options, jobs int) (float64, float64) {
 		for si := 0; si < s.Sockets(); si++ {
 			mips += float64(s.Chip(si).TotalMIPS())
 		}
+		releaseServer(s)
 	}
 	return power, mips
 }
@@ -160,7 +161,7 @@ func runNaive(o Options, jobs int) (float64, float64) {
 func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 	nc := o.nodeConfig(o.Seed)
 	nc.Server.Recorder = o.Recorder.Shard(fmt.Sprintf("dc/cluster/%d/ags=%v", jobs, ags))
-	c := cluster.MustNew(4, nc)
+	c := acquireCluster(4, nc)
 	c.SetMode(firmware.Undervolt)
 	d := workload.MustGet("raytrace")
 	if !ags {
@@ -187,5 +188,6 @@ func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 			}
 		}
 	}
+	releaseCluster(c)
 	return power, mips
 }

@@ -96,10 +96,12 @@ func DroopCensus(o Options) DroopCensusResult {
 			}
 		}
 		absorbed, violations := c.DroopStats()
+		cores := c.Cores()
+		releaseChip(c)
 		// The DPLL counters tally per clocked core; divide for the
 		// chip-level event count.
 		return point{
-			perSec:      float64(absorbed+violations) / float64(c.Cores()) / seconds,
+			perSec:      float64(absorbed+violations) / float64(cores) / seconds,
 			depthNow:    didtParams.ExpectedWorstMV(droopProfiles(d, n)),
 			busyWindows: busyWindows,
 			windows:     windows,

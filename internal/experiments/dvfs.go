@@ -64,7 +64,9 @@ func DVFSComparison(o Options) DVFSResult {
 			}
 		}
 		sec := stepQuantize(c.Time() - start)
-		return runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
+		rr := runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
+		releaseChip(c)
+		return rr
 	}
 
 	var nominal runResult

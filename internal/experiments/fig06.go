@@ -119,5 +119,6 @@ func Fig06CPMCalibration(o Options) Fig06Result {
 			}
 		}
 	}
+	releaseChip(c)
 	return res
 }

@@ -67,6 +67,7 @@ func Fig07VoltageDrop(o Options) Fig07Result {
 		for i := range drops {
 			drops[i] = drops[i] / span / nom * 100
 		}
+		releaseChip(c)
 		return drops
 	})
 

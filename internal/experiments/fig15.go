@@ -62,7 +62,9 @@ func Fig15Colocation(o Options) Fig15Result {
 			c.Place(i, workload.NewThread(other, 1e9, nil))
 		}
 		c.SetMode(firmware.Overclock)
-		return measureChip(o, c).Freq0MHz
+		f := measureChip(o, c).Freq0MHz
+		releaseChip(c)
+		return f
 	})
 
 	idx := 0

@@ -121,6 +121,7 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 			tr.RunWindow(own)
 			coMIPS += float64(chipTotal) - float64(own)
 		}
+		releaseChip(c)
 		return charac{violationRate: tr.ViolationRate(), hist: tr.P90History(), coMIPS: coMIPS}
 	})
 
@@ -152,7 +153,9 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 	predictor := &core.FreqPredictor{}
 	trainSts := parallel.Sweep(o.pool(), []float64{0.1, 0.3, 0.5, 0.7, 0.96}, func(_ int, th float64) steady {
 		c := colocatedChip(o, fmt.Sprintf("train/%.2f", th), coRunner{"train", th})
-		return measureChip(o, c)
+		st := measureChip(o, c)
+		releaseChip(c)
+		return st
 	})
 	for _, st := range trainSts {
 		predictor.Observe(units.MIPS(st.TotalMIPS), units.Megahertz(st.Freq0MHz))
@@ -209,6 +212,7 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 		res.ViolationAfterSwap = violationFraction(afterHist, cfg.TargetP90Sec)
 		res.TailImprovementPct = improvementPct(stats.Mean(beforeHist), stats.Mean(afterHist))
 	}
+	releaseChip(c)
 	return res
 }
 

@@ -119,12 +119,14 @@ func (o Options) nodeConfig(seed uint64) cluster.NodeConfig {
 	return nc
 }
 
-// newChip builds the calibrated single-socket chip for chip-local
-// experiments.
+// newChip acquires the calibrated single-socket chip for chip-local
+// experiments — pooled and Reset when the arena has one of this shape,
+// freshly built otherwise. Drivers release it with releaseChip when the
+// point's measurement is done.
 func newChip(o Options, tag string) *chip.Chip {
 	cfg := o.chipConfig("P0", o.Seed^hash(tag))
 	cfg.Recorder = o.Recorder.Shard("chip/" + tag)
-	return chip.MustNew(cfg)
+	return acquireChip(cfg)
 }
 
 func hash(s string) uint64 {
@@ -212,7 +214,9 @@ func chipSteady(o Options, name string, n int, mode firmware.Mode) steady {
 	c := newChip(o, fmt.Sprintf("%s/%d/%v", name, n, mode))
 	placeThreads(c, workload.MustGet(name), n)
 	c.SetMode(mode)
-	return measureChip(o, c)
+	s := measureChip(o, c)
+	releaseChip(c)
+	return s
 }
 
 // runResult is a run-to-completion outcome.
@@ -260,7 +264,9 @@ func runChipToCompletion(o Options, name string, n int, mode firmware.Mode) runR
 		}
 	}
 	sec := stepQuantize(c.Time() - start)
-	return runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
+	res := runResult{Seconds: sec, EnergyJ: c.EnergyJ(), AvgPowerW: c.EnergyJ() / sec}
+	releaseChip(c)
+	return res
 }
 
 // serverRun runs a job to completion on the two-socket server under the
@@ -268,7 +274,7 @@ func runChipToCompletion(o Options, name string, n int, mode firmware.Mode) runR
 func serverRun(o Options, tag string, d workload.Descriptor, placements []server.Placement, keepOn []int, mode firmware.Mode) runResult {
 	cfg := o.serverConfig(o.Seed ^ hash(tag))
 	cfg.Recorder = o.Recorder.Shard("server/" + tag)
-	s := server.MustNew(cfg)
+	s := acquireServer(cfg)
 	j := s.MustSubmit("j", d, placements, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)
@@ -286,7 +292,9 @@ func serverRun(o Options, tag string, d workload.Descriptor, placements []server
 		panic(fmt.Sprintf("experiments: %s did not finish in an hour of simulated time", tag))
 	}
 	elapsed = stepQuantize(elapsed)
-	return runResult{Seconds: elapsed, EnergyJ: s.TotalEnergyJ(), AvgPowerW: s.TotalEnergyJ() / elapsed}
+	res := runResult{Seconds: elapsed, EnergyJ: s.TotalEnergyJ(), AvgPowerW: s.TotalEnergyJ() / elapsed}
+	releaseServer(s)
+	return res
 }
 
 // serverSteady measures the server's steady totals under a schedule with
@@ -294,7 +302,7 @@ func serverRun(o Options, tag string, d workload.Descriptor, placements []server
 func serverSteady(o Options, tag string, d workload.Descriptor, placements []server.Placement, keepOn []int, mode firmware.Mode) (totalPowerW float64, undervolts []float64) {
 	cfg := o.serverConfig(o.Seed ^ hash(tag))
 	cfg.Recorder = o.Recorder.Shard("server/" + tag)
-	s := server.MustNew(cfg)
+	s := acquireServer(cfg)
 	s.MustSubmit("j", d, placements, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(mode)
@@ -310,6 +318,7 @@ func serverSteady(o Options, tag string, d workload.Descriptor, placements []ser
 	for si := range uv {
 		uv[si] /= k
 	}
+	releaseServer(s)
 	return power / k, uv
 }
 

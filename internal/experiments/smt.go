@@ -49,7 +49,9 @@ func SMTScaling(o Options) SMTResult {
 			}
 		}
 		c.SetMode(firmware.Undervolt)
-		return measureChip(o, c)
+		st := measureChip(o, c)
+		releaseChip(c)
+		return st
 	})
 	byCount := map[int]steady{}
 	for i, threads := range counts {

@@ -94,7 +94,17 @@ type Controller struct {
 // NewController creates a controller in Static mode with the calibrated
 // undervolt budget (DESIGN.md §4).
 func NewController(law vf.Law) *Controller {
-	return &Controller{
+	c := &Controller{}
+	c.Reset(law)
+	return c
+}
+
+// Reset rewinds the controller to the state NewController(law) produces:
+// Static mode, calibrated gains and budget, zero tick count. Arena-pooled
+// chips call it instead of reallocating; it also discards any ablation
+// overrides (e.g. LoadReserveMilliohm sweeps) a previous user applied.
+func (c *Controller) Reset(law vf.Law) {
+	*c = Controller{
 		law:                 law,
 		mode:                Static,
 		GainDown:            0.5,

@@ -116,9 +116,21 @@ func (ch *Cholesky) Solve(dst, b []float64) []float64 {
 // until the solution is accurate to working precision. It allocates
 // scratch and is meant for setup-time use, not hot paths.
 func (ch *Cholesky) SolveRefined(a *CSR, b []float64, iters int) []float64 {
-	x := ch.Solve(nil, b)
-	r := make([]float64, ch.n)
-	d := make([]float64, ch.n)
+	return ch.SolveRefinedInto(nil, a, b, iters, nil)
+}
+
+// SolveRefinedInto is SolveRefined writing the solution into dst (when it
+// has the system's dimension) and taking caller-provided scratch of at
+// least 2n floats, so a batch of solves against one factor — the mesh
+// kernel's Cores+1 unit-injection systems — reuses one scratch allocation
+// instead of paying 2n floats per right-hand side. A nil or short dst or
+// scratch is allocated internally.
+func (ch *Cholesky) SolveRefinedInto(dst []float64, a *CSR, b []float64, iters int, scratch []float64) []float64 {
+	x := ch.Solve(dst, b)
+	if len(scratch) < 2*ch.n {
+		scratch = make([]float64, 2*ch.n)
+	}
+	r, d := scratch[:ch.n], scratch[ch.n:2*ch.n]
 	for it := 0; it < iters; it++ {
 		a.MulVec(r, x)
 		for i := range r {

@@ -17,6 +17,9 @@
 //     experiment tag hash or SplitSeed) — never from a source shared with
 //     another point;
 //   - a point must not mutate state visible to other points;
+//   - a point may reuse pooled simulation state (`internal/arena`) only
+//     through a Reset that rewinds it to bit-exact fresh-construction
+//     state — then which worker drew which pooled object cannot matter;
 //   - aggregation of the returned slice happens after Map/Sweep returns,
 //     in input order.
 package parallel

@@ -195,6 +195,7 @@ func NewMesh(p MeshParams) (*Mesh, error) {
 	m.transfer = make([]float64, p.Cores*w)
 	m.unitNode = make([][]float64, w)
 	rhs := make([]float64, n)
+	scratch := make([]float64, 2*n)
 	for j := 0; j < w; j++ {
 		for i := range rhs {
 			rhs[i] = 0
@@ -210,7 +211,7 @@ func NewMesh(p MeshParams) (*Mesh, error) {
 				rhs[i] = per
 			}
 		}
-		m.unitNode[j] = ch.SolveRefined(g, rhs, 1)
+		m.unitNode[j] = ch.SolveRefinedInto(nil, g, rhs, 1, scratch)
 		for i, nodes := range m.coreNodes {
 			sum := 0.0
 			for _, idx := range nodes {

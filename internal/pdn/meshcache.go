@@ -1,0 +1,48 @@
+package pdn
+
+import "sync"
+
+// The mesh kernel is expensive to build — a Cholesky factorization plus
+// Cores+1 unit-injection solves over the full grid — but the result is a
+// pure function of MeshParams and immutable afterwards (DropsInto is safe
+// for concurrent use). Sweeps that construct hundreds of chips over the
+// same topology therefore share one kernel per distinct parameter set.
+// MeshParams is an all-scalar comparable struct, so the canonical cache
+// key is the params value itself: two configurations share a kernel
+// exactly when every field — grid shape, core count, resistances, bump
+// pitch, and reference-solver budget — matches.
+var meshCache struct {
+	sync.Mutex
+	m    map[MeshParams]*Mesh
+	hits uint64
+}
+
+// SharedMesh returns the cached mesh kernel for p, building and caching it
+// on first use. The returned mesh is shared: callers must treat it as
+// read-only, which every Network method already guarantees. Invalid params
+// return the same error NewMesh would, and are not cached.
+func SharedMesh(p MeshParams) (*Mesh, error) {
+	meshCache.Lock()
+	defer meshCache.Unlock()
+	if m, ok := meshCache.m[p]; ok {
+		meshCache.hits++
+		return m, nil
+	}
+	m, err := NewMesh(p)
+	if err != nil {
+		return nil, err
+	}
+	if meshCache.m == nil {
+		meshCache.m = make(map[MeshParams]*Mesh)
+	}
+	meshCache.m[p] = m
+	return m, nil
+}
+
+// MeshCacheStats reports the number of distinct kernels built and the
+// cache-hit count since process start, for observability and tests.
+func MeshCacheStats() (kernels int, hits uint64) {
+	meshCache.Lock()
+	defer meshCache.Unlock()
+	return len(meshCache.m), meshCache.hits
+}

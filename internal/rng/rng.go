@@ -18,21 +18,45 @@ import (
 // Source is a deterministic random stream.
 type Source struct {
 	r *rand.Rand
+	// pcg is the stream's generator state, retained so Reseed and
+	// SplitInto can rewind a Source in place: rand.Rand carries no state
+	// of its own beyond the generator, so reseeding the PCG restores the
+	// stream to exactly what New/Split would have produced.
+	pcg *rand.PCG
+}
+
+func nameSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
 }
 
 // New returns a stream seeded from the experiment seed and a component name.
 func New(seed uint64, name string) *Source {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return &Source{r: rand.New(rand.NewPCG(seed, h.Sum64()))}
+	pcg := rand.NewPCG(seed, nameSeed(name))
+	return &Source{r: rand.New(pcg), pcg: pcg}
 }
 
 // Split derives a child stream; the child's draws are independent of the
 // parent's future draws.
 func (s *Source) Split(name string) *Source {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64(), h.Sum64()))}
+	pcg := rand.NewPCG(s.r.Uint64(), nameSeed(name))
+	return &Source{r: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed rewinds the stream in place to the state New(seed, name) would
+// produce, without allocating. Arena-pooled components use it to restore
+// their retained Sources to fresh-construction state, so pooled runs draw
+// bit-identical sequences to freshly built ones.
+func (s *Source) Reseed(seed uint64, name string) {
+	s.pcg.Seed(seed, nameSeed(name))
+}
+
+// SplitInto is Split writing into an existing child Source: it consumes
+// one parent draw (exactly as Split does) and rewinds child to the state a
+// fresh Split(name) would have, without allocating.
+func (s *Source) SplitInto(child *Source, name string) {
+	child.pcg.Seed(s.r.Uint64(), nameSeed(name))
 }
 
 // Float64 returns a uniform value in [0,1).

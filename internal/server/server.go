@@ -83,6 +83,13 @@ type Job struct {
 	Desc       workload.Descriptor
 	Threads    []*workload.Thread
 	Placements []Placement
+
+	// spansSockets caches whether the placements touch more than one
+	// socket. Submit and Migrate maintain it so the per-step sharing-factor
+	// path never re-derives it through the allocating Sockets call — that
+	// one map-and-slice per core per step used to dominate the sweep
+	// allocation profile.
+	spansSockets bool
 }
 
 // Done reports whether all of the job's threads have retired their work.
@@ -109,7 +116,18 @@ func (j *Job) Sockets() []int {
 }
 
 // split reports whether the job spans more than one socket.
-func (j *Job) split() bool { return len(j.Sockets()) > 1 }
+func (j *Job) split() bool { return j.spansSockets }
+
+// spanSockets reports whether a non-empty placement list touches more
+// than one socket.
+func spanSockets(ps []Placement) bool {
+	for _, p := range ps[1:] {
+		if p.Socket != ps[0].Socket {
+			return true
+		}
+	}
+	return false
+}
 
 // Server is the assembled two-socket machine.
 type Server struct {
@@ -122,6 +140,11 @@ type Server struct {
 	// places at most one job per core (threads of one job may share a core
 	// through SMT).
 	coreJob [][]*Job
+
+	// freeThreads holds threads harvested by Reset for reuse: Submit pops
+	// one and Reinits it instead of allocating, drawing the same RNG
+	// sequence a fresh NewThread-with-Split would.
+	freeThreads []*workload.Thread
 
 	timeSec float64
 }
@@ -164,6 +187,47 @@ func MustNew(cfg Config) *Server {
 	return s
 }
 
+// Reset rewinds the server to the state New would produce for the same
+// configuration shape with the given seed and recorder, without
+// reallocating chips or threads: the server stream is reseeded in place,
+// each chip Resets under its original name with the per-socket seed
+// derivation New uses, and every live job's threads are harvested into the
+// freelist Submit recycles. Pooled and fresh servers then run
+// bit-identically.
+func (s *Server) Reset(seed uint64, rec *obs.Recorder) {
+	s.cfg.Seed = seed
+	s.cfg.Recorder = rec
+	s.cfg.ChipConfig.Recorder = rec
+	s.r.Reseed(seed, "server")
+	for i, c := range s.chips {
+		c.Reset(c.Name(), seed+uint64(i)*7919, rec)
+		cores := s.coreJob[i]
+		for core := range cores {
+			cores[core] = nil
+		}
+	}
+	for _, j := range s.jobs {
+		s.freeThreads = append(s.freeThreads, j.Threads...)
+	}
+	s.jobs = s.jobs[:0]
+	s.timeSec = 0
+}
+
+// ShapeKey identifies the allocation shape of the configuration — every
+// field except the per-point identity (Seed, Recorder) that Reset
+// rewrites. Arenas pool servers under this key.
+func (c Config) ShapeKey() string {
+	c.Seed = 0
+	c.Recorder = nil
+	return fmt.Sprintf("server{%d %d %v %v %v %s}",
+		c.Sockets, c.CoresPerSocket, c.MemBWGBs, c.ContentionExponent, c.SharingPenalty,
+		c.ChipConfig.ShapeKey())
+}
+
+// ShapeKey returns the server's configuration shape key, so a releasing
+// caller can return the server to the pool it was acquired from.
+func (s *Server) ShapeKey() string { return s.cfg.ShapeKey() }
+
 // Sockets returns the socket count.
 func (s *Server) Sockets() int { return len(s.chips) }
 
@@ -193,7 +257,7 @@ func (s *Server) Submit(id string, d workload.Descriptor, placements []Placement
 	}
 	n := len(placements)
 	perThread := workGInst / (float64(n) * d.ParallelEfficiency(n))
-	j := &Job{ID: id, Desc: d, Placements: placements}
+	j := &Job{ID: id, Desc: d, Placements: placements, spansSockets: spanSockets(placements)}
 	for i, p := range placements {
 		if p.Socket < 0 || p.Socket >= len(s.chips) {
 			return nil, fmt.Errorf("server: job %s placement %d names socket %d of %d", id, i, p.Socket, len(s.chips))
@@ -205,7 +269,16 @@ func (s *Server) Submit(id string, d workload.Descriptor, placements []Placement
 			return nil, fmt.Errorf("server: job %s placement %d collides with job %s on P%d core %d",
 				id, i, other.ID, p.Socket, p.Core)
 		}
-		th := workload.NewThread(d, perThread, s.r.Split(fmt.Sprintf("job/%s/%d", id, i)))
+		name := fmt.Sprintf("job/%s/%d", id, i)
+		var th *workload.Thread
+		if k := len(s.freeThreads) - 1; k >= 0 {
+			th = s.freeThreads[k]
+			s.freeThreads[k] = nil
+			s.freeThreads = s.freeThreads[:k]
+			th.Reinit(d, perThread, s.r, name)
+		} else {
+			th = workload.NewThread(d, perThread, s.r.Split(name))
+		}
 		j.Threads = append(j.Threads, th)
 		s.chips[p.Socket].Place(p.Core, th)
 		s.coreJob[p.Socket][p.Core] = j
@@ -263,6 +336,7 @@ func (s *Server) Migrate(j *Job, placements []Placement) error {
 		s.coreJob[p.Socket][p.Core] = j
 	}
 	j.Placements = placements
+	j.spansSockets = spanSockets(placements)
 	return nil
 }
 

@@ -151,12 +151,16 @@ func (s *Sampler) Samples() int {
 	return len(s.series[s.probes[0].Name])
 }
 
-// Reset discards recorded samples but keeps the probes.
+// Reset discards recorded samples but keeps the probes. Capacity is
+// retained: the usual settle-Reset-measure sequence records the
+// measurement rows into the settle phase's backing arrays instead of
+// growing new ones. Callers must not hold Series results across a Reset —
+// the returned slices alias the storage Reset truncates.
 func (s *Sampler) Reset() {
-	for n := range s.series {
-		s.series[n] = nil
+	for n, vals := range s.series {
+		s.series[n] = vals[:0]
 	}
-	s.weights = nil
+	s.weights = s.weights[:0]
 	s.since = 0
 }
 

@@ -65,6 +65,22 @@ func NewRail(name string, loadlineMilliohm float64, vset, vmax units.Millivolt, 
 	}, nil
 }
 
+// Reset rewinds the rail to the state NewRail(name, …, vset, …) produces
+// with the rail's existing loadline and limits: set point restored,
+// current sensor un-stuck and cleared, default sense quantization. The
+// name is reassigned because pooled chips may be re-tagged between uses.
+func (r *Rail) Reset(name string, vset units.Millivolt) {
+	if vset <= 0 || vset > r.VMax {
+		panic(fmt.Sprintf("vrm: rail %s: reset voltage %v outside (0, %v]", name, vset, r.VMax))
+	}
+	r.Name = name
+	r.setPoint = vset
+	r.SenseLSB = 0.25
+	r.stuck = false
+	r.stuckValue = 0
+	r.lastCurrent = 0
+}
+
 // SetPoint returns the commanded output voltage.
 func (r *Rail) SetPoint() units.Millivolt { return r.setPoint }
 

@@ -185,6 +185,34 @@ func (t *Thread) Reset(workGInst float64) {
 	t.retiredGInst = 0
 }
 
+// Reinit rewinds the thread to the state NewThread(d, workGInst, r')
+// produces, where r' is a child stream split off parent under name —
+// reusing the thread's retained Source in place when it has one (via
+// rng.SplitInto, consuming exactly one parent draw like a fresh Split).
+// Arena-pooled servers recycle completed threads through it so a Submit
+// on a pooled server draws the same RNG sequence, and produces the same
+// thread state, as a Submit on a freshly built one.
+func (t *Thread) Reinit(d Descriptor, workGInst float64, parent *rng.Source, name string) {
+	if workGInst <= 0 {
+		panic(fmt.Sprintf("workload %s: non-positive reinit work %v", d.Name, workGInst))
+	}
+	t.Desc = d
+	t.remainingGInst = workGInst
+	t.retiredGInst = 0
+	t.phaseMul = 1
+	t.phases = nil
+	t.elapsedSec = 0
+	t.sinceWalk = 0
+	switch {
+	case parent == nil:
+		t.r = nil
+	case t.r == nil:
+		t.r = parent.Split(name)
+	default:
+		parent.SplitInto(t.r, name)
+	}
+}
+
 // Done reports whether the thread has retired all of its work.
 func (t *Thread) Done() bool { return t.remainingGInst <= 0 }
 

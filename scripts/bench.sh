@@ -27,11 +27,20 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench "$micro_pattern" -benchmem -benchtime "$micro_benchtime" . | tee "$tmp"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 
+# The worker parallelism the benchmarks actually ran at: Go stamps
+# GOMAXPROCS as the -N suffix of every benchmark name (omitted when it is
+# 1), so read it from the output rather than guessing from the environment.
+gomaxprocs="$(grep -m1 '^Benchmark' "$tmp" | sed -n 's/^Benchmark[^ 	]*-\([0-9][0-9]*\)[ 	].*/\1/p')"
+if [ -z "$gomaxprocs" ]; then
+	if grep -q '^Benchmark' "$tmp"; then gomaxprocs=1; else gomaxprocs=0; fi
+fi
+
 {
 	printf '{\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
 	printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 0)"
+	printf '  "gomaxprocs": %s,\n' "$gomaxprocs"
 	printf '  "pattern": "%s",\n' "$pattern"
 	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "micro_benchtime": "%s",\n' "$micro_benchtime"

@@ -12,6 +12,12 @@
 # budget: BenchmarkChipStepRecorded must stay within RECORDER_THRESHOLD_PCT
 # of BenchmarkChipStep ns/op and keep 0 allocs/op.
 #
+# The sweep lanes carry an absolute allocation budget: arena pooling keeps
+# the Sweep and DatacenterSweep families' steady-state footprint small, and
+# SWEEP_ALLOC_BUDGET / SWEEP_BYTES_BUDGET are hard ceilings (allocs/op,
+# B/op) that catch a pooling regression — a driver forgetting to release,
+# or a Reset path that reallocates — long before the ns/op gate notices.
+#
 # Exit status: 0 clean, 1 regression found, 2 usage/input error.
 #
 # Environment:
@@ -20,11 +26,18 @@
 #                           (default ChipStep|Sweep)
 #   RECORDER_THRESHOLD_PCT  instrumented-vs-plain step overhead budget in
 #                           percent (default 3)
+#   SWEEP_ALLOC_BUDGET      allocs/op ceiling on the Sweep/DatacenterSweep
+#                           families (default 4500, ~2x the pooled steady
+#                           state; the pre-arena figure was ~82000)
+#   SWEEP_BYTES_BUDGET      B/op ceiling on the same families (default
+#                           250000, ~2x pooled; pre-arena mesh was ~3.6 MB)
 set -eu
 
 threshold="${THRESHOLD_PCT:-10}"
 guard="${GUARD_RE:-ChipStep|Sweep}"
 rthreshold="${RECORDER_THRESHOLD_PCT:-3}"
+abudget="${SWEEP_ALLOC_BUDGET:-4500}"
+bbudget="${SWEEP_BYTES_BUDGET:-250000}"
 
 baseline_tmp=""
 cleanup() { [ -z "$baseline_tmp" ] || rm -f "$baseline_tmp"; }
@@ -58,7 +71,8 @@ fi
 
 echo "comparing $old (old) -> $new (new), threshold ${threshold}% on /$guard/"
 
-awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" '
+awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
+	-v abudget="$abudget" -v bbudget="$bbudget" '
 	/"Benchmark/ {
 		line = $0
 		gsub(/^[ \t]*"/, "", line)
@@ -68,9 +82,11 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" '
 		sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
 		v = ""
 		a = ""
+		bb = ""
 		for (i = 2; i < n; i++) {
 			if (f[i+1] == "ns/op") v = f[i]
 			if (f[i+1] == "allocs/op") a = f[i]
+			if (f[i+1] == "B/op") bb = f[i]
 		}
 		if (v == "") next
 		if (FILENAME == ARGV[1]) {
@@ -78,6 +94,7 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" '
 		} else if (!(name in newv)) {
 			newv[name] = v
 			newa[name] = a
+			newb[name] = bb
 			order[++cnt] = name
 		}
 	}
@@ -126,6 +143,28 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" '
 			}
 			if (newa[recd] != "" && newa[recd] + 0 > 0) {
 				printf "FAIL: %s allocates (%s allocs/op, want 0)\n", recd, newa[recd]
+				status = 1
+			}
+		}
+		# Sweep allocation budget, measured inside the new recording:
+		# absolute ceilings on the pooled sweep lanes.
+		header = 0
+		for (i = 1; i <= cnt; i++) {
+			name = order[i]
+			if (name !~ /^Benchmark(Sweep|DatacenterSweep)/) continue
+			if (newa[name] == "" && newb[name] == "") continue
+			if (!header) {
+				print ""
+				printf "sweep allocation budget (new recording): <=%d allocs/op, <=%d B/op\n", abudget, bbudget
+				header = 1
+			}
+			printf "%-36s %10s allocs/op %12s B/op\n", name, newa[name], newb[name]
+			if (newa[name] != "" && newa[name] + 0 > abudget + 0) {
+				printf "FAIL: %s exceeds the sweep alloc budget (%s allocs/op > %d)\n", name, newa[name], abudget
+				status = 1
+			}
+			if (newb[name] != "" && newb[name] + 0 > bbudget + 0) {
+				printf "FAIL: %s exceeds the sweep bytes budget (%s B/op > %d)\n", name, newb[name], bbudget
 				status = 1
 			}
 		}
