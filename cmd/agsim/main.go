@@ -16,6 +16,9 @@
 //	-seed N       experiment seed (default 20151205)
 //	-workers N    sweep worker count (0 = GOMAXPROCS, 1 = serial)
 //	-mesh         run every chip on the distributed-grid PDN (mesh lane)
+//	-batched      route fleet-scale drivers through the structure-of-arrays
+//	              stepping engine (bit-identical results, fleet wall-clock)
+//	-nodes N      datacenter sweep fleet size (0 = default 4)
 //	-cpuprofile f write a CPU profile of the run to f
 //	-memprofile f write a heap profile at exit to f
 //	-full         also print every series as CSV (run only)
@@ -70,7 +73,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: agsim {list | run <id|all> [flags] [-full] | report [flags] | workloads}")
-	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-events]")
+	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-batched] [-nodes N] [-events]")
 	fmt.Fprintln(os.Stderr, "       [-trace-out f] [-metrics-out f] [-cpuprofile f] [-memprofile f]")
 }
 
@@ -149,6 +152,8 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	workers := fs.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial)")
 	mesh := fs.Bool("mesh", false, "run every chip on the distributed-grid PDN (mesh-fidelity lane)")
 	exact := fs.Bool("exact", false, "disable event-horizon macro-stepping; pure 1 ms reference lane")
+	batched := fs.Bool("batched", false, "route fleet-scale drivers through the structure-of-arrays stepping engine")
+	nodes := fs.Int("nodes", 0, "datacenter sweep fleet size (0 = default 4)")
 	events := fs.Bool("events", false, "attach the flight recorder; print event timeline and metric summary")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file")
 	metricsOut := fs.String("metrics-out", "", "write Prometheus text-format metrics to this file")
@@ -167,6 +172,8 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	o.Workers = *workers
 	o.Mesh = *mesh
 	o.Exact = *exact
+	o.Batched = *batched
+	o.Nodes = *nodes
 	rc := recording{events: *events, traceOut: *traceOut, metricsOut: *metricsOut}
 	return o, rc, startProfiles(*cpuprofile, *memprofile)
 }
@@ -342,36 +349,48 @@ func reportCmd(args []string) {
 	}
 }
 
-// reportRuntimeComparison reruns every experiment on the exact 1 ms lane and
-// tabulates its wall clock against the macro-lane runtimes already measured,
-// so the report documents what multi-rate stepping buys at this fidelity.
+// reportRuntimeComparison reruns every experiment on the exact 1 ms lane
+// and on the batched (structure-of-arrays) lane, and tabulates their wall
+// clocks against the macro-lane runtimes already measured, so the report
+// documents what multi-rate stepping and batching buy at this fidelity.
 func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duration) {
 	fmt.Println()
 	fmt.Println("## Runtime — multi-rate stepping vs the exact lane")
 	fmt.Println()
 	fmt.Println("Wall-clock per experiment at this report's fidelity: the exact 1 ms")
 	fmt.Println("reference lane (`-exact`) against the default event-horizon macro lane")
-	fmt.Println("that produced the numbers above.")
+	fmt.Println("that produced the numbers above, plus the batched lane (`-batched`) —")
+	fmt.Println("the structure-of-arrays stepping engine the fleet-scale drivers ride.")
+	fmt.Println("All three lanes report bit-identical experiment results; only the")
+	fmt.Println("datacenter drivers consult `-batched` today, so the batched column")
+	fmt.Println("moves only for them.")
 	fmt.Println()
-	fmt.Println("| experiment | exact 1 ms lane | macro lane | speedup |")
-	fmt.Println("|---|---|---|---|")
+	fmt.Println("| experiment | exact 1 ms lane | macro lane | batched lane | macro speedup |")
+	fmt.Println("|---|---|---|---|---|")
 	exact := o
 	exact.Exact = true
-	// The timing rerun never records: a stale recorder would panic on
+	// The timing reruns never record: a stale recorder would panic on
 	// duplicate shard names and the recording already happened above.
 	exact.Recorder = nil
-	var exactTotal, macroTotal time.Duration
+	batched := o
+	batched.Batched = true
+	batched.Recorder = nil
+	var exactTotal, macroTotal, batchedTotal time.Duration
 	for i, e := range experiments.Registry() {
 		start := time.Now()
 		e.Run(exact)
 		et := time.Since(start)
+		start = time.Now()
+		e.Run(batched)
+		bt := time.Since(start)
 		exactTotal += et
 		macroTotal += macroRuntimes[i]
-		fmt.Printf("| %s | %s | %s | %.1fx |\n",
+		batchedTotal += bt
+		fmt.Printf("| %s | %s | %s | %s | %.1fx |\n",
 			e.ID, et.Round(time.Millisecond), macroRuntimes[i].Round(time.Millisecond),
-			float64(et)/float64(macroRuntimes[i]))
+			bt.Round(time.Millisecond), float64(et)/float64(macroRuntimes[i]))
 	}
-	fmt.Printf("| **total** | %s | %s | %.1fx |\n",
+	fmt.Printf("| **total** | %s | %s | %s | %.1fx |\n",
 		exactTotal.Round(time.Millisecond), macroTotal.Round(time.Millisecond),
-		float64(exactTotal)/float64(macroTotal))
+		batchedTotal.Round(time.Millisecond), float64(exactTotal)/float64(macroTotal))
 }

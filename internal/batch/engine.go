@@ -1,0 +1,318 @@
+// Package batch advances a fleet of same-shape servers through the
+// structure-of-arrays chip kernels (chip.Batch): all chips of all nodes
+// live in one contiguous arena, stepped as flat passes, while the servers'
+// memory-contention coupling is applied between segments through the
+// server.MemFactorTarget seam.
+//
+// The engine mirrors cluster.Advance's multi-rate control flow — one
+// grid-aligned micro-step when any node is busy, one fleet-wide macro leap
+// when every node is quiescent — with two outcome-neutral differences: the
+// quiescence/horizon gather runs over all nodes (in parallel) instead of
+// short-circuiting at the first busy node, and the micro-step after a
+// gather skips re-applying memory factors. Both are safe because factor
+// application is idempotent at unchanged frequencies and a chip's recorded
+// horizon is only consumed after a fresh full gather; see ARCHITECTURE.md
+// "Batched stepping".
+//
+// Engines are pooled (arena-backed, keyed by fleet size and server shape)
+// so sweeps reuse the SoA arena across points instead of reallocating it.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+
+	"agsim/internal/arena"
+	"agsim/internal/chip"
+	"agsim/internal/parallel"
+	"agsim/internal/server"
+	"agsim/internal/units"
+)
+
+// Engine batches the chips of a fixed set of servers. Between Gather and
+// Scatter the engine is authoritative for all chip state; the servers'
+// own Step/Advance must not be called.
+type Engine struct {
+	servers []*server.Server
+	bt      *chip.Batch
+	chips   []*chip.Chip
+	sockets int
+	targets []nodeTarget
+	// key is the engine's pool key, fixed at construction (fleet size and
+	// server shape are immutable), so Release never re-formats it.
+	key string
+
+	// Per-node gather scratch for Advance.
+	quiescent []bool
+	horizon   []float64
+}
+
+// nodeTarget adapts one node's slice of the SoA arena to the
+// server.MemFactorTarget seam, so ApplyMemFactorsTo reads frequencies from
+// and writes memory factors into the arrays.
+type nodeTarget struct {
+	e    *Engine
+	node int
+}
+
+// The methods take pointer receivers so &e.targets[n] converts to the
+// interface without boxing — the conversion happens once per segment per
+// node, and a by-value conversion would heap-allocate every time.
+func (t *nodeTarget) CoreFreq(socket, core int) units.Megahertz {
+	return t.e.bt.CoreFreq(t.e.node0(t.node)+socket, core)
+}
+
+func (t *nodeTarget) SetMemFactor(socket, core int, factor float64) {
+	t.e.bt.SetMemFactor(t.e.node0(t.node)+socket, core, factor)
+}
+
+// node0 returns the batch index of node n's first chip.
+func (e *Engine) node0(n int) int { return n * e.sockets }
+
+// New creates an engine over the servers (same configuration shape, at
+// least one) and gathers their chips.
+func New(servers []*server.Server) (*Engine, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("batch: no servers")
+	}
+	e := &Engine{sockets: servers[0].Sockets()}
+	e.targets = make([]nodeTarget, len(servers))
+	e.quiescent = make([]bool, len(servers))
+	e.horizon = make([]float64, len(servers))
+	e.chips = make([]*chip.Chip, 0, len(servers)*e.sockets)
+	for n := range e.targets {
+		e.targets[n] = nodeTarget{e: e, node: n}
+	}
+	if err := e.bind(servers); err != nil {
+		return nil, err
+	}
+	bt, err := chip.NewBatch(e.chips)
+	if err != nil {
+		return nil, err
+	}
+	e.bt = bt
+	e.key = engineKey(len(servers), servers[0].ShapeKey())
+	return e, nil
+}
+
+// bind flattens the servers' chips node-major, socket-minor.
+func (e *Engine) bind(servers []*server.Server) error {
+	if len(servers) != len(e.targets) {
+		return fmt.Errorf("batch: binding %d servers to an engine sized for %d", len(servers), len(e.targets))
+	}
+	e.chips = e.chips[:0]
+	for _, s := range servers {
+		if s.Sockets() != e.sockets {
+			return fmt.Errorf("batch: server %s has %d sockets, engine has %d", s.ShapeKey(), s.Sockets(), e.sockets)
+		}
+		for si := 0; si < s.Sockets(); si++ {
+			e.chips = append(e.chips, s.Chip(si))
+		}
+	}
+	e.servers = servers
+	return nil
+}
+
+// Gather re-binds the engine to a server set (the same one, or a fresh
+// same-shape fleet from a pool) and lifts its chips into the arena.
+func (e *Engine) Gather(servers []*server.Server) error {
+	if err := e.bind(servers); err != nil {
+		return err
+	}
+	return e.bt.Gather(e.chips)
+}
+
+// Scatter writes the arena back into the chips; the servers are then
+// exactly where the scalar stepping sequence would leave them.
+func (e *Engine) Scatter() { e.bt.Scatter() }
+
+// Nodes returns the fleet size.
+func (e *Engine) Nodes() int { return len(e.servers) }
+
+// stepNode applies one node's memory-contention coupling and advances its
+// chips by one micro-step.
+func (e *Engine) stepNode(n int, dtSec float64) {
+	e.servers[n].ApplyMemFactorsTo(&e.targets[n])
+	lo := e.node0(n)
+	e.bt.StepRange(lo, lo+e.sockets, dtSec)
+	e.servers[n].AdvanceClock(dtSec)
+}
+
+// stepNodeApplied is stepNode for the path where the factors were already
+// applied by a same-instant horizon gather (application is idempotent at
+// unchanged frequencies, so skipping the second pass is outcome-neutral).
+func (e *Engine) stepNodeApplied(n int, dtSec float64) {
+	lo := e.node0(n)
+	e.bt.StepRange(lo, lo+e.sockets, dtSec)
+	e.servers[n].AdvanceClock(dtSec)
+}
+
+// effPool returns the pool Step/Advance actually dispatch node work on:
+// nil (the inline serial path) when only one OS thread can run. The
+// engine dispatches once per simulated segment — thousands of times per
+// sweep point — and with GOMAXPROCS=1 the goroutine fan-out cannot
+// overlap, so it would cost scheduling and closure allocations for
+// nothing. Results are identical either way (the package contract).
+func effPool(pool *parallel.Pool) *parallel.Pool {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return nil
+	}
+	return pool
+}
+
+// Step advances every node by dtSec of micro-stepping, mirroring
+// cluster.Step over the batched fleet. Nodes are independent between
+// memory-factor applications, so they step on the pool's workers.
+func (e *Engine) Step(pool *parallel.Pool, dtSec float64) {
+	pool = effPool(pool)
+	if pool.Serial() {
+		for n := range e.servers {
+			e.stepNode(n, dtSec)
+		}
+		return
+	}
+	parallel.ForEach(pool, len(e.servers), func(n int) { e.stepNode(n, dtSec) })
+}
+
+// nodeHorizon mirrors server.Horizon on the arrays: memory factors must
+// already be applied; returns (false, 0) at the first busy chip.
+func (e *Engine) nodeHorizon(n int, maxSec float64) (quiescent bool, horizonSec float64) {
+	lo := e.node0(n)
+	h := maxSec
+	for b := lo; b < lo+e.sockets; b++ {
+		if !e.bt.Quiescent(b) {
+			return false, 0
+		}
+		if hb := e.bt.HorizonSec(b, maxSec); hb < h {
+			h = hb
+		}
+	}
+	return true, h
+}
+
+// gatherNode applies node n's memory-contention coupling and records its
+// quiescence and horizon into the per-node scratch.
+func (e *Engine) gatherNode(n int, maxSec float64) {
+	e.servers[n].ApplyMemFactorsTo(&e.targets[n])
+	e.quiescent[n], e.horizon[n] = e.nodeHorizon(n, maxSec)
+}
+
+// leapNode macro-leaps node n's chips by h seconds.
+func (e *Engine) leapNode(n int, h float64) {
+	lo := e.node0(n)
+	e.bt.MacroStepRange(lo, lo+e.sockets, h)
+	e.servers[n].AdvanceClock(h)
+}
+
+// Advance moves the fleet forward by at most maxSec and returns the time
+// advanced, mirroring cluster.Advance: the fleet leaps together only when
+// every node is quiescent, by the minimum horizon; otherwise it takes one
+// grid-aligned micro-step. The serial paths call the per-node methods in
+// plain loops — Advance runs once per simulated segment, so a closure
+// allocation here would dominate the batched lane's steady-state allocs.
+func (e *Engine) Advance(pool *parallel.Pool, maxSec float64) float64 {
+	pool = effPool(pool)
+	micro := chip.DefaultStepSec
+	for n := range e.servers {
+		if m := e.bt.MicroStepSec(e.node0(n)); m < micro {
+			micro = m
+		}
+	}
+	if maxSec < micro {
+		e.Step(pool, maxSec)
+		return maxSec
+	}
+
+	if pool.Serial() {
+		for n := range e.servers {
+			e.gatherNode(n, maxSec)
+		}
+	} else {
+		parallel.ForEach(pool, len(e.servers), func(n int) { e.gatherNode(n, maxSec) })
+	}
+
+	h := maxSec
+	allQuiescent := true
+	for n := range e.servers {
+		if !e.quiescent[n] {
+			allQuiescent = false
+			break
+		}
+		if e.horizon[n] < h {
+			h = e.horizon[n]
+		}
+	}
+	if !allQuiescent || h <= micro {
+		if pool.Serial() {
+			for n := range e.servers {
+				e.stepNodeApplied(n, micro)
+			}
+		} else {
+			parallel.ForEach(pool, len(e.servers), func(n int) { e.stepNodeApplied(n, micro) })
+		}
+		return micro
+	}
+
+	if pool.Serial() {
+		for n := range e.servers {
+			e.leapNode(n, h)
+		}
+	} else {
+		parallel.ForEach(pool, len(e.servers), func(n int) { e.leapNode(n, h) })
+	}
+	return h
+}
+
+// ServerPower returns node n's chip power, summed in socket order exactly
+// as server.TotalPower does.
+func (e *Engine) ServerPower(n int) units.Watt {
+	lo := e.node0(n)
+	var total units.Watt
+	for b := lo; b < lo+e.sockets; b++ {
+		total += e.bt.ChipPower(b)
+	}
+	return total
+}
+
+// ChipMIPS returns socket si of node n's whole-chip throughput.
+func (e *Engine) ChipMIPS(n, si int) units.MIPS {
+	return e.bt.ChipTotalMIPS(e.node0(n) + si)
+}
+
+// enginePool recycles engines across sweep points: a 64-node SoA arena is
+// tens of thousands of slice elements, and sweeps acquire and release one
+// per simulated measurement.
+var enginePool = arena.New[*Engine]()
+
+func engineKey(nodes int, shape string) string {
+	return fmt.Sprintf("engine{%d %s}", nodes, shape)
+}
+
+// Acquire returns a pooled engine bound to the servers, or a fresh one if
+// the pool has none of the right fleet size and shape.
+func Acquire(servers []*server.Server) (*Engine, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("batch: no servers")
+	}
+	key := engineKey(len(servers), servers[0].ShapeKey())
+	if e, ok := enginePool.Get(key); ok {
+		if err := e.Gather(servers); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return New(servers)
+}
+
+// Release parks the engine for reuse. The caller must have scattered; the
+// engine's arena contents are dead until the next Gather.
+func Release(e *Engine) {
+	if e == nil {
+		return
+	}
+	enginePool.Put(e.key, e)
+}
+
+// PoolStats reports the engine pool's hit/miss counters (for tests and the
+// sweep allocation budget).
+func PoolStats() (hits, misses uint64) { return enginePool.Stats() }

@@ -1,0 +1,269 @@
+package chip
+
+import (
+	"reflect"
+	"testing"
+
+	"agsim/internal/firmware"
+	"agsim/internal/obs"
+	"agsim/internal/power"
+	"agsim/internal/rng"
+	"agsim/internal/workload"
+)
+
+// buildIdentityChip constructs one chip for the batch identity tests with a
+// deliberately messy setup: SMT pairs, mixed workloads, a short thread that
+// completes mid-run, a throttled core, an idle core, a gated core, aging,
+// and (per-chip, keyed by k) a dead CPM and a stuck current sensor.
+func buildIdentityChip(name string, seed uint64, k int, mesh, exact bool, mode firmware.Mode, rec *obs.Recorder) *Chip {
+	cfg := DefaultConfig(name, seed)
+	if mesh {
+		cfg = cfg.WithMesh()
+	}
+	cfg.Exact = exact
+	cfg.Recorder = rec
+	c := MustNew(cfg)
+
+	r := rng.New(seed, "threads")
+	ray := workload.MustGet("raytrace")
+	lu := workload.MustGet("lu_cb")
+	fft := workload.MustGet("fft")
+	water := workload.MustGet("water_nsquared")
+	c.Place(0, workload.NewThread(ray, 1e6, r.Split("t0a")), workload.NewThread(lu, 1e6, r.Split("t0b")))
+	c.Place(1, workload.NewThread(water, 1e6, r.Split("t1")))
+	c.Place(2, workload.NewThread(fft, 1e6, r.Split("t2")))
+	// Core 3's thread finishes partway through the run, exercising the
+	// completion event and the dead-thread demand paths.
+	c.Place(3, workload.NewThread(ray, 0.2, r.Split("t3")))
+	c.Place(4, workload.NewThread(lu, 1e6, nil))
+	c.Place(5, workload.NewThread(water, 1e6, r.Split("t5")))
+	c.SetIssueThrottle(5, 0.6)
+	c.SetMemFactor(1, 1.2)
+	// Core 6 stays IdleOn; core 7 is gated.
+	c.SetCoreState(7, power.Gated)
+	c.AgeBy(1.5)
+	if k%3 == 1 {
+		c.KillCPM(2, 1)
+	}
+	if k%3 == 2 {
+		c.Rail().StickSensor()
+	}
+	c.SetMode(mode)
+	return c
+}
+
+// buildIdentityPair returns n scalar chips and n bit-identical twins for
+// batching, each chip with its own recorder so per-chip event streams can
+// be compared exactly.
+func buildIdentityPair(n int, mesh, exact bool, mode firmware.Mode) (scalar, batched []*Chip, recS, recB []*obs.Recorder) {
+	for k := 0; k < n; k++ {
+		seed := uint64(4242 + 7919*k)
+		rs := obs.New("rec", 4096)
+		rb := obs.New("rec", 4096)
+		scalar = append(scalar, buildIdentityChip("c", seed, k, mesh, exact, mode, rs))
+		batched = append(batched, buildIdentityChip("c", seed, k, mesh, exact, mode, rb))
+		recS = append(recS, rs)
+		recB = append(recB, rb)
+	}
+	return scalar, batched, recS, recB
+}
+
+// requireChipsEqual compares every piece of chip state the scalar and
+// batched lanes can disturb, bit for bit.
+func requireChipsEqual(t *testing.T, want, got *Chip) {
+	t.Helper()
+	type chk struct {
+		name string
+		w, g interface{}
+	}
+	checks := []chk{
+		{"timeSec", want.timeSec, got.timeSec},
+		{"sinceTick", want.sinceTick, got.sinceTick},
+		{"tempC", want.tempC, got.tempC},
+		{"energyJ", want.energyJ, got.energyJ},
+		{"marginViolations", want.marginViolations, got.marginViolations},
+		{"stable", want.stable, got.stable},
+		{"lastRailV", want.lastRailV, got.lastRailV},
+		{"prevRailV", want.prevRailV, got.prevRailV},
+		{"lastChipPower", want.lastChipPower, got.lastChipPower},
+		{"lastCurrent", want.lastCurrent, got.lastCurrent},
+		{"lastSample", want.lastSample, got.lastSample},
+		{"lastWindowWorstDidt", want.lastWindowWorstDidt, got.lastWindowWorstDidt},
+		{"agingMV", want.agingMV, got.agingMV},
+		{"setPoint", want.rail.SetPoint(), got.rail.SetPoint()},
+		{"railLastCurrent", want.rail.LastCurrent(), got.rail.LastCurrent()},
+		{"senseCurrent", want.rail.SenseCurrent(), got.rail.SenseCurrent()},
+	}
+	for i := range want.cores {
+		cw, cg := want.cores[i], got.cores[i]
+		checks = append(checks,
+			chk{"core.state", cw.state, cg.state},
+			chk{"core.voltageDC", cw.voltageDC, cg.voltageDC},
+			chk{"core.voltageMin", cw.voltageMin, cg.voltageMin},
+			chk{"core.freq", cw.dpll.Freq(), cg.dpll.Freq()},
+			chk{"core.memFactor", cw.memFactor, cg.memFactor},
+			chk{"core.issueThrottle", cw.issueThrottle, cg.issueThrottle},
+			chk{"core.tempC", cw.tempC, cg.tempC},
+			chk{"core.lastPower", cw.lastPower, cg.lastPower},
+			chk{"core.lastMIPS", cw.lastMIPS, cg.lastMIPS},
+			chk{"core.lastCPM", cw.lastCPM, cg.lastCPM},
+			chk{"core.lastWindowSticky", cw.lastWindowSticky, cg.lastWindowSticky},
+			chk{"lastDrops", want.lastDrops[i], got.lastDrops[i]},
+			chk{"prevCoreV", want.prevCoreV[i], got.prevCoreV[i]},
+			chk{"prevCoreF", want.prevCoreF[i], got.prevCoreF[i]},
+		)
+		aw, vw := cw.dpll.DroopsAbsorbed(), cw.dpll.TimingViolations()
+		ag, vg := cg.dpll.DroopsAbsorbed(), cg.dpll.TimingViolations()
+		checks = append(checks, chk{"dpll.droopStats", [2]int{aw, vw}, [2]int{ag, vg}})
+		for j, sw := range cw.cpms {
+			sg := cg.cpms[j]
+			mW, pW, nW, dW, smW, hsW := sw.BatchState()
+			mG, pG, nG, dG, smG, hsG := sg.BatchState()
+			checks = append(checks,
+				chk{"cpm.mvPerBitNom", mW, mG},
+				chk{"cpm.pathOffset", pW, pG},
+				chk{"cpm.noiseOffset", nW, nG},
+				chk{"cpm.dead", dW, dG},
+				chk{"cpm.sticky", [2]interface{}{smW, hsW}, [2]interface{}{smG, hsG}},
+			)
+		}
+		for ti, tw := range cw.threads {
+			tg := cg.threads[ti]
+			checks = append(checks,
+				chk{"thread.done", tw.Done(), tg.Done()},
+				chk{"thread.remaining", tw.Remaining(), tg.Remaining()},
+				chk{"thread.retired", tw.Retired(), tg.Retired()},
+				chk{"thread.activityNow", tw.ActivityNow(), tg.ActivityNow()},
+			)
+			if !tw.Done() {
+				checks = append(checks,
+					chk{"thread.phaseBoundary", tw.TimeToPhaseBoundary(), tg.TimeToPhaseBoundary()},
+					chk{"thread.phaseWalk", tw.TimeToPhaseWalk(), tg.TimeToPhaseWalk()},
+				)
+			}
+		}
+	}
+	for _, ck := range checks {
+		if !reflect.DeepEqual(ck.w, ck.g) {
+			t.Fatalf("%s: scalar %v, batched %v (t=%v)", ck.name, ck.w, ck.g, want.timeSec)
+		}
+	}
+}
+
+func requireRecordersEqual(t *testing.T, want, got *obs.Recorder) {
+	t.Helper()
+	ws, gs := want.Snapshot(), got.Snapshot()
+	if !reflect.DeepEqual(ws, gs) {
+		t.Fatalf("recorder snapshots diverge:\nscalar:  %+v\nbatched: %+v", ws, gs)
+	}
+}
+
+// TestBatchGatherScatterRoundTrip pins that a gather immediately followed
+// by a scatter is a no-op: the batched twins stay bit-identical to scalar
+// chips that were never touched.
+func TestBatchGatherScatterRoundTrip(t *testing.T) {
+	scalar, batched, _, _ := buildIdentityPair(3, false, false, firmware.Undervolt)
+	bt, err := NewBatch(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt.Scatter()
+	for i := range scalar {
+		requireChipsEqual(t, scalar[i], batched[i])
+	}
+}
+
+// TestBatchStepMatchesScalar drives twin chip sets through 100 ms of
+// micro-steps — three firmware ticks, droop events, a thread completion —
+// one set through Chip.Step, one through the batch kernels, and requires
+// bit-identical state and telemetry.
+func TestBatchStepMatchesScalar(t *testing.T) {
+	cases := []struct {
+		name string
+		mesh bool
+		mode firmware.Mode
+	}{
+		{"undervolt", false, firmware.Undervolt},
+		{"overclock", false, firmware.Overclock},
+		{"static", false, firmware.Static},
+		{"undervolt_mesh", true, firmware.Undervolt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar, batched, recS, recB := buildIdentityPair(3, tc.mesh, false, tc.mode)
+			bt, err := NewBatch(batched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const steps = 100
+			for s := 0; s < steps; s++ {
+				for _, c := range scalar {
+					c.Step(DefaultStepSec)
+				}
+				bt.Step(DefaultStepSec)
+			}
+			bt.Scatter()
+			for i := range scalar {
+				requireChipsEqual(t, scalar[i], batched[i])
+				requireRecordersEqual(t, recS[i], recB[i])
+			}
+			// Re-gather and keep going: scatter must leave the pair
+			// steppable in either lane without drift.
+			if err := bt.Gather(batched); err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < 20; s++ {
+				for _, c := range scalar {
+					c.Step(DefaultStepSec)
+				}
+				bt.Step(DefaultStepSec)
+			}
+			bt.Scatter()
+			for i := range scalar {
+				requireChipsEqual(t, scalar[i], batched[i])
+			}
+		})
+	}
+}
+
+// TestBatchAdvanceMatchesScalar drives the multi-rate lane: settled chips
+// macro-leap between firmware ticks in both lanes, and the exact lane
+// must refuse to leap in both. The batched side advances each chip through
+// AdvanceChip — the per-chip mirror of Chip.Advance.
+func TestBatchAdvanceMatchesScalar(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		name := "macro"
+		if exact {
+			name = "exact"
+		}
+		t.Run(name, func(t *testing.T) {
+			scalar, batched, recS, recB := buildIdentityPair(2, false, exact, firmware.Undervolt)
+			for _, c := range scalar {
+				c.Settle(1)
+			}
+			for _, c := range batched {
+				c.Settle(1)
+			}
+			bt, err := NewBatch(batched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const eps = 1e-9
+			for i, c := range scalar {
+				remaining := 0.5
+				for remaining > eps {
+					remaining -= c.Advance(remaining)
+				}
+				remaining = 0.5
+				for remaining > eps {
+					remaining -= bt.AdvanceChip(i, remaining)
+				}
+			}
+			bt.Scatter()
+			for i := range scalar {
+				requireChipsEqual(t, scalar[i], batched[i])
+				requireRecordersEqual(t, recS[i], recB[i])
+			}
+		})
+	}
+}

@@ -175,8 +175,12 @@ func (co *Core) Threads() []*workload.Thread { return co.threads }
 
 // Chip is the assembled processor.
 type Chip struct {
-	cfg   Config
-	cores []*Core
+	cfg Config
+	// shapeKey caches cfg.ShapeKey(): the shape fields never change after
+	// construction (Reset rewrites only the per-point identity, which the
+	// key excludes), and pooled paths look the key up per acquire/release.
+	shapeKey string
+	cores    []*Core
 	plane pdn.Network
 	rail  *vrm.Rail
 	ctrl  *firmware.Controller
@@ -288,6 +292,7 @@ func New(cfg Config) (*Chip, error) {
 	root := rng.New(cfg.Seed, "chip/"+cfg.Name)
 	ch := &Chip{
 		cfg:       cfg,
+		shapeKey:  cfg.ShapeKey(),
 		plane:     plane,
 		rail:      rail,
 		ctrl:      firmware.NewController(cfg.Law),

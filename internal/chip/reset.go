@@ -107,5 +107,7 @@ func (c Config) ShapeKey() string {
 
 // ShapeKey returns the chip's configuration shape key, so a releasing
 // caller can return the chip to the pool it was (or could have been)
-// acquired from.
-func (c *Chip) ShapeKey() string { return c.cfg.ShapeKey() }
+// acquired from. The key is cached at construction — batched paths look
+// it up once per chip per gather, and re-deriving it would format the
+// whole configuration each time.
+func (c *Chip) ShapeKey() string { return c.shapeKey }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"agsim/internal/batch"
 	"agsim/internal/chip"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
@@ -98,6 +99,18 @@ type Cluster struct {
 	// no state within a Step call (each server owns its chips, jobs and
 	// RNG streams), so per-node results are identical to the serial order.
 	pool *parallel.Pool
+
+	// batched routes Step/Advance through the structure-of-arrays engine
+	// (internal/batch): powered nodes' chips are gathered into one
+	// contiguous arena and advanced as flat passes, scattering back at
+	// placement boundaries. Results are bit-identical to the scalar path;
+	// see ARCHITECTURE.md "Batched stepping".
+	batched bool
+	engine  *batch.Engine
+	// engineSrvs lists the gathered servers in node index order, and
+	// slotOf maps node index to engine slot (-1 when not gathered).
+	engineSrvs []*server.Server
+	slotOf     []int
 }
 
 // New creates a cluster of n nodes from the template configuration; node
@@ -138,6 +151,8 @@ func MustNew(n int, template NodeConfig) *Cluster {
 // rewind lazily in powerOn — so a pooled cluster registers exactly the
 // flight-recorder sources a fresh one would, in the same order.
 func (c *Cluster) Reset(template NodeConfig) {
+	c.flush()
+	c.batched = false
 	c.mode = firmware.Undervolt
 	c.seed = template.Server.Seed
 	c.pool = nil
@@ -173,6 +188,7 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
 // SetMode selects the guardband mode applied to powered nodes.
 func (c *Cluster) SetMode(m firmware.Mode) {
+	c.flush()
 	c.mode = m
 	for _, n := range c.nodes {
 		if n.on {
@@ -219,6 +235,7 @@ func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGIns
 	if threads < 1 {
 		return -1, fmt.Errorf("cluster: job %s needs at least one thread", id)
 	}
+	c.flush()
 	node := c.pick(threads)
 	if node == nil {
 		return -1, fmt.Errorf("cluster: no node has %d free cores for job %s", threads, id)
@@ -325,6 +342,7 @@ func (c *Cluster) placeWithin(n *Node, d workload.Descriptor, threads int) ([]se
 // Release removes a finished (or cancelled) job and suspends the node if it
 // empties.
 func (c *Cluster) Release(id string) error {
+	c.flush()
 	for _, n := range c.nodes {
 		if j, ok := n.jobs[id]; ok {
 			n.srv.Remove(j)
@@ -344,15 +362,82 @@ func (c *Cluster) Release(id string) error {
 // SetWorkers enables parallel node stepping: n >= 2 steps powered nodes on
 // up to n goroutines, n <= 1 restores the serial path, and 0 selects
 // parallel.DefaultWorkers(). Safe because Step touches each node's private
-// state only; see ARCHITECTURE.md "Concurrency and determinism".
+// state only — and on the batched lane (SetBatched) each worker owns a
+// disjoint node-aligned range of the structure-of-arrays arena, so the
+// worker count never changes results on either lane; see ARCHITECTURE.md
+// "Concurrency and determinism" and "Batched stepping".
 func (c *Cluster) SetWorkers(n int) {
 	c.pool = parallel.NewPool(n)
+}
+
+// SetBatched selects the structure-of-arrays stepping lane: Step and
+// Advance gather the powered nodes' chips into a pooled batch engine and
+// advance them as flat passes, scattering back to the per-chip objects
+// whenever placements, modes or direct chip access require object state.
+// Results are bit-identical to the scalar lane; only wall-clock changes.
+func (c *Cluster) SetBatched(on bool) {
+	if !on {
+		c.flush()
+	}
+	c.batched = on
+}
+
+// Batched reports whether the structure-of-arrays lane is selected.
+func (c *Cluster) Batched() bool { return c.batched }
+
+// flush ends any live batch segment: scatters the arena back into the
+// chips, releases the engine to its pool, and restores the per-chip
+// objects as the authoritative state. Called before every structural
+// mutation (submit, release, mode change, reset).
+func (c *Cluster) flush() {
+	if c.engine == nil {
+		return
+	}
+	c.engine.Scatter()
+	batch.Release(c.engine)
+	c.engine = nil
+	c.engineSrvs = c.engineSrvs[:0]
+}
+
+// ensureEngine gathers the powered nodes (in node index order) into a
+// pooled engine. No-op when the lane is scalar, an engine is live, or no
+// node is powered.
+func (c *Cluster) ensureEngine() {
+	if !c.batched || c.engine != nil {
+		return
+	}
+	if c.slotOf == nil {
+		c.slotOf = make([]int, len(c.nodes))
+	}
+	c.engineSrvs = c.engineSrvs[:0]
+	for i, n := range c.nodes {
+		c.slotOf[i] = -1
+		if n.on {
+			c.slotOf[i] = len(c.engineSrvs)
+			c.engineSrvs = append(c.engineSrvs, n.srv)
+		}
+	}
+	if len(c.engineSrvs) == 0 {
+		return
+	}
+	e, err := batch.Acquire(c.engineSrvs)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: batch gather failed: %v", err)) // nodes share one shape by construction
+	}
+	c.engine = e
 }
 
 // Step advances all powered nodes, concurrently when SetWorkers enabled a
 // multi-worker pool. Per-node state after the step is identical either
 // way: a node's step reads and writes only that node's server.
 func (c *Cluster) Step(dtSec float64) {
+	if c.batched {
+		c.ensureEngine()
+		if c.engine != nil {
+			c.engine.Step(c.pool, dtSec)
+		}
+		return
+	}
 	if c.pool.Serial() {
 		for _, n := range c.nodes {
 			if n.on {
@@ -378,6 +463,13 @@ func (c *Cluster) Step(dtSec float64) {
 // chip.MicroStepSec) so nodes powered on together stay tick-aligned with
 // the exact lane.
 func (c *Cluster) Advance(maxSec float64) float64 {
+	if c.batched {
+		c.ensureEngine()
+		if c.engine == nil {
+			return maxSec // nothing powered: the scalar path covers maxSec too
+		}
+		return c.engine.Advance(c.pool, maxSec)
+	}
 	micro := chip.DefaultStepSec
 	for _, n := range c.nodes {
 		if n.on {
@@ -458,17 +550,45 @@ func (c *Cluster) ReapFinished() []string {
 }
 
 // TotalPower returns the cluster draw: chips plus platform overheads and
-// suspended-node floors.
+// suspended-node floors. While a batch segment is live the arena is
+// authoritative, so powered nodes read through the engine — the same
+// chip-order sum server.TotalPower performs.
 func (c *Cluster) TotalPower() units.Watt {
 	var total units.Watt
-	for _, n := range c.nodes {
-		if n.on {
+	for i, n := range c.nodes {
+		switch {
+		case n.on && c.engine != nil:
+			total += c.engine.ServerPower(c.slotOf[i]) + units.Watt(n.cfg.PlatformIdleW)
+		case n.on:
 			total += n.srv.TotalPower() + units.Watt(n.cfg.PlatformIdleW)
-		} else {
+		default:
 			total += units.Watt(n.cfg.SuspendedW)
 		}
 	}
 	return total
+}
+
+// TotalMIPS returns the cluster's instruction throughput, accumulated in
+// node order then socket order over the powered nodes — the float64 sum
+// the datacenter experiments fold, engine-aware like TotalPower so both
+// lanes report bit-identical values. Suspended nodes are excluded even
+// when they retain a server: a retained server rewinds lazily in powerOn
+// (see Reset), so its chips carry stale readings until the next boot.
+func (c *Cluster) TotalMIPS() float64 {
+	var mips float64
+	for i, n := range c.nodes {
+		if !n.on {
+			continue
+		}
+		for si := 0; si < n.srv.Sockets(); si++ {
+			if n.on && c.engine != nil {
+				mips += float64(c.engine.ChipMIPS(c.slotOf[i], si))
+			} else {
+				mips += float64(n.srv.Chip(si).TotalMIPS())
+			}
+		}
+	}
+	return mips
 }
 
 // PoweredNodes returns how many nodes are on.

@@ -207,6 +207,25 @@ func (s *Sensor) StickyReset() {
 	s.noiseOffsetMV = s.r.Normal(0, s.noiseMV)
 }
 
+// BatchState exposes the calibration and window state the batched stepping
+// engine gathers into its structure-of-arrays mirror: the nominal
+// sensitivity, path offset, held noise realization, dead flag, and sticky
+// latch. The engine replicates Value's arithmetic on these exactly.
+func (s *Sensor) BatchState() (mvPerBitNom, pathOffsetMV, noiseOffsetMV float64, dead bool, stickyMin int, hasSticky bool) {
+	return s.mvPerBitNom, s.pathOffsetMV, s.noiseOffsetMV, s.dead, s.stickyMin, s.hasSticky
+}
+
+// NoiseOffsetMV returns the held per-window noise realization; the batched
+// engine re-reads it after each StickyReset redraw.
+func (s *Sensor) NoiseOffsetMV() float64 { return s.noiseOffsetMV }
+
+// RestoreSticky overwrites the sticky latch — the batched engine's scatter
+// path, writing back the window minimum its mirrored reads accumulated.
+func (s *Sensor) RestoreSticky(stickyMin int, hasSticky bool) {
+	s.stickyMin = stickyMin
+	s.hasSticky = hasSticky
+}
+
 // Kill marks the sensor failed (stuck at worst-case output).
 func (s *Sensor) Kill() { s.dead = true }
 

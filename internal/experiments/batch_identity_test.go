@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The batched lane's contract is stronger than "same conclusions": every
+// registered experiment must produce a bit-identical Report with
+// Options.Batched set. Only the datacenter drivers actually route through
+// the structure-of-arrays engine today, but the blanket sweep pins the
+// contract for all of them — a driver that starts consulting Batched later
+// inherits the identity requirement automatically.
+
+func TestBatchedExperimentsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every registered experiment across the lane matrix")
+	}
+	lanes := []struct {
+		name    string
+		exact   bool
+		workers int
+	}{
+		{"macro_w1", false, 1},
+		{"macro_w4", false, 4},
+		{"exact_w1", true, 1},
+		{"exact_w4", true, 4},
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			for _, lane := range lanes {
+				scalar := optsWithWorkers(lane.workers)
+				scalar.Exact = lane.exact
+				batched := scalar
+				batched.Batched = true
+				want := e.Run(scalar)
+				got := e.Run(batched)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s: batched report diverged from scalar:\nscalar:  %+v\nbatched: %+v", lane.name, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDatacenterBatchedMatrix drives the one driver that exercises the
+// engine directly through the full lane matrix: macro and exact stepping,
+// serial and parallel worker pools, and a non-default fleet size. Every
+// cell must match its scalar twin bit for bit.
+func TestDatacenterBatchedMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		exact   bool
+		workers int
+		nodes   int
+	}{
+		{"macro_w1", false, 1, 0},
+		{"macro_w4", false, 4, 0},
+		{"exact_w1", true, 1, 0},
+		{"exact_w4", true, 4, 0},
+		{"macro_w4_nodes6", false, 4, 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			o := QuickOptions()
+			o.Exact = tc.exact
+			o.Workers = tc.workers
+			o.Nodes = tc.nodes
+			b := o
+			b.Batched = true
+			want := DatacenterSweep(o)
+			got := DatacenterSweep(b)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("batched datacenter sweep diverged from scalar (%s):\nscalar:  %+v\nbatched: %+v", tc.name, want, got)
+			}
+		})
+	}
+}

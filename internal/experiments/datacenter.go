@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"agsim/internal/batch"
 	"agsim/internal/cluster"
 	"agsim/internal/firmware"
 	"agsim/internal/parallel"
@@ -43,8 +44,12 @@ type datacenterPolicy struct {
 	run  func(o Options, jobs int) (powerW, totalMIPS float64)
 }
 
-// DatacenterSweep runs the utilization sweep on a four-node cluster with
-// four-thread raytrace-class jobs.
+// DatacenterSweep runs the utilization sweep on an o.Nodes-node cluster
+// (default four) with four-thread raytrace-class jobs. Job counts scale
+// with the fleet so each point keeps its utilization meaning. With
+// o.Batched the cluster policies ride the structure-of-arrays engine and
+// the naive fleet advances its independent servers on the worker pool —
+// bit-identical results, fleet-scale wall-clock.
 func DatacenterSweep(o Options) DatacenterResult {
 	res := DatacenterResult{
 		Power:      trace.NewFigure("Datacenter sweep: cluster power vs offered jobs"),
@@ -56,10 +61,7 @@ func DatacenterSweep(o Options) DatacenterResult {
 		{"ags", func(o Options, jobs int) (float64, float64) { return runCluster(o, jobs, true) }},
 	}
 
-	jobCounts := []int{1, 2, 4, 6, 8}
-	if o.Quick {
-		jobCounts = []int{2, 4}
-	}
+	jobCounts := o.dcJobCounts()
 
 	// The policy × job-count grid is one flat list of independent cluster
 	// simulations; fan it out and aggregate in order.
@@ -104,17 +106,28 @@ func DatacenterSweep(o Options) DatacenterResult {
 			res.AGSBeatsConsolidateEverywhere = false
 		}
 	}
-	// Half load on a 4-node, 16-cores-each cluster with 4-thread jobs is
-	// 8 jobs; under Quick use the largest measured count.
+	// Half load on an N-node, 16-cores-each cluster with 4-thread jobs is
+	// 2N jobs; under Quick use the largest measured count.
 	half := jobCounts[len(jobCounts)-1]
 	res.SavingAtHalfLoad = improvementPct(results["naive"][half].power, results["ags"][half].power)
 	return res
 }
 
+// DatacenterSimSeconds returns the simulated seconds one DatacenterSweep
+// call covers at the given options: every policy × job-count grid point
+// advances its cluster (or naive fleet) through the settle and measure
+// spans. Benchmarks report it so bench.sh can record wall-clock per
+// simulated second alongside raw ns/op — the ratio that stays comparable
+// when the fleet size or sweep grid changes.
+func DatacenterSimSeconds(o Options) float64 {
+	const policies = 3
+	return float64(policies*len(o.dcJobCounts())) * (o.SettleSec + o.MeasureSec)
+}
+
 // runNaive spreads jobs round-robin across always-on nodes with static
 // guardbands: the no-AGS datacenter.
 func runNaive(o Options, jobs int) (float64, float64) {
-	const nodes = 4
+	nodes := o.dcNodes()
 	srvs := make([]*server.Server, nodes)
 	for i := range srvs {
 		cfg := o.serverConfig(o.Seed + uint64(i))
@@ -135,16 +148,20 @@ func runNaive(o Options, jobs int) (float64, float64) {
 		srvs[node].MustSubmit(fmt.Sprintf("j%d", j), d, pl, 1e9)
 		perNode[node]++
 	}
-	for _, s := range srvs {
-		s.Settle(o.SettleSec)
+	if o.Batched {
+		advanceNaiveBatched(o, srvs)
+	} else {
+		for _, s := range srvs {
+			s.Settle(o.SettleSec)
+		}
+		for _, s := range srvs {
+			for remaining := o.MeasureSec; remaining > settleEps; {
+				remaining -= s.Advance(remaining)
+			}
+		}
 	}
 	var power, mips float64
 	cfg := cluster.DefaultNodeConfig(0)
-	for _, s := range srvs {
-		for remaining := o.MeasureSec; remaining > settleEps; {
-			remaining -= s.Advance(remaining)
-		}
-	}
 	for _, s := range srvs {
 		power += float64(s.TotalPower()) + cfg.PlatformIdleW
 		for si := 0; si < s.Sockets(); si++ {
@@ -155,14 +172,49 @@ func runNaive(o Options, jobs int) (float64, float64) {
 	return power, mips
 }
 
+// advanceNaiveBatched covers the settle and measure spans through one
+// single-node batch engine per server, fanned across the worker pool. The
+// naive fleet's servers are independent simulations, so per-server engines
+// (rather than one fleet engine with synchronized leaps) keep each server's
+// macro-step boundaries — and therefore its state — bit-identical to the
+// scalar path. Engines scatter before returning, so the caller's readout
+// runs on object state exactly as the scalar lane does.
+func advanceNaiveBatched(o Options, srvs []*server.Server) {
+	one := make([][]*server.Server, len(srvs))
+	for i, s := range srvs {
+		one[i] = []*server.Server{s}
+	}
+	parallel.ForEach(o.pool(), len(srvs), func(i int) {
+		e, err := batch.Acquire(one[i])
+		if err != nil {
+			panic(err)
+		}
+		for remaining := o.SettleSec; remaining > settleEps; {
+			remaining -= e.Advance(nil, remaining)
+		}
+		for remaining := o.MeasureSec; remaining > settleEps; {
+			remaining -= e.Advance(nil, remaining)
+		}
+		e.Scatter()
+		batch.Release(e)
+	})
+}
+
 // runCluster uses the cluster layer: consolidation across nodes always;
 // borrowing within nodes only when ags is true (otherwise each job stays
 // on one socket, the conventional schedule).
 func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 	nc := o.nodeConfig(o.Seed)
 	nc.Server.Recorder = o.Recorder.Shard(fmt.Sprintf("dc/cluster/%d/ags=%v", jobs, ags))
-	c := acquireCluster(4, nc)
+	c := acquireCluster(o.dcNodes(), nc)
 	c.SetMode(firmware.Undervolt)
+	if o.Batched {
+		// The batched lane also gets node-level parallelism inside the
+		// point; the scalar lane stays serial-per-point as the golden
+		// reference (sweep points already fan out across workers).
+		c.SetBatched(true)
+		c.SetWorkers(o.Workers)
+	}
 	d := workload.MustGet("raytrace")
 	if !ags {
 		// Defeat intra-node borrowing by making the job look
@@ -180,14 +232,7 @@ func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 		remaining -= c.Advance(remaining)
 	}
 	power := float64(c.TotalPower())
-	mips := 0.0
-	for i := 0; i < c.Nodes(); i++ {
-		if srv := c.Node(i).Server(); srv != nil {
-			for si := 0; si < srv.Sockets(); si++ {
-				mips += float64(srv.Chip(si).TotalMIPS())
-			}
-		}
-	}
+	mips := c.TotalMIPS()
 	releaseCluster(c)
 	return power, mips
 }

@@ -50,6 +50,18 @@ type Options struct {
 	// event-horizon macro-stepping. The default (false) rides the
 	// multi-rate path; Exact is the golden lane accuracy is held against.
 	Exact bool
+	// Batched routes the fleet-scale drivers (the datacenter sweep) through
+	// the structure-of-arrays stepping engine: chips gathered into
+	// contiguous arrays, advanced as flat batch passes, with node-level
+	// parallelism from Workers inside each sweep point. Results are
+	// bit-identical to the scalar lane (pinned by the identity tests);
+	// only wall-clock changes. The scalar path remains the golden
+	// reference.
+	Batched bool
+	// Nodes sizes the datacenter sweep's cluster (and the naive fleet);
+	// 0 selects the default 4. Job counts scale with it, so the sweep's
+	// utilization points stay comparable across fleet sizes.
+	Nodes int
 	// Recorder, when non-nil, receives every chip's metrics and event
 	// stream. Each sweep point registers a shard named after its tag —
 	// the same tag that salts its RNG — so the merged snapshot is
@@ -70,6 +82,35 @@ func QuickOptions() Options {
 
 // pool returns the worker pool the options select for sweep fan-out.
 func (o Options) pool() *parallel.Pool { return parallel.NewPool(o.Workers) }
+
+// dcNodes returns the datacenter sweep's fleet size.
+func (o Options) dcNodes() int {
+	if o.Nodes > 0 {
+		return o.Nodes
+	}
+	return 4
+}
+
+// dcJobCounts returns the utilization sweep for a fleet of n nodes,
+// reproducing the historical {1,2,4,6,8} (Quick: {2,4}) at n=4. Counts
+// are clamped to at least one job and deduplicated for tiny fleets.
+func (o Options) dcJobCounts() []int {
+	n := o.dcNodes()
+	raw := []int{n / 4, n / 2, n, n * 3 / 2, n * 2}
+	if o.Quick {
+		raw = []int{n / 2, n}
+	}
+	var counts []int
+	for _, j := range raw {
+		if j < 1 {
+			j = 1
+		}
+		if len(counts) == 0 || counts[len(counts)-1] != j {
+			counts = append(counts, j)
+		}
+	}
+	return counts
+}
 
 // steady holds steady-state averages of one chip measurement.
 type steady struct {

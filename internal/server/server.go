@@ -131,8 +131,12 @@ func spanSockets(ps []Placement) bool {
 
 // Server is the assembled two-socket machine.
 type Server struct {
-	cfg   Config
-	chips []*chip.Chip
+	cfg Config
+	// shapeKey caches cfg.ShapeKey(): the shape fields never change after
+	// construction, and pooled paths (server arena, batch engine pool) look
+	// the key up on every acquire and release.
+	shapeKey string
+	chips    []*chip.Chip
 	jobs  []*Job
 	r     *rng.Source
 
@@ -160,7 +164,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SharingPenalty < 0 {
 		return nil, fmt.Errorf("server: negative sharing penalty %v", cfg.SharingPenalty)
 	}
-	s := &Server{cfg: cfg, r: rng.New(cfg.Seed, "server")}
+	s := &Server{cfg: cfg, shapeKey: cfg.ShapeKey(), r: rng.New(cfg.Seed, "server")}
 	for i := 0; i < cfg.Sockets; i++ {
 		cc := cfg.ChipConfig
 		cc.Name = fmt.Sprintf("P%d", i)
@@ -225,8 +229,10 @@ func (c Config) ShapeKey() string {
 }
 
 // ShapeKey returns the server's configuration shape key, so a releasing
-// caller can return the server to the pool it was acquired from.
-func (s *Server) ShapeKey() string { return s.cfg.ShapeKey() }
+// caller can return the server to the pool it was acquired from. The key
+// is cached at construction — pooled paths consult it per acquire and
+// release, and re-deriving it formats the whole configuration tree.
+func (s *Server) ShapeKey() string { return s.shapeKey }
 
 // Sockets returns the socket count.
 func (s *Server) Sockets() int { return len(s.chips) }
@@ -475,13 +481,35 @@ func (s *Server) Advance(maxSec float64) float64 {
 // throughput when split across sockets.
 const DefaultContentionExponent = 1.4
 
-// applyMemFactors computes per-core memory-stall inflation from the
+// MemFactorTarget is where ApplyMemFactorsTo reads core frequencies from
+// and writes memory factors to. The scalar path targets the chips
+// themselves (*Server implements the interface); the batched stepping
+// engine targets its structure-of-arrays mirror so factor computation sees
+// the SoA-resident frequencies and dirties the SoA stability counters.
+type MemFactorTarget interface {
+	CoreFreq(socket, core int) units.Megahertz
+	SetMemFactor(socket, core int, factor float64)
+}
+
+// CoreFreq returns the clock frequency of the given core; with SetMemFactor
+// it makes *Server the scalar MemFactorTarget.
+func (s *Server) CoreFreq(socket, core int) units.Megahertz {
+	return s.chips[socket].CoreFreq(core)
+}
+
+// SetMemFactor forwards the memory-contention multiplier to the chip.
+func (s *Server) SetMemFactor(socket, core int, factor float64) {
+	s.chips[socket].SetMemFactor(core, factor)
+}
+
+// ApplyMemFactorsTo computes per-core memory-stall inflation from the
 // *unconstrained* bandwidth demand of each socket's threads at their
-// current frequency. Using analytic demand rather than last-step delivered
-// throughput keeps the fluid model consistent: a saturated socket slows all
-// resident threads so delivered bandwidth settles at the channel limit
-// instead of feedback-washing the contention away.
-func (s *Server) applyMemFactors() {
+// current frequency (read through t) and writes each factor through t.
+// Using analytic demand rather than last-step delivered throughput keeps
+// the fluid model consistent: a saturated socket slows all resident threads
+// so delivered bandwidth settles at the channel limit instead of
+// feedback-washing the contention away.
+func (s *Server) ApplyMemFactorsTo(t MemFactorTarget) {
 	for si, c := range s.chips {
 		demand := 0.0
 		for core := 0; core < c.Cores(); core++ {
@@ -491,7 +519,7 @@ func (s *Server) applyMemFactors() {
 			}
 			share := s.sharingFactor(j)
 			smt := float64(len(c.Core(core).Threads()))
-			mips := j.Desc.MIPSPerThread(c.CoreFreq(core), share, smt)
+			mips := j.Desc.MIPSPerThread(t.CoreFreq(si, core), share, smt)
 			demand += j.Desc.BandwidthGBs(mips) * smt
 		}
 		contention := 1.0
@@ -503,10 +531,19 @@ func (s *Server) applyMemFactors() {
 			if j := s.coreJob[si][core]; j != nil {
 				factor *= s.sharingFactor(j)
 			}
-			c.SetMemFactor(core, factor)
+			t.SetMemFactor(si, core, factor)
 		}
 	}
 }
+
+// applyMemFactors is the scalar path: factors computed from and applied to
+// the chips directly.
+func (s *Server) applyMemFactors() { s.ApplyMemFactorsTo(s) }
+
+// AdvanceClock moves the server's wall clock without stepping the chips.
+// The batched stepping engine advances chip state inside its own arrays and
+// calls this so Time stays consistent with the chips it will scatter back.
+func (s *Server) AdvanceClock(dtSec float64) { s.timeSec += dtSec }
 
 // sharingFactor returns the memory-latency multiplier a job pays for
 // spanning sockets.

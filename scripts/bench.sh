@@ -3,28 +3,52 @@
 # record the raw lines plus environment as JSON for trend tracking.
 #
 # Defaults: the hot-path, sweep-engine and datacenter benches (including the
-# -exact reference lanes of the multi-rate pairs), BENCH_<date>.json.
+# -exact reference lanes of the multi-rate pairs and the batched sweep
+# lanes), BENCH_<date>.json.
 # BENCHTIME overrides the per-bench iteration budget (default 2000x; the
 # experiment-scale benches amortize fine at far fewer, e.g. BENCHTIME=50x).
 #
-# The per-step micro benches (MICRO_BENCHES, default the ChipStep family)
-# run in a separate pass at MICRO_BENCHTIME (default 100000x): they cost
-# microseconds per op, and 2000 iterations is far too noisy for the few-
-# percent gates bench_compare.sh holds them to — the recorder-overhead
-# budget in particular. When a name matches both passes the micro pass
-# wins.
+# The per-step micro benches (MICRO_BENCHES, default the ChipStep and
+# BatchStep families) run in a separate pass at MICRO_BENCHTIME (default
+# 100000x) with MICRO_COUNT repetitions (default 3): they cost
+# microseconds per op, and 2000 iterations is far too noisy for the
+# few-percent gates bench_compare.sh holds them to — the recorder-overhead
+# budget in particular. The recorded line is the minimum-ns/op repetition:
+# on a shared box, load spikes only ever push a measurement up, so the
+# minimum is the best estimate of true cost and keeps the few-percent
+# gates meaningful.
+#
+# The fleet benches (FLEET_BENCHES, default the 64-node datacenter pair)
+# run in a third pass at FLEET_BENCHTIME (default 3x) with FLEET_COUNT
+# repetitions (default 2, min wins as above): one op simulates a 64-node
+# sweep and costs hundreds of milliseconds, so the main pass budget
+# would take minutes per lane. The default main pattern excludes them by
+# anchoring the DatacenterSweep alternatives; the fleet pass precedes the
+# main pass, so a custom pattern that re-matches them keeps the fleet-pass
+# run (first occurrence wins, as with the micro pass).
+#
+# Cluster-scale benchmark lines that report a sim_s/op metric (simulated
+# seconds covered per op) gain a derived "ns/sim_s" field in the JSON:
+# wall-clock nanoseconds per simulated second, the figure that stays
+# comparable when a sweep's fleet size or grid changes while raw ns/op
+# does not.
 set -eu
 
-pattern="${1:-BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep}"
+pattern="${1:-BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep(Serial|SerialExact)?\$|BenchmarkDatacenterSweepParallel\$|BenchmarkBatchSweep}"
 out="${2:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-2000x}"
-micro_pattern="${MICRO_BENCHES:-BenchmarkChipStep}"
+micro_pattern="${MICRO_BENCHES:-BenchmarkChipStep|BenchmarkBatchStep}"
 micro_benchtime="${MICRO_BENCHTIME:-100000x}"
+micro_count="${MICRO_COUNT:-3}"
+fleet_pattern="${FLEET_BENCHES:-BenchmarkDatacenterSweepParallel64}"
+fleet_benchtime="${FLEET_BENCHTIME:-3x}"
+fleet_count="${FLEET_COUNT:-2}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$micro_pattern" -benchmem -benchtime "$micro_benchtime" . | tee "$tmp"
+go test -run '^$' -bench "$micro_pattern" -benchmem -benchtime "$micro_benchtime" -count "$micro_count" . | tee "$tmp"
+go test -run '^$' -bench "$fleet_pattern" -benchmem -benchtime "$fleet_benchtime" -count "$fleet_count" . | tee -a "$tmp"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 
 # The worker parallelism the benchmarks actually ran at: Go stamps
@@ -44,20 +68,37 @@ fi
 	printf '  "pattern": "%s",\n' "$pattern"
 	printf '  "benchtime": "%s",\n' "$benchtime"
 	printf '  "micro_benchtime": "%s",\n' "$micro_benchtime"
+	printf '  "fleet_benchtime": "%s",\n' "$fleet_benchtime"
 	printf '  "results": [\n'
 	grep '^Benchmark' "$tmp" | tr '\t' ' ' | tr -s ' ' | sed 's/"/\\"/g' | awk '
 		{
-			# First occurrence wins: the micro pass precedes the main
-			# pass, so overlapping names keep their high-iteration run.
+			# Minimum ns/op wins across repetitions and passes (load
+			# spikes only inflate a run, never deflate it); output keeps
+			# first-seen order, so the micro and fleet passes preceding
+			# the main pass also decide ordering for overlapping names.
 			split($0, f, " ")
-			if (f[1] in seen) next
-			seen[f[1]] = 1
-			lines[++n] = $0
+			name = f[1]
+			ns = ""; sims = ""
+			for (i = 2; i < NF; i++) {
+				if (f[i+1] == "ns/op") ns = f[i]
+				if (f[i+1] == "sim_s/op") sims = f[i]
+			}
+			line = $0
+			if (ns != "" && sims != "" && sims + 0 > 0)
+				line = line sprintf(" %.0f ns/sim_s", ns / sims)
+			if (!(name in best)) {
+				order[++n] = name
+				best[name] = line
+				bestns[name] = ns
+			} else if (ns != "" && ns + 0 < bestns[name] + 0) {
+				best[name] = line
+				bestns[name] = ns
+			}
 		}
 		END {
 			for (i = 1; i <= n; i++) {
 				comma = (i < n) ? "," : ""
-				printf "    \"%s\"%s\n", lines[i], comma
+				printf "    \"%s\"%s\n", best[order[i]], comma
 			}
 		}'
 	printf '  ]\n'

@@ -10,20 +10,40 @@
 #
 # The new recording is also checked against the flight recorder's own
 # budget: BenchmarkChipStepRecorded must stay within RECORDER_THRESHOLD_PCT
-# of BenchmarkChipStep ns/op and keep 0 allocs/op.
+# of BenchmarkChipStep ns/op and keep 0 allocs/op, and the batched twin
+# BenchmarkBatchStepRecorded must keep 0 allocs/op too.
 #
 # The sweep lanes carry an absolute allocation budget: arena pooling keeps
 # the Sweep and DatacenterSweep families' steady-state footprint small, and
 # SWEEP_ALLOC_BUDGET / SWEEP_BYTES_BUDGET are hard ceilings (allocs/op,
 # B/op) that catch a pooling regression — a driver forgetting to release,
 # or a Reset path that reallocates — long before the ns/op gate notices.
+# The 64-node fleet lanes (…Parallel64, …Parallel64Batched) get their own
+# FLEET_ALLOC_BUDGET / FLEET_BYTES_BUDGET ceilings: a 64-node sweep's
+# steady state is an order of magnitude above the 4-node lanes, so holding
+# both families to one number would either mask fleet regressions or
+# flag healthy fleet runs. The fleet lanes are likewise exempt from the
+# percentage regression gate — they run at a handful of iterations and
+# swing far more than 10% run to run; the batched-speedup floor and the
+# fleet budgets are their gates.
+#
+# The batched stepping engine carries a speedup floor: each fleet pair
+# (BenchmarkX vs BenchmarkXBatched in the new recording) must show
+# batched >= BATCH_SPEEDUP_MIN x scalar. The default scales with the
+# recording's gomaxprocs, because the batched lane's headline win is
+# node-level parallel stepping: on >=4-way hosts it must be >=2x; on a
+# single-CPU host no parallel win is physically possible and the floor
+# only catches catastrophic kernel regressions (>=0.5x, i.e. no worse
+# than 2x slower under single-run noise); in between it must at least
+# not lose (>=1.0x).
 #
 # Exit status: 0 clean, 1 regression found, 2 usage/input error.
 #
 # Environment:
 #   THRESHOLD_PCT           regression threshold in percent (default 10)
 #   GUARD_RE                awk regex of benchmark names to guard
-#                           (default ChipStep|Sweep)
+#                           (default ChipStep|Sweep; fleet Parallel64
+#                           lanes are always exempt, see above)
 #   RECORDER_THRESHOLD_PCT  instrumented-vs-plain step overhead budget in
 #                           percent (default 3)
 #   SWEEP_ALLOC_BUDGET      allocs/op ceiling on the Sweep/DatacenterSweep
@@ -31,6 +51,14 @@
 #                           state; the pre-arena figure was ~82000)
 #   SWEEP_BYTES_BUDGET      B/op ceiling on the same families (default
 #                           250000, ~2x pooled; pre-arena mesh was ~3.6 MB)
+#   FLEET_ALLOC_BUDGET      allocs/op ceiling on the 64-node fleet lanes
+#                           (default 40000, ~2x the pooled steady state of
+#                           either lane at 64 nodes)
+#   FLEET_BYTES_BUDGET      B/op ceiling on the fleet lanes (default
+#                           2000000, ~2.5x pooled steady state)
+#   BATCH_SPEEDUP_MIN       batched-vs-scalar floor on the fleet pairs
+#                           (default by gomaxprocs: >=4 -> 2.0,
+#                           1 -> 0.5, else 1.0)
 set -eu
 
 threshold="${THRESHOLD_PCT:-10}"
@@ -38,6 +66,8 @@ guard="${GUARD_RE:-ChipStep|Sweep}"
 rthreshold="${RECORDER_THRESHOLD_PCT:-3}"
 abudget="${SWEEP_ALLOC_BUDGET:-4500}"
 bbudget="${SWEEP_BYTES_BUDGET:-250000}"
+fabudget="${FLEET_ALLOC_BUDGET:-40000}"
+fbbudget="${FLEET_BYTES_BUDGET:-2000000}"
 
 baseline_tmp=""
 cleanup() { [ -z "$baseline_tmp" ] || rm -f "$baseline_tmp"; }
@@ -69,10 +99,26 @@ else
 fi
 [ -r "$old" ] && [ -r "$new" ] || { echo "bench_compare.sh: cannot read $old / $new" >&2; exit 2; }
 
+# The batched speedup floor scales with the parallelism the new recording
+# actually ran at (bench.sh stamps gomaxprocs into the JSON header).
+gmp="$(sed -n 's/^[ \t]*"gomaxprocs":[ \t]*\([0-9][0-9]*\).*/\1/p' "$new" | head -1)"
+[ -n "$gmp" ] || gmp=1
+if [ -n "${BATCH_SPEEDUP_MIN:-}" ]; then
+	bsmin="$BATCH_SPEEDUP_MIN"
+elif [ "$gmp" -ge 4 ]; then
+	bsmin=2.0
+elif [ "$gmp" -le 1 ]; then
+	bsmin=0.5
+else
+	bsmin=1.0
+fi
+
 echo "comparing $old (old) -> $new (new), threshold ${threshold}% on /$guard/"
 
 awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
-	-v abudget="$abudget" -v bbudget="$bbudget" '
+	-v abudget="$abudget" -v bbudget="$bbudget" \
+	-v fabudget="$fabudget" -v fbbudget="$fbbudget" \
+	-v bsmin="$bsmin" -v gmp="$gmp" '
 	/"Benchmark/ {
 		line = $0
 		gsub(/^[ \t]*"/, "", line)
@@ -100,20 +146,22 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 	}
 	END {
 		status = 0
-		printf "%-36s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+		printf "%-42s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
 		for (i = 1; i <= cnt; i++) {
 			name = order[i]
 			if (!(name in oldv)) {
-				printf "%-36s %14s %14.0f %9s\n", name, "-", newv[name], "new"
+				printf "%-42s %14s %14.0f %9s\n", name, "-", newv[name], "new"
 				continue
 			}
 			d = (newv[name] - oldv[name]) / oldv[name] * 100
 			flag = ""
-			if (name ~ guard && d > threshold) {
+			# Fleet lanes are exempt: few-iteration runs swing well past
+			# any useful threshold; their own gates are below.
+			if (name ~ guard && name !~ /Parallel64/ && d > threshold) {
 				flag = "  << REGRESSION"
 				status = 1
 			}
-			printf "%-36s %14.0f %14.0f %+8.1f%%%s\n", name, oldv[name], newv[name], d, flag
+			printf "%-42s %14.0f %14.0f %+8.1f%%%s\n", name, oldv[name], newv[name], d, flag
 		}
 		# Multi-rate stepping lanes: wall-clock speedup of each macro
 		# benchmark over its -exact reference twin, within the new recording.
@@ -127,7 +175,27 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 				print "multi-rate stepping (macro vs exact, new recording):"
 				header = 1
 			}
-			printf "%-36s %13.1fx faster than %s\n", name, newv[exact] / newv[name], exact
+			printf "%-42s %13.1fx faster than %s\n", name, newv[exact] / newv[name], exact
+		}
+		# Batched stepping lanes: wall-clock speedup of each batched fleet
+		# benchmark over its scalar twin, within the new recording, gated
+		# by the gomaxprocs-aware floor.
+		header = 0
+		for (i = 1; i <= cnt; i++) {
+			base = order[i]
+			batched = base "Batched"
+			if (!(batched in newv) || newv[batched] <= 0) continue
+			if (!header) {
+				print ""
+				printf "batched stepping (batched vs scalar, new recording; floor %.2fx at gomaxprocs=%d):\n", bsmin, gmp
+				header = 1
+			}
+			sp = newv[base] / newv[batched]
+			printf "%-42s %13.2fx vs %s\n", batched, sp, base
+			if (sp < bsmin) {
+				printf "FAIL: %s is %.2fx its scalar twin, below the %.2fx floor\n", batched, sp, bsmin
+				status = 1
+			}
 		}
 		# Flight recorder budget, measured inside the new recording: the
 		# instrumented step loop against the uninstrumented one.
@@ -146,25 +214,57 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 				status = 1
 			}
 		}
+		# The batched step loop must stay alloc-free with the recorder
+		# attached, like its scalar twin. (No percentage gate: the batch
+		# covers 8 chips per op, so the recorder share of an op is within
+		# run-to-run noise.)
+		brecd = "BenchmarkBatchStepRecorded"
+		if ((brecd in newv) && newa[brecd] != "" && newa[brecd] + 0 > 0) {
+			printf "FAIL: %s allocates (%s allocs/op, want 0)\n", brecd, newa[brecd]
+			status = 1
+		}
 		# Sweep allocation budget, measured inside the new recording:
-		# absolute ceilings on the pooled sweep lanes.
+		# absolute ceilings on the pooled sweep lanes. The 64-node fleet
+		# lanes have their own ceilings below.
 		header = 0
 		for (i = 1; i <= cnt; i++) {
 			name = order[i]
-			if (name !~ /^Benchmark(Sweep|DatacenterSweep)/) continue
+			if (name !~ /^Benchmark(Sweep|DatacenterSweep|BatchSweep)/) continue
+			if (name ~ /Parallel64/) continue
 			if (newa[name] == "" && newb[name] == "") continue
 			if (!header) {
 				print ""
 				printf "sweep allocation budget (new recording): <=%d allocs/op, <=%d B/op\n", abudget, bbudget
 				header = 1
 			}
-			printf "%-36s %10s allocs/op %12s B/op\n", name, newa[name], newb[name]
+			printf "%-42s %10s allocs/op %12s B/op\n", name, newa[name], newb[name]
 			if (newa[name] != "" && newa[name] + 0 > abudget + 0) {
 				printf "FAIL: %s exceeds the sweep alloc budget (%s allocs/op > %d)\n", name, newa[name], abudget
 				status = 1
 			}
 			if (newb[name] != "" && newb[name] + 0 > bbudget + 0) {
 				printf "FAIL: %s exceeds the sweep bytes budget (%s B/op > %d)\n", name, newb[name], bbudget
+				status = 1
+			}
+		}
+		# Fleet allocation budget: the 64-node lanes, scalar and batched.
+		header = 0
+		for (i = 1; i <= cnt; i++) {
+			name = order[i]
+			if (name !~ /Parallel64/) continue
+			if (newa[name] == "" && newb[name] == "") continue
+			if (!header) {
+				print ""
+				printf "fleet allocation budget (new recording): <=%d allocs/op, <=%d B/op\n", fabudget, fbbudget
+				header = 1
+			}
+			printf "%-42s %10s allocs/op %12s B/op\n", name, newa[name], newb[name]
+			if (newa[name] != "" && newa[name] + 0 > fabudget + 0) {
+				printf "FAIL: %s exceeds the fleet alloc budget (%s allocs/op > %d)\n", name, newa[name], fabudget
+				status = 1
+			}
+			if (newb[name] != "" && newb[name] + 0 > fbbudget + 0) {
+				printf "FAIL: %s exceeds the fleet bytes budget (%s B/op > %d)\n", name, newb[name], fbbudget
 				status = 1
 			}
 		}
