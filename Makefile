@@ -3,17 +3,20 @@
 #   make check         — the tier-1 gate: build, vet, full test suite
 #   make race          — race-detector lane over the concurrency-bearing packages
 #   make bench         — microbenchmarks with -benchmem, JSON'd to BENCH_<date>.json
-#                        (three passes: micro step lanes, 64-node fleet lanes,
-#                        experiment sweeps; cluster lanes also record ns per
-#                        simulated second)
+#                        (four passes: micro step lanes, 64-node fleet lanes,
+#                        long-horizon sampled pairs, experiment sweeps;
+#                        cluster lanes also record ns per simulated second)
 #   make bench-compare — diff the two most recent BENCH_*.json (falling back to
 #                        the committed version of the newest when only one file
 #                        exists); fails on >10% ns/op regressions in the
 #                        chip-step and sweep benches, reports the
 #                        macro-vs-exact wall-clock speedups of the multi-rate
-#                        stepping lanes, and holds the batched fleet lanes to
+#                        stepping lanes, holds the batched fleet lanes to
 #                        the gomaxprocs-aware BATCH_SPEEDUP_MIN floor plus
-#                        their own FLEET_*_BUDGET allocation ceilings
+#                        their own FLEET_*_BUDGET allocation ceilings, and
+#                        holds the sampled lane to the SAMPLED_SPEEDUP_MIN
+#                        floor (default 10x vs its macro twin) with headline
+#                        error within SAMPLED_ERR_MAX (default 1%)
 #   make profile       — CPU+heap profile one experiment via cmd/agsim
 #                        (PROFILE_EXP selects it, default fig7 on the mesh lane)
 #   make smoke         — run one quick experiment with every flight-recorder
@@ -28,7 +31,7 @@
 
 GO          ?= go
 DATE        := $(shell date +%Y%m%d)
-BENCHES     ?= BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep(Serial|SerialExact)?$$|BenchmarkDatacenterSweepParallel$$|BenchmarkBatchSweep
+BENCHES     ?= BenchmarkChipStep|BenchmarkSweep(Serial|Parallel)|BenchmarkDatacenterSweep(Serial|SerialExact)?$$|BenchmarkDatacenterSweepParallel$$|BenchmarkBatchSweep
 PROFILE_EXP ?= fig7
 PROFILE_FLAGS ?= -quick -mesh
 SMOKE_EXP   ?= fig3

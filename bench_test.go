@@ -11,6 +11,7 @@ package agsim_test
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"agsim/internal/firmware"
 	"agsim/internal/obs"
 	"agsim/internal/pdn"
+	"agsim/internal/sample"
 	"agsim/internal/workload"
 )
 
@@ -511,6 +513,118 @@ func TestBatchStepRecordedZeroAlloc(t *testing.T) {
 		bt.Step(chip.DefaultStepSec)
 	}); got != 0 {
 		t.Errorf("instrumented batch step allocates %v allocs/op, want 0", got)
+	}
+}
+
+// Sampled-lane pairs: the same long-horizon driver on the macro lane vs
+// under the sampling governor (Options.Sampled, the -sampled flag). Long
+// measurement spans are where sampling pays: the macro lane stays
+// tick-bound at ~32 ms leaps while a converged governor extrapolates
+// multi-second spans. scripts/bench_compare.sh derives
+// sampled_speedup_vs_macro from each pair and gates it with
+// SAMPLED_SPEEDUP_MIN, plus the sampled_err_rel metric (each sampled
+// bench's headline vs its own untimed macro reference) with
+// SAMPLED_ERR_MAX. Accuracy against -exact is pinned per experiment by
+// internal/experiments/sampled_test.go.
+
+// longHorizonOptions stretches the measurement span to where long-horizon
+// sweeps live: reduced (Quick) sweep subsets, two minutes of simulated
+// steady state per point and full-size run-to-completion footprints.
+// Settling stays detailed in both lanes, so the pair isolates what the
+// governor buys on the measured span: the macro lane pays ~32 ms
+// tick-bound leaps across the whole two minutes while the governor pays a
+// few detailed windows plus capped-ratio fast-forwards.
+func longHorizonOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.MeasureSec = 120
+	o.WorkScale = 1
+	return o
+}
+
+// The chip-level pair runs Fig05's workload-heterogeneity sweep: a pure
+// steady-state driver whose every point measures MeasureSec of settled
+// operation, so the horizon stretch lands entirely on the governed span.
+func BenchmarkSweepLongHorizon(b *testing.B) {
+	o := longHorizonOptions()
+	o.Workers = 1
+	var r experiments.Fig05Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig05Heterogeneity(o)
+	}
+	b.ReportMetric(r.AvgPowerAt1, "avg@1core_%")
+}
+
+func BenchmarkSweepSampled(b *testing.B) {
+	o := longHorizonOptions()
+	o.Workers = 1
+	ref := experiments.Fig05Heterogeneity(o) // untimed macro reference
+	o.Sampled = true
+	b.ResetTimer()
+	var r experiments.Fig05Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig05Heterogeneity(o)
+	}
+	b.ReportMetric(r.AvgPowerAt1, "avg@1core_%")
+	b.ReportMetric(relErr(r.AvgPowerAt1, ref.AvgPowerAt1), "sampled_err_rel")
+}
+
+func BenchmarkDatacenterSweepLongHorizon(b *testing.B) {
+	o := longHorizonOptions()
+	o.Workers = 1
+	var r experiments.DatacenterResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.DatacenterSweep(o)
+	}
+	b.ReportMetric(r.SavingAtHalfLoad, "ags_vs_naive_%")
+	b.ReportMetric(experiments.DatacenterSimSeconds(o), "sim_s/op")
+}
+
+func BenchmarkDatacenterSweepSampled(b *testing.B) {
+	o := longHorizonOptions()
+	o.Workers = 1
+	ref := experiments.DatacenterSweep(o) // untimed macro reference
+	o.Sampled = true
+	b.ResetTimer()
+	var r experiments.DatacenterResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.DatacenterSweep(o)
+	}
+	b.ReportMetric(r.SavingAtHalfLoad, "ags_vs_naive_%")
+	b.ReportMetric(experiments.DatacenterSimSeconds(o), "sim_s/op")
+	b.ReportMetric(relErr(r.SavingAtHalfLoad, ref.SavingAtHalfLoad), "sampled_err_rel")
+}
+
+// relErr returns |got-ref| / max(|ref|, 1): relative error with an
+// absolute floor so near-zero references do not explode the ratio.
+func relErr(got, ref float64) float64 {
+	return math.Abs(got-ref) / math.Max(math.Abs(ref), 1)
+}
+
+// TestSampledRunRecordedZeroAlloc pins the sampled lane's inner-loop
+// allocation contract with the flight recorder attached: once the
+// governor's signature buffers are sized and it has converged, alternating
+// detailed windows with fast-forwards (mode-switch events, fast-forward
+// counters and histograms included) must not allocate.
+func TestSampledRunRecordedZeroAlloc(t *testing.T) {
+	rec := obs.New("alloc", obs.DefaultEventCap)
+	cfg := chip.DefaultConfig("alloc", 1)
+	cfg.Recorder = rec.Shard("chip")
+	c := chip.MustNew(cfg)
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e12, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	c.Settle(1)
+	g := sample.New(c, sample.Config{Stats: &sample.RunStats{}})
+	g.Run(2, nil) // warm up: size buffers, converge, reach the leap cap
+	if g.FastSec() == 0 {
+		t.Fatal("warm-up span never fast-forwarded; the steady-state loop is not being exercised")
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		g.Run(0.5, nil)
+	}); got != 0 {
+		t.Errorf("sampled run with recorder allocates %v allocs/op, want 0", got)
 	}
 }
 

@@ -18,6 +18,11 @@
 //	-mesh         run every chip on the distributed-grid PDN (mesh lane)
 //	-batched      route fleet-scale drivers through the structure-of-arrays
 //	              stepping engine (bit-identical results, fleet wall-clock)
+//	-sampled      alternate detailed windows with analytic fast-forwards
+//	              (phase detector + confidence tracker); headline statistics
+//	              carry ± error bars from the stated confidence interval
+//	-ci F         sampled lane's relative confidence-interval target
+//	              (0 = default 0.01)
 //	-nodes N      datacenter sweep fleet size (0 = default 4)
 //	-cpuprofile f write a CPU profile of the run to f
 //	-memprofile f write a heap profile at exit to f
@@ -73,7 +78,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: agsim {list | run <id|all> [flags] [-full] | report [flags] | workloads}")
-	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-batched] [-nodes N] [-events]")
+	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-batched] [-sampled] [-ci F] [-nodes N] [-events]")
 	fmt.Fprintln(os.Stderr, "       [-trace-out f] [-metrics-out f] [-cpuprofile f] [-memprofile f]")
 }
 
@@ -153,6 +158,8 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	mesh := fs.Bool("mesh", false, "run every chip on the distributed-grid PDN (mesh-fidelity lane)")
 	exact := fs.Bool("exact", false, "disable event-horizon macro-stepping; pure 1 ms reference lane")
 	batched := fs.Bool("batched", false, "route fleet-scale drivers through the structure-of-arrays stepping engine")
+	sampled := fs.Bool("sampled", false, "sampled simulation: detailed windows + CI-gated analytic fast-forwards")
+	ci := fs.Float64("ci", 0, "sampled lane's relative confidence-interval target (0 = default 0.01)")
 	nodes := fs.Int("nodes", 0, "datacenter sweep fleet size (0 = default 4)")
 	events := fs.Bool("events", false, "attach the flight recorder; print event timeline and metric summary")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file")
@@ -173,6 +180,8 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	o.Mesh = *mesh
 	o.Exact = *exact
 	o.Batched = *batched
+	o.Sampled = *sampled
+	o.TargetCI = *ci
 	o.Nodes = *nodes
 	rc := recording{events: *events, traceOut: *traceOut, metricsOut: *metricsOut}
 	return o, rc, startProfiles(*cpuprofile, *memprofile)
@@ -304,6 +313,16 @@ func reportCmd(args []string) {
 		fmt.Println("the accuracy harness). See ARCHITECTURE.md, \"Multi-rate stepping\",")
 		fmt.Println("and the runtime comparison at the end of this report.")
 	}
+	if o.Sampled {
+		fmt.Println()
+		fmt.Println("Sampling: sampled lane (`-sampled`) — a governor alternates detailed")
+		fmt.Println("windows with analytic fast-forwards once a live phase detector and a")
+		fmt.Println("Student-t confidence tracker both agree the signal is predictable;")
+		fmt.Println("when they do not, the run converges to full simulation. Every")
+		fmt.Println("extrapolated headline statistic below carries a ± error bar from the")
+		fmt.Println("worst confidence interval at which any span extrapolated. See")
+		fmt.Println("ARCHITECTURE.md, \"Sampled simulation\".")
+	}
 	fmt.Println()
 	fmt.Println("Observability: `-events`, `-trace-out FILE` and `-metrics-out FILE`")
 	fmt.Println("attach the flight recorder — a per-experiment summary table, plus a")
@@ -321,7 +340,16 @@ func reportCmd(args []string) {
 		fmt.Println("| statistic | measured | paper |")
 		fmt.Println("|---|---|---|")
 		for _, s := range rep.Headline {
-			fmt.Printf("| %s | %.3f | %s |\n", s.Name, s.Value, s.Paper)
+			if s.CI > 0 {
+				fmt.Printf("| %s | %.3f ±%.3f | %s |\n", s.Name, s.Value, s.CI, s.Paper)
+			} else {
+				fmt.Printf("| %s | %.3f | %s |\n", s.Name, s.Value, s.Paper)
+			}
+		}
+		if rep.Sampling != nil {
+			total, full := rep.Sampling.Spans()
+			fmt.Printf("\n_(sampled: %.0f%% of measured time detailed, %d/%d spans full simulation, worst rel CI %.4f)_\n",
+				rep.Sampling.DetailedFraction()*100, full, total, rep.Sampling.WorstRelCI())
 		}
 		for _, t := range rep.Tables {
 			fmt.Println()
@@ -360,13 +388,14 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 	fmt.Println("Wall-clock per experiment at this report's fidelity: the exact 1 ms")
 	fmt.Println("reference lane (`-exact`) against the default event-horizon macro lane")
 	fmt.Println("that produced the numbers above, plus the batched lane (`-batched`) —")
-	fmt.Println("the structure-of-arrays stepping engine the fleet-scale drivers ride.")
-	fmt.Println("All three lanes report bit-identical experiment results; only the")
-	fmt.Println("datacenter drivers consult `-batched` today, so the batched column")
-	fmt.Println("moves only for them.")
+	fmt.Println("the structure-of-arrays stepping engine the fleet-scale drivers ride —")
+	fmt.Println("and the sampled lane (`-sampled`), which extrapolates converged spans")
+	fmt.Println("and reports its worst stated confidence interval. Exact, macro and")
+	fmt.Println("batched report bit-identical experiment results; the sampled lane is")
+	fmt.Println("statistical, pinned within its CI by the accuracy harness.")
 	fmt.Println()
-	fmt.Println("| experiment | exact 1 ms lane | macro lane | batched lane | macro speedup |")
-	fmt.Println("|---|---|---|---|---|")
+	fmt.Println("| experiment | exact 1 ms lane | macro lane | batched lane | sampled lane | macro speedup | sampled worst CI |")
+	fmt.Println("|---|---|---|---|---|---|---|")
 	exact := o
 	exact.Exact = true
 	// The timing reruns never record: a stale recorder would panic on
@@ -375,7 +404,10 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 	batched := o
 	batched.Batched = true
 	batched.Recorder = nil
-	var exactTotal, macroTotal, batchedTotal time.Duration
+	sampled := o
+	sampled.Sampled = true
+	sampled.Recorder = nil
+	var exactTotal, macroTotal, batchedTotal, sampledTotal time.Duration
 	for i, e := range experiments.Registry() {
 		start := time.Now()
 		e.Run(exact)
@@ -383,14 +415,24 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 		start = time.Now()
 		e.Run(batched)
 		bt := time.Since(start)
+		start = time.Now()
+		srep := e.Run(sampled)
+		st := time.Since(start)
+		worstCI := 0.0
+		if srep.Sampling != nil {
+			worstCI = srep.Sampling.WorstRelCI()
+		}
 		exactTotal += et
 		macroTotal += macroRuntimes[i]
 		batchedTotal += bt
-		fmt.Printf("| %s | %s | %s | %s | %.1fx |\n",
+		sampledTotal += st
+		fmt.Printf("| %s | %s | %s | %s | %s | %.1fx | %.4f |\n",
 			e.ID, et.Round(time.Millisecond), macroRuntimes[i].Round(time.Millisecond),
-			bt.Round(time.Millisecond), float64(et)/float64(macroRuntimes[i]))
+			bt.Round(time.Millisecond), st.Round(time.Millisecond),
+			float64(et)/float64(macroRuntimes[i]), worstCI)
 	}
-	fmt.Printf("| **total** | %s | %s | %s | %.1fx |\n",
+	fmt.Printf("| **total** | %s | %s | %s | %s | %.1fx | |\n",
 		exactTotal.Round(time.Millisecond), macroTotal.Round(time.Millisecond),
-		batchedTotal.Round(time.Millisecond), float64(exactTotal)/float64(macroTotal))
+		batchedTotal.Round(time.Millisecond), sampledTotal.Round(time.Millisecond),
+		float64(exactTotal)/float64(macroTotal))
 }

@@ -1,0 +1,53 @@
+package arena
+
+import "testing"
+
+func TestGetPutRoundTrip(t *testing.T) {
+	a := New[int]()
+	if _, ok := a.Get("k"); ok {
+		t.Fatal("empty arena returned an object")
+	}
+	a.Put("k", 42)
+	v, ok := a.Get("k")
+	if !ok || v != 42 {
+		t.Fatalf("Get = (%v, %v), want (42, true)", v, ok)
+	}
+	if a.Len("k") != 0 {
+		t.Errorf("Len = %d after Get, want 0", a.Len("k"))
+	}
+}
+
+func TestKeysDoNotMix(t *testing.T) {
+	a := New[int]()
+	a.Put("plane", 1)
+	if _, ok := a.Get("mesh"); ok {
+		t.Error("object leaked across shape keys")
+	}
+}
+
+// TestDrainResetsStats pins that Drain rewinds the hit/miss counters along
+// with the pools: a test that drains between runs must observe counts from
+// its own run only, not the process history.
+func TestDrainResetsStats(t *testing.T) {
+	a := New[int]()
+	a.Put("k", 7)
+	a.Get("k")  // hit
+	a.Get("k")  // miss
+	a.Get("k2") // miss
+	if hits, misses := a.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("Stats = (%d, %d) before Drain, want (1, 2)", hits, misses)
+	}
+	a.Drain()
+	if hits, misses := a.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("Stats = (%d, %d) after Drain, want (0, 0)", hits, misses)
+	}
+	if a.Len("k") != 0 {
+		t.Errorf("Len = %d after Drain, want 0", a.Len("k"))
+	}
+	// Counters restart cleanly on the next cycle.
+	a.Put("k", 8)
+	a.Get("k")
+	if hits, misses := a.Stats(); hits != 1 || misses != 0 {
+		t.Errorf("Stats = (%d, %d) after post-Drain cycle, want (1, 0)", hits, misses)
+	}
+}

@@ -223,6 +223,24 @@ type Chip struct {
 	scratchProfiles []didt.Profile
 	scratchDrops    []units.Millivolt
 
+	// Frozen-span read model for the fast-forward tick path (see
+	// sample.go): per sensor (flat in core-major order), the deterministic
+	// margin at the held operating point, the sensitivity at the held
+	// frequency, and the per-position tail probabilities of its window
+	// read; from those, the chip-minimum tail distribution and the
+	// cumulative first-argmin weights the frozen ticks sample from. Valid
+	// only inside a FastForward span; refreshed on rail commands.
+	frozenDetMV     []float64
+	frozenMVB       []float64
+	frozenQ         []float64 // P(read_k >= b), flat k*(cpm.MaxValue+2)+b
+	frozenSuf       []float64 // suffix-product scratch, len sensors+1
+	frozenArgW      []float64 // cumulative argmin weights, flat b*sensors+k
+	frozenTail      [cpm.MaxValue + 2]float64
+	frozenAnyDead   bool
+	frozenNoSensors bool
+	frozenCarry     bool
+	frozenRNG       *rng.Source
+
 	// Multi-rate stepping state (see macro.go). exact pins the chip to the
 	// 1 ms reference lane; stable counts consecutive micro-steps whose
 	// electrical state stayed within the convergence bands, against the
@@ -304,6 +322,12 @@ func New(cfg Config) (*Chip, error) {
 		scratchCurrents: make([]units.Ampere, cfg.Cores),
 		scratchProfiles: make([]didt.Profile, 0, cfg.Cores),
 		scratchDrops:    make([]units.Millivolt, cfg.Cores),
+		frozenDetMV: make([]float64, cfg.Cores*CPMsPerCore),
+		frozenMVB:   make([]float64, cfg.Cores*CPMsPerCore),
+		frozenQ:     make([]float64, cfg.Cores*CPMsPerCore*(cpm.MaxValue+2)),
+		frozenSuf:   make([]float64, cfg.Cores*CPMsPerCore+1),
+		frozenArgW:  make([]float64, (cpm.MaxValue+1)*cfg.Cores*CPMsPerCore),
+		frozenRNG:   rng.New(cfg.Seed, "chip/"+cfg.Name+"/frozen"),
 
 		exact:     cfg.Exact,
 		prevCoreV: make([]units.Millivolt, cfg.Cores),

@@ -29,6 +29,11 @@ func (c *Chip) Reset(name string, seed uint64, rec *obs.Recorder) {
 	c.root.Reseed(seed, "chip/"+name)
 	c.root.SplitInto(c.noise.Source(), "didt")
 	c.noise.Reset(c.cfg.Didt)
+	// The frozen-tick stream is seeded directly from the experiment seed
+	// (New does the same), not split from root, so its existence never
+	// perturbs the calibration draws of pre-existing consumers.
+	c.frozenRNG.Reseed(seed, "chip/"+name+"/frozen")
+	c.frozenCarry = false
 
 	c.rail.Reset(name+"/vdd", c.cfg.Law.VNom)
 	c.ctrl.Reset(c.cfg.Law)

@@ -1,0 +1,426 @@
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"agsim/internal/cpm"
+	"agsim/internal/firmware"
+	"agsim/internal/obs"
+	"agsim/internal/power"
+	"agsim/internal/units"
+)
+
+// Sampled-lane seam. The sampling governor (internal/sample) alternates
+// detailed spans — ordinary Advance segments with full electrical,
+// firmware, and telemetry fidelity — with fast-forward spans that
+// extrapolate from the last detailed operating point using the same
+// closed-form integrators the macro lane leaps with. The split of
+// responsibilities mirrors the macro engine's Horizon/MacroStep pair:
+// SampleHint bounds how far an extrapolation may run, FastForward takes
+// the span.
+//
+// A fast-forward is deliberately coarser than a macro-leap: it crosses
+// wobble redraws, phase-walk updates, and scheduled di/dt events, holding
+// the electrical state frozen throughout. That is the fidelity trade the
+// governor's confidence tracker prices: what stays exact is work
+// retirement (thread phase walks consume their time-indexed draws inside
+// advanceThreads), the di/dt event count (the pre-drawn exposure schedule
+// is evaluated over the whole span), and the firmware voltage loop (ticks
+// fire on the 32 ms grid, with the controller's sensed minimum drawn from
+// the exact per-window read distribution at the frozen point, so the slow
+// control dynamics — including the stochastic plateau hops the CPM
+// quantization deadband produces — continue at their true per-window
+// probabilities); what is frozen is the electrical solve, droop reaction,
+// wobble state, and per-sensor telemetry (lastCPM and the window-sticky
+// latches hold their last detailed values through a span), with the
+// operating point re-anchored in closed form when a tick moves the rail.
+// Sampled-lane results are statistically, not bit-, comparable to the
+// exact lane, while remaining bit-identical across worker counts.
+
+// SampleHint returns how far a fast-forward may run from now without
+// crossing a deterministic change of operating point, capped at maxSec:
+// the earliest live-thread completion (stopping one part in 1e9 short so
+// the finish resolves at detailed rate, exactly like the macro horizon)
+// or deterministic workload phase boundary.
+func (c *Chip) SampleHint(maxSec float64) float64 {
+	h := maxSec
+	for _, co := range c.cores {
+		if co.state != power.Active {
+			continue
+		}
+		f := co.dpll.Freq()
+		smt := float64(len(co.threads))
+		inv := 1 / co.issueThrottle
+		for _, th := range co.threads {
+			if th.Done() {
+				continue
+			}
+			if tc := th.TimeToCompletion(f, co.memFactor, smt) * inv * (1 - 1e-9); tc < h {
+				h = tc
+			}
+			if pb := th.TimeToPhaseBoundary() * inv; pb < h {
+				h = pb
+			}
+		}
+	}
+	return h
+}
+
+// FastForward advances the chip h seconds analytically at the frozen
+// operating point: threads retire work at current conditions, energy
+// integrates at constant power, thermals follow the continuous-time decay,
+// the margin-violation counter keeps its per-micro-step accounting, and
+// the di/dt exposure schedule is consumed (so event counts and later
+// draws stay indexed by simulated time). Firmware ticks inside the span
+// fire as frozen ticks — the voltage-loop decision on a sensed minimum
+// drawn from the exact window-read distribution at the held electrical
+// point — and the tick phase is carried across so subsequent detailed
+// windows tick on the same absolute 32 ms grid. The caller must have
+// bounded h by SampleHint.
+func (c *Chip) FastForward(h float64) {
+	if h <= 0 {
+		panic(fmt.Sprintf("chip %s: non-positive fast-forward %v", c.cfg.Name, h))
+	}
+
+	profiles := c.scratchProfiles[:0]
+	for _, co := range c.cores {
+		if co.state == power.Active {
+			profiles = append(profiles, co.didtProfile())
+		}
+	}
+
+	for _, co := range c.cores {
+		co.advanceThreads(c, h)
+	}
+
+	// The exposure schedule ticks over the whole span: event counts are
+	// exact and the next detailed window sees the same pending-event state
+	// the exact lane would. Reaction (DPLL absorb, sticky latching) is
+	// frozen — that is the sampled lane's stated fidelity trade.
+	sample := c.noise.Step(h, profiles)
+
+	steps := int(h/DefaultStepSec + 0.5)
+	if steps > 0 {
+		for _, co := range c.cores {
+			if co.state == power.Gated {
+				continue
+			}
+			agedMin := co.voltageMin - units.Millivolt(c.agingMV)
+			if c.cfg.Law.MarginMV(agedMin, co.dpll.Freq()) < 0 {
+				c.marginViolations += steps
+			}
+		}
+	}
+
+	// Walk the 32 ms grid so every firmware tick the span crosses fires
+	// (as a frozen tick), integrating energy and thermals piecewise at the
+	// operating point each segment actually held.
+	c.refreshFrozenReadCache()
+	c.frozenCarry = true
+	ticked := false
+	for rem := h; rem > settleEps; {
+		seg := firmware.TickSeconds - c.sinceTick
+		if seg > rem {
+			seg = rem
+		}
+		c.energyJ += float64(c.lastChipPower) * seg
+		c.macroThermal(seg)
+		c.timeSec += seg
+		c.sinceTick += seg
+		rem -= seg
+		if c.sinceTick+gridSnapSec >= firmware.TickSeconds {
+			c.sinceTick = 0
+			c.frozenTick()
+			ticked = true
+		}
+	}
+	c.frozenCarry = false
+	if ticked {
+		// Close the span's final window exactly as the detailed rollover
+		// would: latches are already clear inside a span, so this redraws
+		// each sensor's held window noise, giving the partial window the
+		// next detailed steps open a fresh realization independent of the
+		// one the span started with.
+		for _, co := range c.cores {
+			for _, s := range co.cpms {
+				s.StickyReset()
+			}
+		}
+	}
+
+	if r := c.rec; r != nil {
+		r.Inc(c.src, obs.CFastForwards)
+		r.Observe(obs.HFastForwardSec, h)
+		r.SetGauge(c.src, obs.GTimeSec, c.timeSec)
+		if sample.Events > 0 {
+			r.Add(c.src, obs.CDidtEvents, uint64(sample.Events))
+			r.Observe(obs.HDroopDepthMV, sample.WorstEventMV)
+			r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDroop,
+				Source: c.src, Core: -1, A: sample.WorstEventMV, B: sample.TypicalMV, C: int64(sample.Events)})
+		}
+	}
+
+	// The operating point is stale by construction; re-prove quiescence at
+	// detailed rate before any further macro-leaping.
+	c.markDirty()
+}
+
+// frozenTick fires one firmware voltage-loop decision inside a
+// fast-forward. Instead of redrawing per-window noise and re-reading every
+// sensor at the held voltages, it draws the controller's input — the
+// chip-wide minimum read and the sensitivity of the sensor achieving it —
+// from the exact joint distribution the frozen-span read model precomputed
+// (refreshFrozenReadCache): one uniform per tick replaces per-sensor
+// Gaussians and quantized reads, the dominant cost of long spans. The slow
+// control loop keeps its stochastic dynamics — in particular the rare
+// plateau hops the CPM quantization deadband produces, which set the
+// long-horizon undervolt mean — at their exact per-window probabilities. A
+// rail command re-anchors the frozen operating point through
+// refreezeOperatingPoint.
+func (c *Chip) frozenTick() {
+	reading := firmware.MarginReading{
+		MinCPM:       cpm.MaxValue,
+		MinStickyCPM: cpm.MaxValue,
+		MVPerBit:     21,
+		AnyDead:      c.frozenAnyDead,
+		NoSensors:    c.frozenNoSensors,
+		CurrentA:     float64(c.rail.SenseCurrent()),
+	}
+
+	carried := cpm.MaxValue
+	if c.frozenCarry {
+		// First tick of the span: consume the sticky latches carried in
+		// from the detailed steps before the fast-forward (a droop there
+		// may have latched a worse value than any frozen read), then clear
+		// them without touching the noise streams. No latch forms inside a
+		// span — reads are subsumed by the aggregate minimum draw.
+		c.frozenCarry = false
+		for _, co := range c.cores {
+			gated := co.state == power.Gated
+			for _, s := range co.cpms {
+				if !gated {
+					if sv, ok := s.Sticky(); ok && sv < carried {
+						carried = sv
+					}
+				}
+				s.ClearSticky()
+			}
+		}
+	}
+
+	switch {
+	case c.frozenNoSensors:
+		// Every core gated: nothing to read, the controller holds nominal.
+	case c.frozenAnyDead:
+		// A dead CPM reads 0 every window and dominates the minimum; the
+		// controller fail-safes to nominal on the flag regardless.
+		reading.MinCPM = 0
+		reading.MinStickyCPM = 0
+	default:
+		ns := len(c.frozenDetMV)
+		u := c.frozenRNG.Float64()
+		m := 0
+		for m < cpm.MaxValue && u < c.frozenTail[m+1] {
+			m++
+		}
+		// Conditioned on the minimum being m, u is uniform over
+		// [tail[m+1], tail[m]) — reuse it to pick which sensor achieved
+		// the minimum from the cumulative first-argmin weights, so one
+		// draw samples the exact joint (minimum, sensitivity) law.
+		v := u - c.frozenTail[m+1]
+		row := c.frozenArgW[m*ns : (m+1)*ns]
+		k := 0
+		for k < ns-1 && row[k] <= v {
+			k++
+		}
+		reading.MinCPM = m
+		reading.MVPerBit = c.frozenMVB[k]
+		reading.MinStickyCPM = m
+		if carried < m {
+			reading.MinStickyCPM = carried
+		}
+	}
+
+	old := c.rail.SetPoint()
+	next := c.ctrl.VoltageCommand(old, reading)
+	moved := c.ctrl.Mode() == firmware.Undervolt && next != old
+	if moved {
+		c.rail.Command(next)
+		c.refreezeOperatingPoint()
+	}
+	if r := c.rec; r != nil {
+		r.Inc(c.src, obs.CFirmwareTicks)
+		r.Observe(obs.HWindowMinCPM, float64(reading.MinStickyCPM))
+		if moved {
+			r.Inc(c.src, obs.CRailCommands)
+			r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDVFS,
+				Source: c.src, Core: -1, A: float64(next), B: float64(old), C: -1})
+		}
+	}
+	c.lastWindowWorstDidt = c.noise.WorstSinceReset()
+	c.noise.StickyReset()
+}
+
+// refreezeOperatingPoint re-solves the frozen electrical point after a
+// rail command inside a fast-forward: per-core power seeded from the
+// last-known voltages, delivery drops at the resulting currents, then the
+// new DC voltages — one pass of the successive relaxation Step runs every
+// millisecond, enough for the millivolt-scale moves the voltage loop makes
+// between windows. The next detailed window re-proves the point at micro
+// rate (FastForward ends in markDirty).
+func (c *Chip) refreezeOperatingPoint() {
+	coreCurrents := c.scratchCurrents
+	var chipPower units.Watt
+	for i, co := range c.cores {
+		act, util := co.workloadDemand()
+		p := c.cfg.Power.Core(co.state, co.voltageDC, co.dpll.Freq(), act, util, co.tempC)
+		co.lastPower = p
+		chipPower += p
+		coreCurrents[i] = units.Current(p, co.voltageDC)
+	}
+	uncoreP := c.cfg.Power.Uncore(c.lastRailV)
+	chipPower += uncoreP
+	uncoreI := units.Current(uncoreP, c.lastRailV)
+	var total units.Ampere
+	for _, i := range coreCurrents {
+		total += i
+	}
+	total += uncoreI
+	railV := c.rail.Output(total)
+	drops := c.plane.DropsInto(c.scratchDrops, coreCurrents, uncoreI)
+	ripple := units.Millivolt(c.lastSample.TypicalMV)
+	for i, co := range c.cores {
+		co.voltageDC = railV - drops[i]
+		if co.voltageDC < 1 {
+			co.voltageDC = 1
+		}
+		co.voltageMin = co.voltageDC - ripple
+	}
+	pathLoss := units.Watt((float64(c.rail.SetPoint()-railV)*float64(total) +
+		float64(c.plane.GlobalDropMV(total))*float64(uncoreI)) / 1000)
+	for i := range coreCurrents {
+		pathLoss += units.Watt(float64(drops[i]) * float64(coreCurrents[i]) / 1000)
+	}
+	c.lastChipPower = chipPower + pathLoss
+	c.lastCurrent = total
+	c.lastRailV = railV
+	copy(c.lastDrops, drops)
+	c.refreshFrozenReadCache()
+}
+
+// refreshFrozenReadCache rebuilds the frozen-span read model at the held
+// operating point. With the electricals frozen, a sensor's window read is
+// its deterministic margin plus one per-window Gaussian noise realization,
+// quantized to the 12 detector positions — so each sensor has a
+// closed-form tail distribution over positions, the chip-wide minimum's
+// tail is the product of the per-sensor tails (one realization per window,
+// independent across sensors and windows), and the identity of the first
+// sensor achieving the minimum — whose sensitivity the controller's step
+// sizing uses — has computable weights per minimum value. Frozen ticks
+// sample the controller's input exactly from this joint law instead of
+// drawing per-sensor noise; the model is a pure function of frozen chip
+// state, so results stay bit-identical across worker counts.
+func (c *Chip) refreshFrozenReadCache() {
+	const rowLen = cpm.MaxValue + 2
+	invSigma := 1 / (c.cfg.CPM.NoiseMV * math.Sqrt2)
+	ns := len(c.frozenDetMV)
+	c.frozenAnyDead = false
+	c.frozenNoSensors = true
+	k := 0
+	for _, co := range c.cores {
+		f := co.dpll.Freq()
+		agedMin := co.voltageMin - units.Millivolt(c.agingMV)
+		gated := co.state == power.Gated
+		for _, s := range co.cpms {
+			c.frozenDetMV[k] = s.DetMarginMV(agedMin, f)
+			c.frozenMVB[k] = s.MVPerBit(f)
+			q := c.frozenQ[k*rowLen : (k+1)*rowLen]
+			if gated {
+				// A gated core's CPMs are off: excluded from the minimum
+				// by reading "above everything" with certainty.
+				for b := range q {
+					q[b] = 1
+				}
+				k++
+				continue
+			}
+			c.frozenNoSensors = false
+			if s.Dead() {
+				c.frozenAnyDead = true
+			}
+			// Quantization rounds half away from zero, so read >= b exactly
+			// when the noisy margin clears (b - target - 1/2) sensitivities;
+			// clamping to [0, MaxValue] never moves a read across these
+			// thresholds for b in 1..MaxValue.
+			q[0] = 1
+			for b := 1; b <= cpm.MaxValue; b++ {
+				t := (float64(b-cpm.CalibTarget)-0.5)*c.frozenMVB[k] - c.frozenDetMV[k]
+				q[b] = 0.5 * math.Erfc(t*invSigma)
+			}
+			q[cpm.MaxValue+1] = 0
+			k++
+		}
+	}
+	if c.frozenAnyDead || c.frozenNoSensors {
+		// The controller fail-safes the rail at nominal in either case;
+		// the tick path never consults the minimum distribution.
+		return
+	}
+	for b := 0; b < rowLen; b++ {
+		p := 1.0
+		for k := 0; k < ns; k++ {
+			p *= c.frozenQ[k*rowLen+b]
+		}
+		c.frozenTail[b] = p
+	}
+	// First-argmin weights per minimum value b: sensor k achieves the
+	// minimum first exactly when it reads b, every earlier sensor reads
+	// above b, and every later one reads at least b (mirroring the strict
+	// less-than tracking of the detailed margin scan). The weights for one
+	// b telescope to tail[b]-tail[b+1], so the cumulative rows partition
+	// each minimum's probability interval for the tick path's single draw.
+	for b := 0; b <= cpm.MaxValue; b++ {
+		c.frozenSuf[ns] = 1
+		for k := ns - 1; k >= 0; k-- {
+			c.frozenSuf[k] = c.frozenSuf[k+1] * c.frozenQ[k*rowLen+b]
+		}
+		pref, cum := 1.0, 0.0
+		for k := 0; k < ns; k++ {
+			qb, qb1 := c.frozenQ[k*rowLen+b], c.frozenQ[k*rowLen+b+1]
+			cum += (qb - qb1) * pref * c.frozenSuf[k+1]
+			c.frozenArgW[b*ns+k] = cum
+			pref *= qb1
+		}
+	}
+}
+
+// SampleSignature appends the chip's phase signature — chip power and
+// MIPS, then per-core frequency, power, and throughput — to buf and
+// returns it. The governor's phase detector compares consecutive
+// window-averaged signatures; everything here is already maintained by the
+// step loop, so building the signature costs no extra model work.
+func (c *Chip) SampleSignature(buf []float64) []float64 {
+	buf = append(buf, float64(c.lastChipPower), float64(c.TotalMIPS()))
+	for _, co := range c.cores {
+		buf = append(buf, float64(co.dpll.Freq()), float64(co.lastPower), float64(co.lastMIPS))
+	}
+	return buf
+}
+
+// EmitSampleMode records a sampling-governor fidelity switch in the chip's
+// flight-recorder shard: toFast is the direction, ciRel the governor's
+// relative CI width at the switch, dist the phase-signature distance that
+// (for drops to detailed) triggered it.
+func (c *Chip) EmitSampleMode(toFast bool, ciRel, dist float64) {
+	if c.rec == nil {
+		return
+	}
+	var dir int64
+	if toFast {
+		dir = 1
+	}
+	c.rec.Inc(c.src, obs.CSampleSwitches)
+	c.rec.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindSampleMode,
+		Source: c.src, Core: -1, A: ciRel, B: dist, C: dir})
+}

@@ -183,6 +183,15 @@ func (s *Sensor) Value(v units.Millivolt, f units.Megahertz) int {
 	return raw
 }
 
+// DetMarginMV returns the deterministic component of a read at voltage v
+// and frequency f — everything in Value except the held noise realization.
+// The fast-forward tick path precomputes it once per frozen span: the
+// electricals don't move between windows, so only the per-window noise
+// redraw changes what a read returns.
+func (s *Sensor) DetMarginMV(v units.Millivolt, f units.Megahertz) float64 {
+	return float64(s.law.MarginMV(v, f)) - float64(s.law.ResidualMV) + s.pathOffsetMV
+}
+
 func (s *Sensor) observeSticky(v int) {
 	if !s.hasSticky || v < s.stickyMin {
 		s.stickyMin = v
@@ -205,6 +214,15 @@ func (s *Sensor) StickyReset() {
 	s.hasSticky = false
 	s.stickyMin = 0
 	s.noiseOffsetMV = s.r.Normal(0, s.noiseMV)
+}
+
+// ClearSticky clears the sticky latch without redrawing the held noise.
+// The fast-forward tick path uses it for sensors whose reads provably
+// cannot reach the chip-wide minimum this span: their window draws are
+// skipped and their noise stream left untouched.
+func (s *Sensor) ClearSticky() {
+	s.hasSticky = false
+	s.stickyMin = 0
 }
 
 // BatchState exposes the calibration and window state the batched stepping

@@ -62,7 +62,7 @@ func AgingSweep(o Options) AgingResult {
 			c.Settle(o.SettleSec)
 			base := c.MarginViolations()
 			var uvSum, fSum float64
-			k := measureSpan(c, o.MeasureSec, func(dt float64) {
+			k := o.measureSpan(c, o.MeasureSec, func(dt float64) {
 				uvSum += float64(c.UndervoltMV()) * dt
 				fSum += float64(c.CoreFreq(0)) * dt
 			})

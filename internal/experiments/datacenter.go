@@ -148,9 +148,20 @@ func runNaive(o Options, jobs int) (float64, float64) {
 		srvs[node].MustSubmit(fmt.Sprintf("j%d", j), d, pl, 1e9)
 		perNode[node]++
 	}
-	if o.Batched {
+	switch {
+	case o.Sampled:
+		// Sampled takes precedence over Batched: settling stays detailed
+		// (scalar), then each independent server gets its own governor for
+		// the measurement span.
+		for _, s := range srvs {
+			s.Settle(o.SettleSec)
+		}
+		for _, s := range srvs {
+			o.governor(s).Run(o.MeasureSec, nil)
+		}
+	case o.Batched:
 		advanceNaiveBatched(o, srvs)
-	} else {
+	default:
 		for _, s := range srvs {
 			s.Settle(o.SettleSec)
 		}
@@ -228,8 +239,12 @@ func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 		}
 	}
 	c.Settle(o.SettleSec)
-	for remaining := o.MeasureSec; remaining > settleEps; {
-		remaining -= c.Advance(remaining)
+	if g := o.governor(c); g != nil {
+		g.Run(o.MeasureSec, nil)
+	} else {
+		for remaining := o.MeasureSec; remaining > settleEps; {
+			remaining -= c.Advance(remaining)
+		}
 	}
 	power := float64(c.TotalPower())
 	mips := c.TotalMIPS()

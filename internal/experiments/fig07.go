@@ -29,8 +29,12 @@ type Fig07Result struct {
 	ActivationJumpPct float64
 }
 
-// Fig07VoltageDrop runs the Fig. 7 experiment.
+// Fig07VoltageDrop runs the Fig. 7 experiment. Like Fig09Decomposition it
+// stays on the detailed lane under Options.Sampled: per-core drop includes
+// the di/dt component a fast-forward freezes, and extrapolating one droop
+// draw over a long span biases the time-weighted means.
 func Fig07VoltageDrop(o Options) Fig07Result {
+	o.Sampled = false
 	cores := 8
 	res := Fig07Result{PerCore: make([]*trace.Figure, cores)}
 	for i := range res.PerCore {
@@ -59,7 +63,7 @@ func Fig07VoltageDrop(o Options) Fig07Result {
 		c.SetMode(firmware.Static)
 		c.Settle(o.SettleSec)
 		drops := make([]float64, cores)
-		span := measureSpan(c, o.MeasureSec, func(dt float64) {
+		span := o.measureSpan(c, o.MeasureSec, func(dt float64) {
 			for i := 0; i < cores; i++ {
 				drops[i] += c.TotalDropMV(i) * dt
 			}

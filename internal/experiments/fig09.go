@@ -33,7 +33,12 @@ type Fig09Result struct {
 
 // Fig09Decomposition runs the Fig. 9 experiment. Measurement uses static
 // mode (adaptive guardbanding disabled) like the paper's characterization.
+// The driver stays on the detailed lane even under Options.Sampled: it
+// time-averages the di/dt drop decomposition, the one telemetry a
+// fast-forward freezes, so extrapolating a single droop draw would bias
+// the means outside the stated confidence interval.
 func Fig09Decomposition(o Options) Fig09Result {
+	o.Sampled = false
 	res := Fig09Result{PerWorkload: map[string]*trace.Figure{}}
 	workloads := workload.Fig9Workloads()
 	if o.Quick {

@@ -15,6 +15,7 @@ import (
 	"agsim/internal/firmware"
 	"agsim/internal/obs"
 	"agsim/internal/parallel"
+	"agsim/internal/sample"
 	"agsim/internal/server"
 	"agsim/internal/stats"
 	"agsim/internal/units"
@@ -68,6 +69,24 @@ type Options struct {
 	// bit-identical at any worker count. Nil disables recording at the
 	// cost of one pointer test per emission site.
 	Recorder *obs.Recorder
+	// Sampled routes steady-state measurement and run-to-completion spans
+	// through the sampling governor (internal/sample): detailed windows
+	// alternate with analytic fast-forwards once the phase detector and the
+	// confidence tracker both agree the signal is predictable. Every
+	// headline statistic then carries an error bar (Stat.CI) derived from
+	// the worst confidence interval at which any span extrapolated.
+	// Transient and census drivers (droop census, CPM calibration, DVFS
+	// staircase, QoS windows) ignore the flag — they measure exactly the
+	// telemetry a fast-forward freezes.
+	Sampled bool
+	// TargetCI is the sampled lane's relative confidence-interval target
+	// (half-width / mean) that must close before the governor extrapolates;
+	// 0 selects the default 0.01 (1%).
+	TargetCI float64
+	// sampleStats collects governor outcomes across every span of one
+	// experiment run; Registry's instrumentation installs it and stamps
+	// each headline Stat's CI from the aggregate. Nil is a valid sink.
+	sampleStats *sample.RunStats
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -210,6 +229,43 @@ func measureSpan(c *chip.Chip, spanSec float64, sample func(dt float64)) float64
 // settleEps mirrors chip.Settle's loop residue.
 const settleEps = 1e-9
 
+// governor builds the sampling governor for one measurement target, or nil
+// when the options run exact/detailed. Each sweep point gets its own
+// governor (its decisions are a pure function of that point's state, which
+// keeps the bit-identical-at-any-worker-count contract); they all fold
+// outcomes into the run-wide sampleStats sink.
+func (o Options) governor(t sample.Target) *sample.Governor {
+	if !o.Sampled {
+		return nil
+	}
+	return sample.New(t, sample.Config{TargetRelCI: o.TargetCI, Stats: o.sampleStats})
+}
+
+// measureSpan routes a chip measurement span through the sampling governor
+// when the options select it, and through the detailed multi-rate path
+// otherwise. Observers see fast-forwarded spans as one wide dt at frozen
+// sensors, so time-weighted sums stay correctly normalized.
+func (o Options) measureSpan(c *chip.Chip, spanSec float64, fn func(dt float64)) float64 {
+	if g := o.governor(c); g != nil {
+		if spanSec < chip.DefaultStepSec {
+			spanSec = chip.DefaultStepSec
+		}
+		return g.Run(spanSec, fn)
+	}
+	return measureSpan(c, spanSec, fn)
+}
+
+// serverMeasureSpan is measureSpan's server-level counterpart.
+func (o Options) serverMeasureSpan(s *server.Server, spanSec float64, fn func(dt float64)) float64 {
+	if g := o.governor(s); g != nil {
+		if spanSec < chip.DefaultStepSec {
+			spanSec = chip.DefaultStepSec
+		}
+		return g.Run(spanSec, fn)
+	}
+	return serverMeasureSpan(s, spanSec, fn)
+}
+
 // measureChip settles the chip and time-averages its sensors over the
 // measurement span.
 func measureChip(o Options, c *chip.Chip) steady {
@@ -219,7 +275,7 @@ func measureChip(o Options, c *chip.Chip) steady {
 	// paper verified its equation against hardware, we read the model's
 	// own constants.
 	sharedMilliohm := chip.DefaultConfig("", 0).LoadlineMilliohm + 0.28
-	k := measureSpan(c, o.MeasureSec, func(dt float64) {
+	k := o.measureSpan(c, o.MeasureSec, func(dt float64) {
 		s.PowerW += float64(c.ChipPower()) * dt
 		s.Freq0MHz += float64(c.CoreFreq(0)) * dt
 		s.UndervoltMV += float64(c.UndervoltMV()) * dt
@@ -296,12 +352,22 @@ func runChipToCompletion(o Options, name string, n int, mode firmware.Mode) runR
 	}
 	c.ResetEnergy()
 	start := c.Time()
-	for !c.AllDone() {
-		// The horizon includes thread completion, so a settled chip leaps
-		// straight to (and never past) the finish line.
-		c.Advance(1)
-		if c.Time()-start > 3600 {
+	if g := o.governor(c); g != nil {
+		// SampleHint bounds every fast-forward one part in 1e9 short of the
+		// nearest thread completion, so the governor lands on the finish
+		// line with the same precision as the detailed horizon.
+		g.RunUntil(c.AllDone, 3600, nil)
+		if !c.AllDone() {
 			panic(fmt.Sprintf("experiments: %s with %d threads did not finish in an hour of simulated time", name, n))
+		}
+	} else {
+		for !c.AllDone() {
+			// The horizon includes thread completion, so a settled chip
+			// leaps straight to (and never past) the finish line.
+			c.Advance(1)
+			if c.Time()-start > 3600 {
+				panic(fmt.Sprintf("experiments: %s with %d threads did not finish in an hour of simulated time", name, n))
+			}
 		}
 	}
 	sec := stepQuantize(c.Time() - start)
@@ -328,7 +394,15 @@ func serverRun(o Options, tag string, d workload.Descriptor, placements []server
 		th.Reset(per)
 	}
 	s.ResetEnergy()
-	elapsed, done := s.RunUntilDone(3600)
+	var elapsed float64
+	var done bool
+	if g := o.governor(s); g != nil {
+		start := s.Time()
+		g.RunUntil(s.AllDone, 3600, nil)
+		elapsed, done = s.Time()-start, s.AllDone()
+	} else {
+		elapsed, done = s.RunUntilDone(3600)
+	}
 	if !done {
 		panic(fmt.Sprintf("experiments: %s did not finish in an hour of simulated time", tag))
 	}
@@ -350,7 +424,7 @@ func serverSteady(o Options, tag string, d workload.Descriptor, placements []ser
 	s.Settle(o.SettleSec)
 	uv := make([]float64, s.Sockets())
 	var power float64
-	k := serverMeasureSpan(s, o.MeasureSec, func(dt float64) {
+	k := o.serverMeasureSpan(s, o.MeasureSec, func(dt float64) {
 		power += float64(s.TotalPower()) * dt
 		for si := 0; si < s.Sockets(); si++ {
 			uv[si] += float64(s.Chip(si).UndervoltMV()) * dt

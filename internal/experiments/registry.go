@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
+	"agsim/internal/sample"
 	"agsim/internal/trace"
 )
 
@@ -27,6 +29,11 @@ type Report struct {
 	// Figures and Tables carry the full series for CSV/text output.
 	Figures []*trace.Figure
 	Tables  []*trace.Table
+	// Sampling carries the sampled lane's governor aggregates when the run
+	// used Options.Sampled (nil otherwise): how much simulated time stayed
+	// detailed, how many spans fell back to full simulation, and the worst
+	// relative confidence interval behind every Stat.CI.
+	Sampling *sample.RunStats
 }
 
 // Stat is one named headline number.
@@ -35,13 +42,23 @@ type Stat struct {
 	Value float64
 	// Paper is the value or range the paper reports, as text.
 	Paper string
+	// CI is the statistic's absolute error bar (half-width) when the run
+	// extrapolated under the sampling governor; 0 means exact — either the
+	// run was not sampled or every span fell back to full simulation.
+	CI float64
 }
 
 // Write renders the report's headline and tables as text, and figures as
-// CSV blocks.
+// CSV blocks. Sampled statistics carry ± error bars.
 func (r Report) Write(w io.Writer, full bool) error {
 	for _, s := range r.Headline {
-		if _, err := fmt.Fprintf(w, "  %-38s %10.3f   (paper: %s)\n", s.Name, s.Value, s.Paper); err != nil {
+		var err error
+		if s.CI > 0 {
+			_, err = fmt.Fprintf(w, "  %-38s %10.3f ±%-8.3f (paper: %s)\n", s.Name, s.Value, s.CI, s.Paper)
+		} else {
+			_, err = fmt.Fprintf(w, "  %-38s %10.3f   (paper: %s)\n", s.Name, s.Value, s.Paper)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -70,9 +87,31 @@ func (r Report) Write(w io.Writer, full bool) error {
 	return nil
 }
 
+// runInstrumented decorates a driver so sampled runs report error bars:
+// it installs a fresh RunStats sink before the run and stamps every
+// headline statistic's CI with |value| x the worst relative confidence
+// interval at which any span extrapolated. Non-sampled runs pass through
+// untouched.
+func runInstrumented(run func(Options) Report) func(Options) Report {
+	return func(o Options) Report {
+		if !o.Sampled {
+			return run(o)
+		}
+		rs := &sample.RunStats{}
+		o.sampleStats = rs
+		rep := run(o)
+		rel := rs.WorstRelCI()
+		for i := range rep.Headline {
+			rep.Headline[i].CI = math.Abs(rep.Headline[i].Value) * rel
+		}
+		rep.Sampling = rs
+		return rep
+	}
+}
+
 // Registry returns all experiments keyed by figure id.
 func Registry() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{
 			ID: "fig3", Title: "Core scaling: power and EDP (raytrace)",
 			Paper: "13% power saving at 1 core collapsing to 3% at 8; EDP improves up to 20% at 1 core",
@@ -80,9 +119,9 @@ func Registry() []Experiment {
 				r := Fig03CoreScaling(o)
 				return Report{
 					Headline: []Stat{
-						{"power saving at 1 core (%)", r.SavingAt1, "13"},
-						{"power saving at 8 cores (%)", r.SavingAt8, "3"},
-						{"EDP improvement at 1 core (%)", r.EDPImprovementAt1, "up to 20"},
+						{"power saving at 1 core (%)", r.SavingAt1, "13", 0},
+						{"power saving at 8 cores (%)", r.SavingAt8, "3", 0},
+						{"EDP improvement at 1 core (%)", r.EDPImprovementAt1, "up to 20", 0},
 					},
 					Figures: []*trace.Figure{r.Power, r.EDP},
 				}
@@ -95,10 +134,10 @@ func Registry() []Experiment {
 				r := Fig04FrequencyBoost(o)
 				return Report{
 					Headline: []Stat{
-						{"boost at 1 core (%)", r.BoostAt1, "10"},
-						{"boost at 8 cores (%)", r.BoostAt8, "4"},
-						{"speedup at 1 core (%)", r.SpeedupAt1, "8"},
-						{"speedup at 8 cores (%)", r.SpeedupAt8, "3"},
+						{"boost at 1 core (%)", r.BoostAt1, "10", 0},
+						{"boost at 8 cores (%)", r.BoostAt8, "4", 0},
+						{"speedup at 1 core (%)", r.SpeedupAt1, "8", 0},
+						{"speedup at 8 cores (%)", r.SpeedupAt8, "3", 0},
 					},
 					Figures: []*trace.Figure{r.Frequency, r.Time},
 				}
@@ -111,12 +150,12 @@ func Registry() []Experiment {
 				r := Fig05Heterogeneity(o)
 				return Report{
 					Headline: []Stat{
-						{"avg power improvement at 1 core (%)", r.AvgPowerAt1, "13.3"},
-						{"avg power improvement at 2 cores (%)", r.AvgPowerAt2, "10"},
-						{"avg power improvement at 8 cores (%)", r.AvgPowerAt8, "6.4"},
-						{"1-core band low (%)", r.PowerAt1Min, "10.7"},
-						{"1-core band high (%)", r.PowerAt1Max, "14.8"},
-						{"max frequency improvement at 1 core (%)", r.MaxFreqAt1, "9.6"},
+						{"avg power improvement at 1 core (%)", r.AvgPowerAt1, "13.3", 0},
+						{"avg power improvement at 2 cores (%)", r.AvgPowerAt2, "10", 0},
+						{"avg power improvement at 8 cores (%)", r.AvgPowerAt8, "6.4", 0},
+						{"1-core band low (%)", r.PowerAt1Min, "10.7", 0},
+						{"1-core band high (%)", r.PowerAt1Max, "14.8", 0},
+						{"max frequency improvement at 1 core (%)", r.MaxFreqAt1, "9.6", 0},
 					},
 					Figures: []*trace.Figure{r.PowerImprovement, r.FreqImprovement},
 				}
@@ -129,10 +168,10 @@ func Registry() []Experiment {
 				r := Fig06CPMCalibration(o)
 				return Report{
 					Headline: []Stat{
-						{"mV per CPM bit at 4.2 GHz", r.MVPerBitAtPeak, "~21"},
-						{"linearity R^2 at 4.2 GHz", r.R2AtPeak, "near 1"},
-						{"sensitivity band low (mV/bit)", r.SensitivityMin, "~10"},
-						{"sensitivity band high (mV/bit)", r.SensitivityMax, "~30"},
+						{"mV per CPM bit at 4.2 GHz", r.MVPerBitAtPeak, "~21", 0},
+						{"linearity R^2 at 4.2 GHz", r.R2AtPeak, "near 1", 0},
+						{"sensitivity band low (mV/bit)", r.SensitivityMin, "~10", 0},
+						{"sensitivity band high (mV/bit)", r.SensitivityMax, "~30", 0},
 					},
 					Figures: []*trace.Figure{r.Mapping, r.Sensitivity},
 				}
@@ -145,10 +184,10 @@ func Registry() []Experiment {
 				r := Fig07VoltageDrop(o)
 				return Report{
 					Headline: []Stat{
-						{"core 0 drop at 1 core (%)", r.Core0DropAt1, "~2"},
-						{"core 0 drop at 8 cores (%)", r.Core0DropAt8, "~8"},
-						{"idle core 7 drop with 4 active (%)", r.IdleCoreDropAt4, "nonzero (global)"},
-						{"core 7 activation jump (%)", r.ActivationJumpPct, "~2"},
+						{"core 0 drop at 1 core (%)", r.Core0DropAt1, "~2", 0},
+						{"core 0 drop at 8 cores (%)", r.Core0DropAt8, "~8", 0},
+						{"idle core 7 drop with 4 active (%)", r.IdleCoreDropAt4, "nonzero (global)", 0},
+						{"core 7 activation jump (%)", r.ActivationJumpPct, "~2", 0},
 					},
 					Figures: r.PerCore,
 				}
@@ -170,9 +209,9 @@ func Registry() []Experiment {
 				}
 				return Report{
 					Headline: []Stat{
-						{"passive share of total drop at 8 cores", r.PassiveShareAt8, "dominant"},
-						{"typical di/dt trend 1->8 cores (%)", r.TypTrend, "negative (smoothing)"},
-						{"worst di/dt trend 1->8 cores (%)", r.WorstTrend, "slightly positive"},
+						{"passive share of total drop at 8 cores", r.PassiveShareAt8, "dominant", 0},
+						{"typical di/dt trend 1->8 cores (%)", r.TypTrend, "negative (smoothing)", 0},
+						{"worst di/dt trend 1->8 cores (%)", r.WorstTrend, "slightly positive", 0},
 					},
 					Figures: figs,
 				}
@@ -185,12 +224,12 @@ func Registry() []Experiment {
 				r := Fig10PassiveDropCorrelation(o)
 				return Report{
 					Headline: []Stat{
-						{"power vs passive drop R^2", r.PowerPassiveR2, "strong linear"},
-						{"undervolt slope (mV/mV)", r.UndervoltSlope, "~-1"},
-						{"energy saving low (%)", r.SavingMin, "~2"},
-						{"energy saving high (%)", r.SavingMax, "~12"},
-						{"boost low (%)", r.BoostMin, "~4"},
-						{"boost high (%)", r.BoostMax, "~10"},
+						{"power vs passive drop R^2", r.PowerPassiveR2, "strong linear", 0},
+						{"undervolt slope (mV/mV)", r.UndervoltSlope, "~-1", 0},
+						{"energy saving low (%)", r.SavingMin, "~2", 0},
+						{"energy saving high (%)", r.SavingMax, "~12", 0},
+						{"boost low (%)", r.BoostMin, "~4", 0},
+						{"boost high (%)", r.BoostMax, "~10", 0},
 					},
 					Figures: []*trace.Figure{r.PowerVsPassive, r.PassiveVsUndervolt, r.VddVsSaving, r.PassiveVsBoost},
 				}
@@ -203,11 +242,11 @@ func Registry() []Experiment {
 				r := Fig12LoadlineBorrowing(o)
 				return Report{
 					Headline: []Stat{
-						{"extra undervolt at 1 core (mV)", r.ExtraUndervoltAt1, "~20"},
-						{"extra undervolt at 8 cores (mV)", r.ExtraUndervoltAt8, "~40"},
-						{"improvement at 2 cores (%)", r.ImprovementAt2, "1.6"},
-						{"improvement at 4 cores (%)", r.ImprovementAt4, "4.2"},
-						{"improvement at 8 cores (%)", r.ImprovementAt8, "8.5"},
+						{"extra undervolt at 1 core (mV)", r.ExtraUndervoltAt1, "~20", 0},
+						{"extra undervolt at 8 cores (mV)", r.ExtraUndervoltAt8, "~40", 0},
+						{"improvement at 2 cores (%)", r.ImprovementAt2, "1.6", 0},
+						{"improvement at 4 cores (%)", r.ImprovementAt4, "4.2", 0},
+						{"improvement at 8 cores (%)", r.ImprovementAt8, "8.5", 0},
 					},
 					Figures: []*trace.Figure{r.Undervolt, r.Power},
 				}
@@ -220,8 +259,8 @@ func Registry() []Experiment {
 				r := Fig13BorrowingSweep(o)
 				return Report{
 					Headline: []Stat{
-						{"avg improvement, consolidation (%)", r.AvgBaselineAt8, "5.5"},
-						{"avg improvement, borrowing (%)", r.AvgBorrowingAt8, "13.8"},
+						{"avg improvement, consolidation (%)", r.AvgBaselineAt8, "5.5", 0},
+						{"avg improvement, borrowing (%)", r.AvgBorrowingAt8, "13.8", 0},
 					},
 					Figures: []*trace.Figure{r.Baseline, r.Borrowing},
 				}
@@ -234,11 +273,11 @@ func Registry() []Experiment {
 				r := Fig14FullSuite(o)
 				return Report{
 					Headline: []Stat{
-						{"avg power improvement (%)", r.AvgPowerImprovement, "6.2"},
-						{"avg energy improvement (%)", r.AvgEnergyImprovement, "7.7"},
-						{"lu_cb power improvement (%)", r.LuCbPowerImprovement, "12.7"},
-						{"worst energy improvement (%)", r.WorstEnergy, "negative (lu_ncb/radiosity)"},
-						{"best energy improvement (%)", r.BestEnergy, "50-171"},
+						{"avg power improvement (%)", r.AvgPowerImprovement, "6.2", 0},
+						{"avg energy improvement (%)", r.AvgEnergyImprovement, "7.7", 0},
+						{"lu_cb power improvement (%)", r.LuCbPowerImprovement, "12.7", 0},
+						{"worst energy improvement (%)", r.WorstEnergy, "negative (lu_ncb/radiosity)", 0},
+						{"best energy improvement (%)", r.BestEnergy, "50-171", 0},
 					},
 					Tables: []*trace.Table{r.Table},
 				}
@@ -251,10 +290,10 @@ func Registry() []Experiment {
 				r := Fig15Colocation(o)
 				return Report{
 					Headline: []Stat{
-						{"coremark-only frequency (MHz)", r.CoremarkOnly, "4517"},
-						{"with 7x lu_cb (MHz)", r.WorstWithLuCb, "4433"},
-						{"with 7x mcf (MHz)", r.BestWithMcf, "higher than coremark-only"},
-						{"swing (MHz)", r.SwingMHz, ">100"},
+						{"coremark-only frequency (MHz)", r.CoremarkOnly, "4517", 0},
+						{"with 7x lu_cb (MHz)", r.WorstWithLuCb, "4433", 0},
+						{"with 7x mcf (MHz)", r.BestWithMcf, "higher than coremark-only", 0},
+						{"swing (MHz)", r.SwingMHz, ">100", 0},
 					},
 					Figures: []*trace.Figure{r.Frequency},
 				}
@@ -267,8 +306,8 @@ func Registry() []Experiment {
 				r := Fig16MIPSPredictor(o)
 				return Report{
 					Headline: []Stat{
-						{"relative RMSE", r.RelRMSE, "0.003"},
-						{"slope (MHz per kMIPS)", r.SlopeMHzPerKMIPS, "negative, ~-2.5"},
+						{"relative RMSE", r.RelRMSE, "0.003", 0},
+						{"slope (MHz per kMIPS)", r.SlopeMHzPerKMIPS, "negative, ~-2.5", 0},
 					},
 					Figures: []*trace.Figure{r.Scatter},
 				}
@@ -285,13 +324,13 @@ func Registry() []Experiment {
 				}
 				return Report{
 					Headline: []Stat{
-						{"violation rate, light", r.ViolationLight, "~0.07"},
-						{"violation rate, medium", r.ViolationMedium, "~0.15"},
-						{"violation rate, heavy", r.ViolationHeavy, ">0.25"},
-						{"mapper swapped co-runner", swapped, "yes"},
-						{"violation rate before swap", r.ViolationBeforeSwap, ">0.25"},
-						{"violation rate after swap", r.ViolationAfterSwap, "<0.07"},
-						{"tail latency improvement (%)", r.TailImprovementPct, "5.2"},
+						{"violation rate, light", r.ViolationLight, "~0.07", 0},
+						{"violation rate, medium", r.ViolationMedium, "~0.15", 0},
+						{"violation rate, heavy", r.ViolationHeavy, ">0.25", 0},
+						{"mapper swapped co-runner", swapped, "yes", 0},
+						{"violation rate before swap", r.ViolationBeforeSwap, ">0.25", 0},
+						{"violation rate after swap", r.ViolationAfterSwap, "<0.07", 0},
+						{"tail latency improvement (%)", r.TailImprovementPct, "5.2", 0},
 					},
 					Figures: []*trace.Figure{r.CDF},
 				}
@@ -304,9 +343,9 @@ func Registry() []Experiment {
 				r := DroopCensus(o)
 				return Report{
 					Headline: []Stat{
-						{"droop rate at 8 cores (events/s)", r.RateAt8, "infrequent"},
-						{"depth growth 1->8 cores (x)", r.DepthGrowth, "slight (<2x)"},
-						{"32 ms windows containing a droop", r.BusyWindowShareAt8, "minority-to-moderate"},
+						{"droop rate at 8 cores (events/s)", r.RateAt8, "infrequent", 0},
+						{"depth growth 1->8 cores (x)", r.DepthGrowth, "slight (<2x)", 0},
+						{"32 ms windows containing a droop", r.BusyWindowShareAt8, "minority-to-moderate", 0},
 					},
 					Figures: []*trace.Figure{r.Rate, r.Depth},
 				}
@@ -319,9 +358,9 @@ func Registry() []Experiment {
 				r := SMTScaling(o)
 				return Report{
 					Headline: []Stat{
-						{"SMT4 throughput gain (%)", r.ThroughputGainSMT4, "sub-linear (extension)"},
-						{"SMT4 MIPS/W gain (%)", r.EfficiencyGainSMT4, "positive"},
-						{"SMT4 undervolt cost (mV)", r.UndervoltCostSMT4, "non-negative"},
+						{"SMT4 throughput gain (%)", r.ThroughputGainSMT4, "sub-linear (extension)", 0},
+						{"SMT4 MIPS/W gain (%)", r.EfficiencyGainSMT4, "positive", 0},
+						{"SMT4 undervolt cost (mV)", r.UndervoltCostSMT4, "non-negative", 0},
 					},
 					Tables: []*trace.Table{r.Table},
 				}
@@ -334,8 +373,8 @@ func Registry() []Experiment {
 				r := AgingSweep(o)
 				return Report{
 					Headline: []Stat{
-						{"static failure onset (mV of wear)", r.StaticFailureOnsetMV, "finite (guardband exhausted)"},
-						{"adaptive violations across sweep", float64(r.AdaptiveViolations), "0"},
+						{"static failure onset (mV of wear)", r.StaticFailureOnsetMV, "finite (guardband exhausted)", 0},
+						{"adaptive violations across sweep", float64(r.AdaptiveViolations), "0", 0},
 					},
 					Figures: []*trace.Figure{r.Violations, r.Response},
 				}
@@ -348,8 +387,8 @@ func Registry() []Experiment {
 				r := DVFSComparison(o)
 				return Report{
 					Headline: []Stat{
-						{"adaptive energy saving vs nominal P-state (%)", r.AdaptiveSavingVsNominalPct, "positive (extension)"},
-						{"DVFS seconds to match adaptive energy", r.DVFSSecondsForAdaptiveEnergy, "slower than adaptive"},
+						{"adaptive energy saving vs nominal P-state (%)", r.AdaptiveSavingVsNominalPct, "positive (extension)", 0},
+						{"DVFS seconds to match adaptive energy", r.DVFSSecondsForAdaptiveEnergy, "slower than adaptive", 0},
 					},
 					Figures: []*trace.Figure{r.Plane},
 				}
@@ -362,9 +401,9 @@ func Registry() []Experiment {
 				r := FidelityAblation(o)
 				return Report{
 					Headline: []Stat{
-						{"drop@8core delta, mesh-plane (pp)", r.Drop8DeltaPP, "small (models agree)"},
-						{"activation jump delta (pp)", r.ActivationJumpDeltaPP, "small"},
-						{"saving@8core delta (pp)", r.Saving8DeltaPP, "small"},
+						{"drop@8core delta, mesh-plane (pp)", r.Drop8DeltaPP, "small (models agree)", 0},
+						{"activation jump delta (pp)", r.ActivationJumpDeltaPP, "small", 0},
+						{"saving@8core delta (pp)", r.Saving8DeltaPP, "small", 0},
 					},
 					Tables: []*trace.Table{r.Table},
 				}
@@ -381,14 +420,18 @@ func Registry() []Experiment {
 				}
 				return Report{
 					Headline: []Stat{
-						{"AGS saving over naive at high load (%)", r.SavingAtHalfLoad, "large (extension)"},
-						{"AGS never worse than consolidate-only", beats, "expected"},
+						{"AGS saving over naive at high load (%)", r.SavingAtHalfLoad, "large (extension)", 0},
+						{"AGS never worse than consolidate-only", beats, "expected", 0},
 					},
 					Figures: []*trace.Figure{r.Power, r.Efficiency},
 				}
 			},
 		},
 	}
+	for i := range exps {
+		exps[i].Run = runInstrumented(exps[i].Run)
+	}
+	return exps
 }
 
 // Lookup returns the experiment with the given id.

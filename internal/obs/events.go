@@ -29,6 +29,12 @@ const (
 	// KindThreadDone: a thread retired its work budget. Core = index of
 	// the core it ran on.
 	KindThreadDone
+	// KindSampleMode: the sampling governor switched stepping fidelity.
+	// Core -1; A = the governor's relative CI width at the switch (its
+	// evidence), B = the phase-signature distance from the previous
+	// detailed window, C = 1 entering fast-forward, 0 dropping back to
+	// detailed. TimeUS stamps the switch.
+	KindSampleMode
 )
 
 // String names the kind for traces and tables.
@@ -46,6 +52,8 @@ func (k Kind) String() string {
 		return "macro-leap"
 	case KindThreadDone:
 		return "thread-done"
+	case KindSampleMode:
+		return "sample-mode"
 	}
 	return "unknown"
 }

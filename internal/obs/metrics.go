@@ -33,6 +33,11 @@ const (
 	CModeChanges
 	// CThrottleChanges counts issue-throttle adjustments.
 	CThrottleChanges
+	// CFastForwards counts sampled-lane fast-forward extrapolation spans.
+	CFastForwards
+	// CSampleSwitches counts sampling-governor fidelity switches
+	// (detailed <-> fast-forward, both directions).
+	CSampleSwitches
 
 	NumCounters int = iota
 )
@@ -50,6 +55,8 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	CRailCommands:     {"rail_commands", "VRM set-point moves commanded by firmware"},
 	CModeChanges:      {"mode_changes", "guardband mode transitions"},
 	CThrottleChanges:  {"throttle_changes", "issue-throttle adjustments"},
+	CFastForwards:     {"fast_forwards", "sampled-lane fast-forward spans taken"},
+	CSampleSwitches:   {"sample_switches", "sampling-governor fidelity switches"},
 }
 
 // CounterName returns the exposition name of a counter.
@@ -99,6 +106,8 @@ const (
 	// HWindowMinCPM distributes the firmware's per-window minimum sticky
 	// CPM readings (the paper's Fig. 9 distribution, live).
 	HWindowMinCPM
+	// HFastForwardSec distributes sampled-lane fast-forward span lengths.
+	HFastForwardSec
 
 	NumHists int = iota
 )
@@ -113,6 +122,8 @@ var histMeta = [NumHists]struct {
 		[]float64{10, 15, 20, 25, 30, 35, 40, 45}},
 	HWindowMinCPM: {"window_min_cpm", "per-window minimum sticky CPM readings",
 		[]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	HFastForwardSec: {"fast_forward_seconds", "sampled-lane fast-forward span lengths",
+		[]float64{0.064, 0.128, 0.256, 0.512, 1.024, 2.048, 4.096, 8.192}},
 }
 
 // HistName returns the exposition name of a histogram.

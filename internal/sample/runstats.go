@@ -1,0 +1,96 @@
+package sample
+
+import "sync"
+
+// RunStats aggregates governor outcomes across every span of one
+// experiment run — sweep points fan out over workers, so all methods are
+// concurrency-safe and all aggregates are order-independent (maxima and
+// counts only feed reported values; the float sums feed prose rates).
+// A nil *RunStats is a valid sink that records nothing.
+type RunStats struct {
+	mu          sync.Mutex
+	worstRelCI  float64
+	spans       int
+	fullSpans   int // spans that never extrapolated (full-simulation fallback)
+	phaseResets int
+	detailedSec float64
+	fastSec     float64
+}
+
+// record folds one finished span in.
+func (r *RunStats) record(relCI, detailedSec, fastSec float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans++
+	if fastSec == 0 {
+		r.fullSpans++
+	}
+	if relCI > r.worstRelCI {
+		r.worstRelCI = relCI
+	}
+	r.detailedSec += detailedSec
+	r.fastSec += fastSec
+}
+
+// phaseChange counts one phase-detector reset.
+func (r *RunStats) phaseChange() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.phaseResets++
+	r.mu.Unlock()
+}
+
+// WorstRelCI returns the largest relative confidence-interval half-width
+// at which any span extrapolated — the error-bar multiplier for every
+// headline statistic of the run. Spans that never extrapolated contribute
+// zero: they are full simulation.
+func (r *RunStats) WorstRelCI() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.worstRelCI
+}
+
+// Spans returns the measured span count and how many of them fell back to
+// full simulation.
+func (r *RunStats) Spans() (total, full int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans, r.fullSpans
+}
+
+// PhaseResets returns the number of phase-detector change points.
+func (r *RunStats) PhaseResets() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phaseResets
+}
+
+// DetailedFraction returns detailed / (detailed + fast-forward) simulated
+// time, or 1 when nothing was measured — the share of the run that paid
+// full fidelity.
+func (r *RunStats) DetailedFraction() float64 {
+	if r == nil {
+		return 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.detailedSec + r.fastSec
+	if total == 0 {
+		return 1
+	}
+	return r.detailedSec / total
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	xs := []float64{4.5, 2.25, 9.75, -1.5, 3.125, 8.0, 0.5, 7.25}
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", s.N(), len(xs))
+	}
+	if got, want := s.Mean(), Mean(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	// Batch Variance in this package is population variance; rescale to
+	// the stream's unbiased estimator.
+	n := float64(len(xs))
+	want := Variance(xs) * n / (n - 1)
+	if got := s.Variance(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := s.StdErr(), math.Sqrt(s.Variance()/n); math.Abs(got-want) > 1e-15 {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+}
+
+func TestStreamConstantSeriesHasZeroCI(t *testing.T) {
+	var s Stream
+	for i := 0; i < 10; i++ {
+		s.Add(3.25)
+	}
+	if ci := s.CI(0.95); ci != 0 {
+		t.Errorf("CI of a constant series = %v, want 0", ci)
+	}
+}
+
+func TestStreamEmptyAndSingle(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Errorf("empty stream: mean/var/stderr = %v/%v/%v, want zeros", s.Mean(), s.Variance(), s.StdErr())
+	}
+	if !math.IsInf(s.CI(0.95), 1) {
+		t.Errorf("empty stream CI = %v, want +Inf", s.CI(0.95))
+	}
+	s.Add(2)
+	if !math.IsInf(s.CI(0.95), 1) {
+		t.Errorf("single-sample CI = %v, want +Inf", s.CI(0.95))
+	}
+	s.Reset()
+	if s.N() != 0 {
+		t.Errorf("Reset left N = %d", s.N())
+	}
+}
+
+// TestTCriticalTable pins the inversion against the standard two-sided 95%
+// and 99% t-table values.
+func TestTCriticalTable(t *testing.T) {
+	cases := []struct {
+		level string
+		df    int
+		want  float64
+	}{
+		{"95", 1, 12.706},
+		{"95", 2, 4.303},
+		{"95", 5, 2.571},
+		{"95", 10, 2.228},
+		{"95", 30, 2.042},
+		{"95", 1000000, 1.960},
+		{"99", 1, 63.657},
+		{"99", 10, 3.169},
+		{"99", 30, 2.750},
+	}
+	for _, c := range cases {
+		level := 0.95
+		if c.level == "99" {
+			level = 0.99
+		}
+		got := TCritical(level, c.df)
+		if math.Abs(got-c.want) > 0.001*c.want {
+			t.Errorf("TCritical(%s%%, df=%d) = %v, want %v", c.level, c.df, got, c.want)
+		}
+	}
+}
+
+// TestStreamCIClosedForm checks CI against the hand-computed halfwidth
+// t_{0.95,df} * s / sqrt(n) for a known small sample.
+func TestStreamCIClosedForm(t *testing.T) {
+	xs := []float64{10, 12, 14, 16, 18} // mean 14, sd sqrt(10), n 5
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	want := 2.776 * math.Sqrt(10.0/5.0) // t_{0.95,4} = 2.776
+	if got := s.CI(0.95); math.Abs(got-want) > 0.001*want {
+		t.Errorf("CI = %v, want %v", got, want)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x; I_x(2,2) = x^2(3-2x).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+		want := x * x * (3 - 2*x)
+		if got := regIncBeta(2, 2, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+}

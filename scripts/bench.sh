@@ -27,6 +27,17 @@
 # main pass, so a custom pattern that re-matches them keeps the fleet-pass
 # run (first occurrence wins, as with the micro pass).
 #
+# The sampled-lane benches (SAMPLED_BENCHES, default the two long-horizon
+# macro/sampled pairs) run in a fourth pass at SAMPLED_BENCHTIME (default
+# 1x) with SAMPLED_COUNT repetitions (default 3, min wins): one macro-lane
+# op covers two minutes of simulated steady state per sweep point and
+# costs seconds, and the sampled twins also run an untimed macro reference
+# to report their sampled_err_rel headline-error metric.
+# bench_compare.sh derives each pair's sampled-vs-macro speedup and gates
+# it with SAMPLED_SPEEDUP_MIN / SAMPLED_ERR_MAX. The default main pattern
+# anchors its Sweep alternative so these lanes never leak into the
+# 2000x-budget pass.
+#
 # Cluster-scale benchmark lines that report a sim_s/op metric (simulated
 # seconds covered per op) gain a derived "ns/sim_s" field in the JSON:
 # wall-clock nanoseconds per simulated second, the figure that stays
@@ -34,7 +45,7 @@
 # does not.
 set -eu
 
-pattern="${1:-BenchmarkChipStep|BenchmarkSweep|BenchmarkDatacenterSweep(Serial|SerialExact)?\$|BenchmarkDatacenterSweepParallel\$|BenchmarkBatchSweep}"
+pattern="${1:-BenchmarkChipStep|BenchmarkSweep(Serial|Parallel)|BenchmarkDatacenterSweep(Serial|SerialExact)?\$|BenchmarkDatacenterSweepParallel\$|BenchmarkBatchSweep}"
 out="${2:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-2000x}"
 micro_pattern="${MICRO_BENCHES:-BenchmarkChipStep|BenchmarkBatchStep}"
@@ -43,12 +54,16 @@ micro_count="${MICRO_COUNT:-3}"
 fleet_pattern="${FLEET_BENCHES:-BenchmarkDatacenterSweepParallel64}"
 fleet_benchtime="${FLEET_BENCHTIME:-3x}"
 fleet_count="${FLEET_COUNT:-2}"
+sampled_pattern="${SAMPLED_BENCHES:-Benchmark(DatacenterSweep|Sweep)(LongHorizon|Sampled)\$}"
+sampled_benchtime="${SAMPLED_BENCHTIME:-1x}"
+sampled_count="${SAMPLED_COUNT:-3}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$micro_pattern" -benchmem -benchtime "$micro_benchtime" -count "$micro_count" . | tee "$tmp"
 go test -run '^$' -bench "$fleet_pattern" -benchmem -benchtime "$fleet_benchtime" -count "$fleet_count" . | tee -a "$tmp"
+go test -run '^$' -bench "$sampled_pattern" -benchmem -benchtime "$sampled_benchtime" -count "$sampled_count" . | tee -a "$tmp"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 
 # The worker parallelism the benchmarks actually ran at: Go stamps

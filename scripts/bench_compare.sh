@@ -37,6 +37,18 @@
 # than 2x slower under single-run noise); in between it must at least
 # not lose (>=1.0x).
 #
+# The sampled lane carries its own twin gates: each long-horizon pair
+# (BenchmarkXSampled vs BenchmarkXLongHorizon in the new recording) must
+# show sampled >= SAMPLED_SPEEDUP_MIN x macro (default 10: the win is
+# single-threaded and algorithmic — fast-forwarded spans vs tick-bound
+# macro leaps — so it does not scale with gomaxprocs), and each sampled
+# bench's sampled_err_rel metric (its headline vs its own untimed macro
+# reference) must stay within SAMPLED_ERR_MAX (default 0.01). The
+# long-horizon lanes run at single-digit iteration counts, so like the
+# fleet lanes they are exempt from the percentage regression gate and
+# from the sweep allocation budget; the speedup floor and error ceiling
+# are their gates.
+#
 # Exit status: 0 clean, 1 regression found, 2 usage/input error.
 #
 # Environment:
@@ -59,6 +71,10 @@
 #   BATCH_SPEEDUP_MIN       batched-vs-scalar floor on the fleet pairs
 #                           (default by gomaxprocs: >=4 -> 2.0,
 #                           1 -> 0.5, else 1.0)
+#   SAMPLED_SPEEDUP_MIN     sampled-vs-macro floor on the long-horizon
+#                           pairs (default 10)
+#   SAMPLED_ERR_MAX         ceiling on each sampled bench's
+#                           sampled_err_rel headline error (default 0.01)
 set -eu
 
 threshold="${THRESHOLD_PCT:-10}"
@@ -68,6 +84,8 @@ abudget="${SWEEP_ALLOC_BUDGET:-4500}"
 bbudget="${SWEEP_BYTES_BUDGET:-250000}"
 fabudget="${FLEET_ALLOC_BUDGET:-40000}"
 fbbudget="${FLEET_BYTES_BUDGET:-2000000}"
+smin="${SAMPLED_SPEEDUP_MIN:-10}"
+emax="${SAMPLED_ERR_MAX:-0.01}"
 
 baseline_tmp=""
 cleanup() { [ -z "$baseline_tmp" ] || rm -f "$baseline_tmp"; }
@@ -118,7 +136,8 @@ echo "comparing $old (old) -> $new (new), threshold ${threshold}% on /$guard/"
 awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 	-v abudget="$abudget" -v bbudget="$bbudget" \
 	-v fabudget="$fabudget" -v fbbudget="$fbbudget" \
-	-v bsmin="$bsmin" -v gmp="$gmp" '
+	-v bsmin="$bsmin" -v gmp="$gmp" \
+	-v smin="$smin" -v emax="$emax" '
 	/"Benchmark/ {
 		line = $0
 		gsub(/^[ \t]*"/, "", line)
@@ -129,10 +148,12 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 		v = ""
 		a = ""
 		bb = ""
+		e = ""
 		for (i = 2; i < n; i++) {
 			if (f[i+1] == "ns/op") v = f[i]
 			if (f[i+1] == "allocs/op") a = f[i]
 			if (f[i+1] == "B/op") bb = f[i]
+			if (f[i+1] == "sampled_err_rel") e = f[i]
 		}
 		if (v == "") next
 		if (FILENAME == ARGV[1]) {
@@ -141,6 +162,7 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			newv[name] = v
 			newa[name] = a
 			newb[name] = bb
+			newerr[name] = e
 			order[++cnt] = name
 		}
 	}
@@ -155,9 +177,11 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			}
 			d = (newv[name] - oldv[name]) / oldv[name] * 100
 			flag = ""
-			# Fleet lanes are exempt: few-iteration runs swing well past
-			# any useful threshold; their own gates are below.
-			if (name ~ guard && name !~ /Parallel64/ && d > threshold) {
+			# Fleet and long-horizon lanes are exempt: few-iteration runs
+			# swing well past any useful threshold; their own gates are
+			# below.
+			if (name ~ guard && name !~ /Parallel64/ && \
+			    name !~ /(LongHorizon|Sampled)$/ && d > threshold) {
 				flag = "  << REGRESSION"
 				status = 1
 			}
@@ -197,6 +221,33 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 				status = 1
 			}
 		}
+		# Sampled lane: each BenchmarkXSampled must beat its macro twin
+		# BenchmarkXLongHorizon by the speedup floor and keep its headline
+		# error (vs its own untimed macro reference) within the ceiling.
+		header = 0
+		for (i = 1; i <= cnt; i++) {
+			name = order[i]
+			if (name !~ /Sampled$/) continue
+			macro = name
+			sub(/Sampled$/, "LongHorizon", macro)
+			if (!(macro in newv) || newv[name] <= 0) continue
+			if (!header) {
+				print ""
+				printf "sampled lane (sampled vs macro, new recording; floor %.1fx, err ceiling %.4f):\n", smin, emax
+				header = 1
+			}
+			sp = newv[macro] / newv[name]
+			err = newerr[name]
+			printf "%-42s %13.1fx vs %s  err=%s\n", name, sp, macro, (err == "" ? "n/a" : err)
+			if (sp < smin + 0) {
+				printf "FAIL: %s is %.1fx its macro twin, below the %.1fx floor\n", name, sp, smin
+				status = 1
+			}
+			if (err != "" && err + 0 > emax + 0) {
+				printf "FAIL: %s headline error %s exceeds the %.4f ceiling\n", name, err, emax
+				status = 1
+			}
+		}
 		# Flight recorder budget, measured inside the new recording: the
 		# instrumented step loop against the uninstrumented one.
 		base = "BenchmarkChipStep"
@@ -231,6 +282,7 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			name = order[i]
 			if (name !~ /^Benchmark(Sweep|DatacenterSweep|BatchSweep)/) continue
 			if (name ~ /Parallel64/) continue
+			if (name ~ /(LongHorizon|Sampled)$/) continue
 			if (newa[name] == "" && newb[name] == "") continue
 			if (!header) {
 				print ""
