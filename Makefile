@@ -3,9 +3,10 @@
 #   make check         — the tier-1 gate: build, vet, full test suite
 #   make race          — race-detector lane over the concurrency-bearing packages
 #   make bench         — microbenchmarks with -benchmem, JSON'd to BENCH_<date>.json
-#                        (four passes: micro step lanes, 64-node fleet lanes,
-#                        long-horizon sampled pairs, experiment sweeps;
-#                        cluster lanes also record ns per simulated second)
+#                        (five passes: micro step lanes, 64-node fleet lanes,
+#                        fleet-scale ladder + websearch-qos, long-horizon
+#                        sampled pairs, experiment sweeps; cluster lanes also
+#                        record ns per simulated second)
 #   make bench-compare — diff the two most recent BENCH_*.json (falling back to
 #                        the committed version of the newest when only one file
 #                        exists); fails on >10% ns/op regressions in the
@@ -16,7 +17,12 @@
 #                        their own FLEET_*_BUDGET allocation ceilings, and
 #                        holds the sampled lane to the SAMPLED_SPEEDUP_MIN
 #                        floor (default 10x vs its macro twin) with headline
-#                        error within SAMPLED_ERR_MAX (default 1%)
+#                        error within SAMPLED_ERR_MAX (default 1%), and
+#                        holds the fleet-scale ladder to FLEET_SCALING_MAX
+#                        (4096-node per-node advance cost <= 1.5x the
+#                        256-node cost, enforced at gomaxprocs >= 4; at
+#                        gomaxprocs 1 the FleetAdvance lanes must instead
+#                        stay at 0 allocs/op)
 #   make profile       — CPU+heap profile one experiment via cmd/agsim
 #                        (PROFILE_EXP selects it, default fig7 on the mesh lane)
 #   make smoke         — run one quick experiment with every flight-recorder
@@ -53,7 +59,8 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/parallel ./internal/cluster ./internal/experiments
+	$(GO) test -race ./internal/parallel ./internal/cluster ./internal/experiments \
+		./internal/fleet ./internal/traffic
 
 bench:
 	./scripts/bench.sh '$(BENCHES)' BENCH_$(DATE).json

@@ -19,9 +19,12 @@ import (
 	"agsim/internal/cluster"
 	"agsim/internal/experiments"
 	"agsim/internal/firmware"
+	"agsim/internal/fleet"
 	"agsim/internal/obs"
 	"agsim/internal/pdn"
 	"agsim/internal/sample"
+	"agsim/internal/server"
+	"agsim/internal/traffic"
 	"agsim/internal/workload"
 )
 
@@ -404,6 +407,84 @@ func benchDatacenterFleet(b *testing.B, batched bool) {
 
 func BenchmarkDatacenterSweepParallel64(b *testing.B)        { benchDatacenterFleet(b, false) }
 func BenchmarkDatacenterSweepParallel64Batched(b *testing.B) { benchDatacenterFleet(b, true) }
+
+// benchFleetAdvance measures the sharded fleet engine's steady-state cost
+// at a given fleet size: every node serves websearch on all cores under
+// adaptive undervolting, open-loop traffic arrives at 75% of nominal
+// per-node capacity, and each op advances the whole fleet through one
+// traffic epoch (capacity read, arrival fan-out, shard-local advance
+// loops). The headline metric is ns/sim_s_node — wall-clock nanoseconds
+// per simulated second per node — which must stay near-flat as the fleet
+// grows for the sharding claim to hold; scripts/bench_compare.sh holds the
+// 4096-vs-256 ratio to FLEET_SCALING_MAX. The settle span runs untimed so
+// the timed epochs measure the multi-rate steady state, and they must not
+// allocate: the advance fan-out and the traffic epoch both run on stored
+// state.
+func benchFleetAdvance(b *testing.B, nodes int) {
+	const epochSec = 0.25
+	cfg := server.DefaultConfig(1)
+	f := fleet.MustNew(fleet.Config{
+		Nodes:    nodes,
+		Template: cfg,
+		Workers:  4,
+		Batched:  true,
+	})
+	defer f.Close()
+	ws := workload.MustGet("websearch")
+	pl := make([]server.Placement, cfg.Sockets*cfg.CoresPerSocket)
+	for c := range pl {
+		pl[c] = server.Placement{Socket: c / cfg.CoresPerSocket, Core: c % cfg.CoresPerSocket}
+	}
+	for i := 0; i < nodes; i++ {
+		s := f.Node(i)
+		s.MustSubmit("serve", ws, pl, 1e9)
+		s.SetMode(firmware.Undervolt)
+	}
+	tr := traffic.New(traffic.Config{
+		Nodes:       nodes,
+		RatePerSec:  90, // ~75% of a static node's ~48 GIPS at 0.4 GInst/query
+		DemandGInst: 0.4,
+		QueueCap:    256,
+		Seed:        1,
+	})
+	caps := make([]float64, nodes)
+	f.Advance(0.5) // settle into the multi-rate steady state (seals engines)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := range caps {
+			caps[n] = math.Max(1, math.Round(f.NodeMIPS(n)/1000))
+		}
+		tr.Epoch(f.Pool(), epochSec, caps)
+		f.Advance(epochSec)
+	}
+	b.StopTimer()
+	b.ReportMetric(epochSec, "sim_s/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*epochSec*float64(nodes)), "ns/sim_s_node")
+}
+
+func BenchmarkFleetAdvance256(b *testing.B)  { benchFleetAdvance(b, 256) }
+func BenchmarkFleetAdvance1024(b *testing.B) { benchFleetAdvance(b, 1024) }
+func BenchmarkFleetAdvance4096(b *testing.B) { benchFleetAdvance(b, 4096) }
+
+// BenchmarkWebsearchQoS runs the registered websearch-qos experiment on
+// the batched fleet lane: the full policy x load grid with open-loop
+// traffic, the PR's serving headline. One untimed warm-up fills the arenas
+// so the timed iterations measure the pooled steady state.
+func BenchmarkWebsearchQoS(b *testing.B) {
+	o := benchOptions()
+	o.Workers = 4
+	o.Batched = true
+	experiments.WebsearchQoS(o)
+	b.ResetTimer()
+	var r experiments.WebsearchQoSResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.WebsearchQoS(o)
+	}
+	b.ReportMetric(r.EnergySavingPct, "ags_energy_saving_%")
+	b.ReportMetric(r.P99StaticSec*1000, "p99_static_ms")
+	b.ReportMetric(r.P99BoostSec*1000, "p99_boost_ms")
+	b.ReportMetric(experiments.WebsearchQoSSimSeconds(o), "sim_s/op")
+}
 
 // Batched sweep lanes: the full datacenter driver with Options.Batched —
 // every cluster point rides the SoA engine and the naive fleet advances on

@@ -1,124 +1,46 @@
-// WebSearch QoS: the end-to-end Fig. 18 loop. WebSearch serves queries on
-// core 0 while a co-runner occupies the other seven cores; the adaptive
-// mapper watches windowed p90 latency and swaps the co-runner when the SLA
-// starts failing.
+// WebSearch QoS: the fleet-scale serving study, run through the registered
+// `websearch-qos` experiment driver — the same code path `agsim -run
+// websearch-qos` and the accuracy harness execute, so this example cannot
+// drift from the registered experiment.
 //
-//	go run ./examples/websearch_qos
+//	go run ./examples/websearch_qos [-quick] [-nodes N] [-workers N] [-batched]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
-	"agsim/internal/chip"
-	"agsim/internal/core"
-	"agsim/internal/firmware"
-	"agsim/internal/qos"
-	"agsim/internal/rng"
-	"agsim/internal/units"
-	"agsim/internal/workload"
+	"agsim/internal/experiments"
 )
 
-type coRunner struct {
-	name     string
-	throttle float64
-}
-
-var coRunners = []coRunner{{"light", 0.18}, {"medium", 0.39}, {"heavy", 0.96}}
-
-func place(c *chip.Chip, r coRunner) {
-	cm := workload.MustGet("coremark")
-	for i := 1; i < 8; i++ {
-		c.ClearCore(i)
-		c.Place(i, workload.NewThread(cm, 1e9, nil))
-		c.SetIssueThrottle(i, r.throttle)
-	}
-}
-
 func main() {
-	cfg := qos.DefaultConfig()
-	c := chip.MustNew(chip.DefaultConfig("P0", 3))
-	c.Place(0, workload.NewThread(workload.MustGet("websearch"), 1e9, nil))
-	place(c, coRunners[2]) // start blindly colocated with "heavy"
-	c.SetMode(firmware.Overclock)
-	c.Settle(2.5)
+	quick := flag.Bool("quick", false, "reduced-fidelity sweep (fewer loads, shorter spans)")
+	nodes := flag.Int("nodes", 0, "fleet size (0 selects the default)")
+	workers := flag.Int("workers", 0, "worker pool width (0 selects GOMAXPROCS)")
+	batched := flag.Bool("batched", false, "ride the structure-of-arrays stepping engine")
+	full := flag.Bool("full", false, "print figures and tables, not just headlines")
+	flag.Parse()
 
-	// Train the frequency predictor from a few profiled throttle levels.
-	predictor := &core.FreqPredictor{}
-	for _, th := range []float64{0.1, 0.4, 0.7, 0.96} {
-		probe := chip.MustNew(chip.DefaultConfig("train", 3))
-		probe.Place(0, workload.NewThread(workload.MustGet("websearch"), 1e9, nil))
-		place(probe, coRunner{"t", th})
-		probe.SetMode(firmware.Overclock)
-		probe.Settle(2.5)
-		var mips, freq float64
-		for i := 0; i < 300; i++ {
-			probe.Step(chip.DefaultStepSec)
-			mips += float64(probe.TotalMIPS())
-			freq += float64(probe.CoreFreq(0))
-		}
-		predictor.Observe(units.MIPS(mips/300), units.Megahertz(freq/300))
-	}
-	if err := predictor.Train(); err != nil {
-		panic(err)
+	exp, ok := experiments.Lookup("websearch-qos")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "websearch-qos is not registered")
+		os.Exit(1)
 	}
 
-	mapper, err := core.NewAdaptiveMapper(core.AppSpec{
-		Name: "websearch", Critical: true, QoSTarget: cfg.TargetP90Sec,
-	}, predictor)
-	if err != nil {
-		panic(err)
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
 	}
-	mapper.WindowQuanta = 10
+	o.Nodes = *nodes
+	o.Workers = *workers
+	o.Batched = *batched
 
-	// Candidate co-runners with their profiled MIPS contributions.
-	candidates := []core.Candidate{
-		{Name: "light", MIPS: 13000, BandwidthGBs: 0.3},
-		{Name: "medium", MIPS: 28000, BandwidthGBs: 0.6},
-		{Name: "heavy", MIPS: 70000, BandwidthGBs: 1.5},
+	fmt.Printf("%s — %s\n", exp.ID, exp.Title)
+	fmt.Printf("paper: %s\n\n", exp.Paper)
+	rep := exp.Run(o)
+	if err := rep.Write(os.Stdout, *full); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	tracker := qos.NewTracker(cfg, rng.New(3, "qos"))
-	current := "heavy"
-	fmt.Printf("SLA: window p90 <= %.1f s; starting co-runner: %s\n\n", cfg.TargetP90Sec, current)
-	for w := 0; w < 60; w++ {
-		// One measurement window of live simulation.
-		steps := int(cfg.WindowSec / chip.DefaultStepSec)
-		var own, freq float64
-		for i := 0; i < steps; i++ {
-			c.Step(chip.DefaultStepSec)
-			own += float64(c.CoreMIPS(0))
-			freq += float64(c.CoreFreq(0))
-		}
-		own /= float64(steps)
-		freq /= float64(steps)
-
-		res := tracker.RunWindow(units.MIPS(own))
-		mark := " "
-		if res.Violated {
-			mark = "!"
-		}
-		if w%5 == 0 || res.Violated {
-			fmt.Printf("window %2d [%s]: p90 %.3f s at %4.0f MHz (co-runner %s, violation rate %.0f%%)\n",
-				w, mark, res.P90Sec, freq, current, mapper.ViolationRate()*100)
-		}
-
-		d := mapper.Tick(core.Observation{
-			QoSMetric: res.P90Sec,
-			Violated:  res.Violated,
-			Freq:      units.Megahertz(freq),
-			OwnMIPS:   units.MIPS(own),
-		}, candidates)
-		if d.Swap && d.Candidate.Name != current {
-			fmt.Printf("\n>>> mapper: %s — swapping %s out for %s\n\n", d.Reason, current, d.Candidate.Name)
-			for _, cr := range coRunners {
-				if cr.name == d.Candidate.Name {
-					place(c, cr)
-					current = cr.name
-				}
-			}
-			tracker.ResetStats()
-		}
-	}
-	fmt.Printf("\nfinal co-runner: %s, violation rate since swap: %.0f%%\n",
-		current, tracker.ViolationRate()*100)
 }

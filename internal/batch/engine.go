@@ -263,6 +263,30 @@ func (e *Engine) Advance(pool *parallel.Pool, maxSec float64) float64 {
 	return h
 }
 
+// AdvanceNode moves node n forward by one multi-rate segment of at most
+// maxSec and returns the seconds consumed — server.Advance executed on the
+// arrays, bit-identical to it by construction: same memory-factor
+// application point, same quiescence/horizon gather order, same micro
+// fallback. Unlike Advance, the node's leap schedule is private — no other
+// node's state is consulted — so a caller looping AdvanceNode per node
+// (the fleet shard loop) produces trajectories independent of how nodes
+// are grouped into engines.
+func (e *Engine) AdvanceNode(n int, maxSec float64) float64 {
+	micro := e.bt.MicroStepSec(e.node0(n))
+	if maxSec < micro {
+		e.stepNode(n, maxSec)
+		return maxSec
+	}
+	e.servers[n].ApplyMemFactorsTo(&e.targets[n])
+	quiescent, h := e.nodeHorizon(n, maxSec)
+	if !quiescent || h <= micro {
+		e.stepNodeApplied(n, micro)
+		return micro
+	}
+	e.leapNode(n, h)
+	return h
+}
+
 // ServerPower returns node n's chip power, summed in socket order exactly
 // as server.TotalPower does.
 func (e *Engine) ServerPower(n int) units.Watt {
@@ -277,6 +301,36 @@ func (e *Engine) ServerPower(n int) units.Watt {
 // ChipMIPS returns socket si of node n's whole-chip throughput.
 func (e *Engine) ChipMIPS(n, si int) units.MIPS {
 	return e.bt.ChipTotalMIPS(e.node0(n) + si)
+}
+
+// ServerMIPS returns node n's throughput, summed in socket order exactly as
+// the scalar chip-order fold does.
+func (e *Engine) ServerMIPS(n int) float64 {
+	var mips float64
+	for si := 0; si < e.sockets; si++ {
+		mips += float64(e.bt.ChipTotalMIPS(e.node0(n) + si))
+	}
+	return mips
+}
+
+// ServerEnergyJ returns node n's accumulated chip energy, summed in socket
+// order exactly as server.TotalEnergyJ does.
+func (e *Engine) ServerEnergyJ(n int) float64 {
+	lo := e.node0(n)
+	var total float64
+	for b := lo; b < lo+e.sockets; b++ {
+		total += e.bt.ChipEnergyJ(b)
+	}
+	return total
+}
+
+// ResetNodeEnergy clears node n's energy accumulators in the arrays —
+// server.ResetEnergy for a live batch segment, no scatter required.
+func (e *Engine) ResetNodeEnergy(n int) {
+	lo := e.node0(n)
+	for b := lo; b < lo+e.sockets; b++ {
+		e.bt.ResetEnergy(b)
+	}
 }
 
 // enginePool recycles engines across sweep points: a 64-node SoA arena is

@@ -11,6 +11,7 @@ import (
 	"agsim/internal/obs"
 	"agsim/internal/power"
 	"agsim/internal/units"
+	"agsim/internal/vf"
 )
 
 // Batch advances many same-shape chips through structure-of-arrays kernels:
@@ -348,6 +349,15 @@ func (bt *Batch) ChipTotalMIPS(b int) units.MIPS {
 // TimeSec returns chip b's simulated time.
 func (bt *Batch) TimeSec(b int) float64 { return bt.timeSec[b] }
 
+// ChipEnergyJ returns chip b's accumulated energy (chip.EnergyJ). While the
+// batch is live the arrays are authoritative — the chip object's own
+// accumulator is stale until Scatter.
+func (bt *Batch) ChipEnergyJ(b int) float64 { return bt.energyJ[b] }
+
+// ResetEnergy clears chip b's energy accumulator (chip.ResetEnergy on the
+// arrays), so a measurement span can start at zero without a scatter.
+func (bt *Batch) ResetEnergy(b int) { bt.energyJ[b] = 0 }
+
 // CoreFreq returns core i of chip b's clock frequency; with SetMemFactor it
 // lets the batch act as a server.MemFactorTarget.
 func (bt *Batch) CoreFreq(b, i int) units.Megahertz { return bt.freq[b*bt.cores+i] }
@@ -369,11 +379,19 @@ func (bt *Batch) SetMemFactor(b, i int, f float64) {
 // one profile per core, disjoint from every other chip's window.
 func (bt *Batch) profileWindow(b int) []didt.Profile {
 	base := b * bt.cores
-	return bt.profiles[base:base : base+bt.cores]
+	return bt.profiles[base : base : base+bt.cores]
 }
 
 // StepRange advances chips [lo,hi) by one dtSec micro-step as flat passes,
 // mirroring Chip.Step phase for phase.
+//
+// Every pass works through per-chip window slices (one shared
+// [base:base+C] slicing expression per array) instead of absolute
+// [chip*cores+core] indices: the lengths of sibling windows are the same
+// SSA value, so the compiler's prove pass eliminates the bounds check on
+// every access. The checks are the batched lane's only per-access cost
+// over the scalar kernel's direct field loads — dropping them is what
+// holds serial StepRange at parity with Chip.Step per chip.
 func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 	if dtSec <= 0 {
 		panic(fmt.Sprintf("batch: non-positive step %v", dtSec))
@@ -385,15 +403,23 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 	for b := lo; b < hi; b++ {
 		c := bt.chips[b]
 		base := b * C
+		end := base + C
+		st := bt.state[base:end]
+		fr := bt.freq[base:end]
+		vdc := bt.voltageDC[base:end]
+		ctw := bt.coreTempC[base:end]
+		lpw := bt.lastPower[base:end]
+		cur := bt.currents[base:end]
+		mf := bt.memFactor[base:end]
+		it := bt.issueThrottle[base:end]
+		cs := c.cores[:len(st)]
 		var chipPower units.Watt
-		for i := 0; i < C; i++ {
-			idx := base + i
-			act, util := bt.workloadDemand(c, b, i)
-			f := bt.freq[idx]
-			p := bt.cfg.Power.Core(bt.state[idx], bt.voltageDC[idx], f, act, util, bt.coreTempC[idx])
-			bt.lastPower[idx] = p
+		for i := range st {
+			act, util := demandAt(cs[i], st[i], fr[i], mf[i], it[i])
+			p := bt.cfg.Power.Core(st[i], vdc[i], fr[i], act, util, ctw[i])
+			lpw[i] = p
 			chipPower += p
-			bt.currents[idx] = units.Current(p, bt.voltageDC[idx])
+			cur[i] = units.Current(p, vdc[i])
 		}
 		bt.chipPower[b] = chipPower
 	}
@@ -402,12 +428,13 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 	for b := lo; b < hi; b++ {
 		c := bt.chips[b]
 		base := b * C
+		end := base + C
 		uncoreP := bt.cfg.Power.Uncore(bt.lastRailV[b])
 		bt.chipPower[b] += uncoreP
 		uncoreI := units.Current(uncoreP, bt.lastRailV[b])
 		var total units.Ampere
-		for i := base; i < base+C; i++ {
-			total += bt.currents[i]
+		for _, a := range bt.currents[base:end] {
+			total += a
 		}
 		total += uncoreI
 		bt.uncoreI[b] = uncoreI
@@ -421,7 +448,7 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 			v = 0
 		}
 		bt.newRailV[b] = v
-		c.plane.DropsInto(bt.drops[base:base+C:base+C], bt.currents[base:base+C:base+C], uncoreI)
+		c.plane.DropsInto(bt.drops[base:end:end], bt.currents[base:end:end], uncoreI)
 	}
 
 	// Pass 3: chip-wide di/dt noise; the models stay authoritative and
@@ -429,10 +456,14 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 	for b := lo; b < hi; b++ {
 		c := bt.chips[b]
 		base := b * C
+		end := base + C
+		st := bt.state[base:end]
+		it := bt.issueThrottle[base:end]
+		cs := c.cores[:len(st)]
 		profiles := bt.profileWindow(b)
-		for i := 0; i < C; i++ {
-			if bt.state[base+i] == power.Active {
-				profiles = append(profiles, bt.didtProfile(c, b, i))
+		for i := range st {
+			if st[i] == power.Active {
+				profiles = append(profiles, didtProfileAt(cs[i], it[i]))
 			}
 		}
 		sample := c.noise.Step(dtSec, profiles)
@@ -450,31 +481,52 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 	for b := lo; b < hi; b++ {
 		c := bt.chips[b]
 		base := b * C
+		end := base + C
+		st := bt.state[base:end]
+		fr := bt.freq[base:end]
+		vdc := bt.voltageDC[base:end]
+		vmin := bt.voltageMin[base:end]
+		drp := bt.drops[base:end]
+		mf := bt.memFactor[base:end]
+		it := bt.issueThrottle[base:end]
+		lm := bt.lastMIPS[base:end]
+		msl := bt.maxSlew[base:end]
+		fso := bt.fastSlewOv[base:end]
+		dab := bt.droopsAbs[base:end]
+		dvl := bt.droopsViol[base:end]
+		cs := c.cores[:len(st)]
 		sample := bt.lastSample[b]
 		railV := bt.newRailV[b]
 		mode := bt.mode[b]
 		adaptive := mode == firmware.Undervolt || mode == firmware.Overclock
-		for i := 0; i < C; i++ {
-			idx := base + i
-			v := railV - bt.drops[idx]
+		aging := units.Millivolt(bt.agingMV[b])
+		timeEnd := bt.timeSec[b] + dtSec
+		cpmLaw := bt.cfg.CPM.Law
+		for i := range st {
+			v := railV - drp[i]
 			if v < 1 {
 				v = 1 // rail collapse; keep the model defined
 			}
-			bt.voltageDC[idx] = v
-			bt.voltageMin[idx] = v - units.Millivolt(sample.TypicalMV)
+			vdc[i] = v
+			vmin[i] = v - units.Millivolt(sample.TypicalMV)
 
-			agedMin := bt.voltageMin[idx] - units.Millivolt(bt.agingMV[b])
-			if bt.state[idx] != power.Gated && law.MarginMV(agedMin, bt.freq[idx]) < 0 {
+			agedMin := vmin[i] - aging
+			if st[i] != power.Gated && law.MarginMV(agedMin, fr[i]) < 0 {
 				bt.marginViolations[b]++
 				c.rec.Inc(c.src, obs.CMarginViolations)
 			}
 
 			droopLatches := false
-			if sample.Events > 0 && bt.state[idx] != power.Gated {
+			if sample.Events > 0 && st[i] != power.Gated {
 				extra := sample.WorstEventMV - sample.TypicalMV
 				if extra > 0 {
 					if adaptive {
-						droopLatches = !bt.absorbDroop(idx, agedMin, extra)
+						if absorbDroopAt(&law, fr[i], fso[i], agedMin, extra) {
+							dab[i]++
+						} else {
+							dvl[i]++
+							droopLatches = true
+						}
 					} else {
 						droopLatches = true
 					}
@@ -486,36 +538,56 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 				}
 			}
 
-			if bt.state[idx] != power.Gated {
-				f := bt.freq[idx]
-				sbase := idx * CPMsPerCore
-				for j := 0; j < CPMsPerCore; j++ {
-					bt.lastCPM[sbase+j] = bt.cpmValue(sbase+j, agedMin, f)
+			if st[i] != power.Gated {
+				f := fr[i]
+				sb := (base + i) * CPMsPerCore
+				se := sb + CPMsPerCore
+				dead := bt.cpmDead[sb:se]
+				poff := bt.cpmPathOffset[sb:se]
+				noff := bt.cpmNoiseOffset[sb:se]
+				mvb := bt.cpmMVPerBitNom[sb:se]
+				smin := bt.cpmStickyMin[sb:se]
+				hst := bt.cpmHasSticky[sb:se]
+				lcpm := bt.lastCPM[sb:se]
+				marginBase := float64(cpmLaw.MarginMV(agedMin, f)) - float64(cpmLaw.ResidualMV)
+				fScale := float64(f) / float64(cpmLaw.FNom)
+				for j := range dead {
+					raw := cpmRawAt(dead[j], marginBase, poff[j], noff[j], mvb[j], fScale)
+					if !hst[j] || raw < smin[j] {
+						smin[j] = raw
+						hst[j] = true
+					}
+					lcpm[j] = raw
 				}
 				if droopLatches {
 					droopV := agedMin + units.Millivolt(sample.TypicalMV-sample.WorstEventMV)
-					for j := 0; j < CPMsPerCore; j++ {
-						bt.cpmValue(sbase+j, droopV, f) // sticky latch only
+					marginDroop := float64(cpmLaw.MarginMV(droopV, f)) - float64(cpmLaw.ResidualMV)
+					for j := range dead {
+						raw := cpmRawAt(dead[j], marginDroop, poff[j], noff[j], mvb[j], fScale) // sticky latch only
+						if !hst[j] || raw < smin[j] {
+							smin[j] = raw
+							hst[j] = true
+						}
 					}
 				}
 			}
 
 			switch mode {
 			case firmware.Overclock:
-				if bt.state[idx] != power.Gated {
-					bt.slewToward(idx, law.FMax(agedMin-law.ResidualMV))
+				if st[i] != power.Gated {
+					fr[i] = slewTowardAt(&law, fr[i], msl[i], law.FMax(agedMin-law.ResidualMV))
 				}
 			case firmware.Undervolt:
-				if bt.state[idx] != power.Gated {
+				if st[i] != power.Gated {
 					target := law.FMax(agedMin - law.ResidualMV)
 					if target > law.FNom {
 						target = law.FNom
 					}
-					bt.slewToward(idx, target)
+					fr[i] = slewTowardAt(&law, fr[i], msl[i], target)
 				}
 			}
 
-			bt.advanceThreads(c, b, i, dtSec)
+			lm[i] = advanceThreadsAt(c, cs[i], st[i], fr[i], mf[i], it[i], timeEnd, dtSec)
 		}
 	}
 
@@ -524,19 +596,28 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 	for b := lo; b < hi; b++ {
 		c := bt.chips[b]
 		base := b * C
+		end := base + C
+		cur := bt.currents[base:end]
+		drp := bt.drops[base:end]
+		lpw := bt.lastPower[base:end]
+		vdc := bt.voltageDC[base:end]
+		fr := bt.freq[base:end]
+		ctw := bt.coreTempC[base:end]
+		pcv := bt.prevCoreV[base:end]
+		pcf := bt.prevCoreF[base:end]
 		total := bt.railLastI[b]
 		railV := bt.newRailV[b]
 		chipPower := bt.chipPower[b]
 		pathLoss := units.Watt((float64(bt.setPoint[b]-railV)*float64(total) +
 			float64(c.plane.GlobalDropMV(total))*float64(bt.uncoreI[b])) / 1000)
-		for i := base; i < base+C; i++ {
-			pathLoss += units.Watt(float64(bt.drops[i]) * float64(bt.currents[i]) / 1000)
+		for i := range drp {
+			pathLoss += units.Watt(float64(drp[i]) * float64(cur[i]) / 1000)
 		}
 		chipPower += pathLoss
 		bt.lastChipPower[b] = chipPower
 		bt.lastCurrent[b] = total
 		bt.lastRailV[b] = railV
-		copy(bt.lastDrops[base:base+C], bt.drops[base:base+C])
+		copy(bt.lastDrops[base:end], drp)
 		bt.energyJ[b] += float64(chipPower) * dtSec
 
 		// stepThermal, mirrored.
@@ -546,24 +627,24 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 		}
 		packageTarget := bt.cfg.AmbientC + units.Celsius(bt.cfg.ThermalResCPerW*float64(chipPower))
 		bt.tempC[b] += units.Celsius(alpha * float64(packageTarget-bt.tempC[b]))
-		for i := base; i < base+C; i++ {
-			target := packageTarget + units.Celsius(bt.cfg.ThermalResCoreCPerW*float64(bt.lastPower[i]))
-			bt.coreTempC[i] += units.Celsius(alpha * float64(target-bt.coreTempC[i]))
+		for i := range ctw {
+			target := packageTarget + units.Celsius(bt.cfg.ThermalResCoreCPerW*float64(lpw[i]))
+			ctw[i] += units.Celsius(alpha * float64(target-ctw[i]))
 		}
 
 		bt.timeSec[b] += dtSec
 
 		// updateStability, mirrored.
 		ok := math.Abs(float64(bt.lastRailV[b]-bt.prevRailV[b])) <= stableEpsMV
-		for i := base; i < base+C; i++ {
+		for i := range vdc {
 			if ok {
-				if math.Abs(float64(bt.voltageDC[i]-bt.prevCoreV[i])) > stableEpsMV ||
-					math.Abs(float64(bt.freq[i]-bt.prevCoreF[i])) > stableEpsMHz {
+				if math.Abs(float64(vdc[i]-pcv[i])) > stableEpsMV ||
+					math.Abs(float64(fr[i]-pcf[i])) > stableEpsMHz {
 					ok = false
 				}
 			}
-			bt.prevCoreV[i] = bt.voltageDC[i]
-			bt.prevCoreF[i] = bt.freq[i]
+			pcv[i] = vdc[i]
+			pcf[i] = fr[i]
 		}
 		bt.prevRailV[b] = bt.lastRailV[b]
 		if ok {
@@ -593,14 +674,13 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 // Step advances the whole batch by one micro-step.
 func (bt *Batch) Step(dtSec float64) { bt.StepRange(0, len(bt.chips), dtSec) }
 
-// workloadDemand mirrors Core.workloadDemand on the arrays; threads stay
-// object-authoritative.
-func (bt *Batch) workloadDemand(c *Chip, b, i int) (activity, utilization float64) {
-	idx := b*bt.cores + i
-	if bt.state[idx] != power.Active {
+// demandAt mirrors Core.workloadDemand; threads stay object-authoritative
+// while the array state rides in as plain values so the hot loops index
+// only their own bounds-check-free windows.
+func demandAt(co *Core, state power.CoreState, f units.Megahertz, memFactor, issueThrottle float64) (activity, utilization float64) {
+	if state != power.Active {
 		return 0, 0
 	}
-	co := c.cores[i]
 	smt := float64(len(co.threads))
 	var actSum, utilSum float64
 	live := 0
@@ -610,23 +690,22 @@ func (bt *Batch) workloadDemand(c *Chip, b, i int) (activity, utilization float6
 		}
 		live++
 		actSum += th.ActivityNow()
-		utilSum += th.Desc.Utilization(bt.freq[idx], bt.memFactor[idx], smt)
+		utilSum += th.Desc.Utilization(f, memFactor, smt)
 	}
 	if live == 0 {
 		return 0, 0
 	}
-	utilization = utilSum * bt.issueThrottle[idx]
+	utilization = utilSum * issueThrottle
 	if utilization > 1 {
 		utilization = 1
 	}
 	return actSum / float64(live), utilization
 }
 
-// didtProfile mirrors Core.didtProfile.
-func (bt *Batch) didtProfile(c *Chip, b, i int) didt.Profile {
-	idx := b*bt.cores + i
+// didtProfileAt mirrors Core.didtProfile.
+func didtProfileAt(co *Core, issueThrottle float64) didt.Profile {
 	var p didt.Profile
-	for _, th := range c.cores[i].threads {
+	for _, th := range co.threads {
 		if th.Done() {
 			continue
 		}
@@ -641,69 +720,85 @@ func (bt *Batch) didtProfile(c *Chip, b, i int) didt.Profile {
 			p.RatePerSec = d.DroopRatePerSec
 		}
 	}
-	p.TypicalMV *= bt.issueThrottle[idx]
-	p.WorstMV *= bt.issueThrottle[idx]
+	p.TypicalMV *= issueThrottle
+	p.WorstMV *= issueThrottle
 	return p
 }
 
-// advanceThreads mirrors Core.advanceThreads; the threads themselves retire
-// work through their own methods so their RNG streams advance identically.
-func (bt *Batch) advanceThreads(c *Chip, b, i int, dtSec float64) {
-	idx := b*bt.cores + i
-	if bt.state[idx] != power.Active {
-		bt.lastMIPS[idx] = 0
-		return
+// advanceThreadsAt mirrors Core.advanceThreads and returns the core's MIPS
+// for the step; the threads themselves retire work through their own
+// methods so their RNG streams advance identically.
+func advanceThreadsAt(c *Chip, co *Core, state power.CoreState, f units.Megahertz,
+	memFactor, issueThrottle, timeEnd, dtSec float64) units.MIPS {
+	if state != power.Active {
+		return 0
 	}
-	co := c.cores[i]
 	smt := float64(len(co.threads))
-	f := bt.freq[idx]
 	var mips float64
 	for _, th := range co.threads {
 		if th.Done() {
 			continue
 		}
-		retired, _ := th.Step(dtSec*bt.issueThrottle[idx], f, bt.memFactor[idx], smt)
+		retired, _ := th.Step(dtSec*issueThrottle, f, memFactor, smt)
 		mips += retired * 1000 / dtSec // GInst per step back to MIPS
 		if c.rec != nil && th.Done() {
 			c.rec.Inc(c.src, obs.CThreadsCompleted)
-			c.rec.Emit(obs.Event{TimeUS: obs.StampUS(bt.timeSec[b] + dtSec), Kind: obs.KindThreadDone,
+			c.rec.Emit(obs.Event{TimeUS: obs.StampUS(timeEnd), Kind: obs.KindThreadDone,
 				Source: c.src, Core: int32(co.Index)})
 		}
 	}
-	bt.lastMIPS[idx] = units.MIPS(mips)
+	return units.MIPS(mips)
 }
 
-// absorbDroop mirrors dpll.AbsorbDroop on the arrays, accumulating the
-// outcome deltas that Scatter folds back into the DPLL counters.
-func (bt *Batch) absorbDroop(idx int, v units.Millivolt, depthMV float64) bool {
-	law := bt.cfg.Law
-	margin := float64(law.MarginMV(v, bt.freq[idx]))
+// absorbDroopAt mirrors dpll.AbsorbDroop; the caller accumulates the
+// outcome deltas that Scatter folds back into the DPLL counters. The law
+// rides behind a pointer — an 80-byte copy per call would dominate the
+// droop path.
+func absorbDroopAt(law *vf.Law, f units.Megahertz, fastSlewOv float64, v units.Millivolt, depthMV float64) bool {
+	margin := float64(law.MarginMV(v, f))
 	slew := dpll.FastSlewFrac
-	if bt.fastSlewOv[idx] > 0 {
-		slew = bt.fastSlewOv[idx]
+	if fastSlewOv > 0 {
+		slew = fastSlewOv
 	}
-	relief := slew * float64(bt.freq[idx]) * law.SlopeAt(bt.freq[idx])
-	if margin+relief >= depthMV {
-		bt.droopsAbs[idx]++
-		return true
-	}
-	bt.droopsViol[idx]++
-	return false
+	relief := slew * float64(f) * law.SlopeAt(f)
+	return margin+relief >= depthMV
 }
 
-// slewToward mirrors dpll.SlewToward on the arrays.
-func (bt *Batch) slewToward(idx int, target units.Megahertz) {
-	law := bt.cfg.Law
+// slewTowardAt mirrors dpll.SlewToward, returning the slewed frequency.
+func slewTowardAt(law *vf.Law, f units.Megahertz, maxSlew float64, target units.Megahertz) units.Megahertz {
 	target = units.ClampMHz(target, law.FMin, law.FCeil)
-	maxDelta := units.Megahertz(float64(bt.freq[idx]) * bt.maxSlew[idx])
+	maxDelta := units.Megahertz(float64(f) * maxSlew)
 	switch {
-	case target > bt.freq[idx]+maxDelta:
-		bt.freq[idx] += maxDelta
-	case target < bt.freq[idx]-maxDelta:
-		bt.freq[idx] -= maxDelta
+	case target > f+maxDelta:
+		return f + maxDelta
+	case target < f-maxDelta:
+		return f - maxDelta
 	default:
-		bt.freq[idx] = target
+		return target
 	}
+}
+
+// cpmRawAt mirrors cpm.Sensor.Value minus the sticky-minimum update, which
+// the caller applies on its own windowed slices. The law-dependent terms
+// (margin at the sensed voltage, frequency scale on the bit weight) arrive
+// precomputed per core, so the innermost per-sensor call moves only
+// scalars — no Law copies. The held window noise is a gathered constant
+// between ticks, so no stream is consumed.
+func cpmRawAt(dead bool, marginBaseMV, pathOffset, noiseOffset, mvPerBitNom, fScale float64) int {
+	if dead {
+		return 0
+	}
+	marginMV := marginBaseMV + pathOffset
+	marginMV += noiseOffset
+	mvPerBit := math.Max(mvPerBitNom*fScale, 5)
+	raw := cpm.CalibTarget + int(math.Round(marginMV/mvPerBit))
+	if raw < 0 {
+		raw = 0
+	}
+	if raw > cpm.MaxValue {
+		raw = cpm.MaxValue
+	}
+	return raw
 }
 
 // cpmMVPerBit mirrors cpm.Sensor.MVPerBit; sensors use the CPM config's law.
@@ -853,19 +948,23 @@ func (bt *Batch) Quiescent(b int) bool {
 	}
 	law := bt.cfg.Law
 	base := b * bt.cores
-	for i := 0; i < bt.cores; i++ {
-		idx := base + i
-		if bt.state[idx] == power.Gated {
+	end := base + bt.cores
+	st := bt.state[base:end]
+	fr := bt.freq[base:end]
+	vmin := bt.voltageMin[base:end]
+	aging := units.Millivolt(bt.agingMV[b])
+	for i := range st {
+		if st[i] == power.Gated {
 			continue
 		}
-		agedMin := bt.voltageMin[idx] - units.Millivolt(bt.agingMV[b])
+		agedMin := vmin[i] - aging
 		target := law.FMax(agedMin - law.ResidualMV)
 		if mode == firmware.Undervolt && target > law.FNom {
 			target = law.FNom
 		}
 		// dpll.SettledWithin, mirrored.
 		target = units.ClampMHz(target, law.FMin, law.FCeil)
-		delta := float64(target - bt.freq[idx])
+		delta := float64(target - fr[i])
 		if !(delta <= stableEpsMHz && delta >= -stableEpsMHz) {
 			return false
 		}
@@ -898,21 +997,25 @@ func (bt *Batch) HorizonSec(b int, maxSec float64) float64 {
 	}
 	profiles := bt.profileWindow(b)
 	base := b * bt.cores
-	for i := 0; i < bt.cores; i++ {
-		idx := base + i
-		if bt.state[idx] != power.Active {
+	end := base + bt.cores
+	st := bt.state[base:end]
+	fr := bt.freq[base:end]
+	mf := bt.memFactor[base:end]
+	it := bt.issueThrottle[base:end]
+	for i := range st {
+		if st[i] != power.Active {
 			continue
 		}
 		co := c.cores[i]
-		profiles = append(profiles, bt.didtProfile(c, b, i))
-		f := bt.freq[idx]
+		profiles = append(profiles, didtProfileAt(co, it[i]))
+		f := fr[i]
 		smt := float64(len(co.threads))
-		inv := 1 / bt.issueThrottle[idx]
+		inv := 1 / it[i]
 		for _, th := range co.threads {
 			if th.Done() {
 				continue
 			}
-			if tc := th.TimeToCompletion(f, bt.memFactor[idx], smt) * inv * (1 - 1e-9); tc < h {
+			if tc := th.TimeToCompletion(f, mf[i], smt) * inv * (1 - 1e-9); tc < h {
 				h = tc
 				reason = obs.ReasonCompletion
 			}
@@ -954,15 +1057,26 @@ func (bt *Batch) MacroStepRange(lo, hi int, h float64) {
 	for b := lo; b < hi; b++ {
 		c := bt.chips[b]
 		base := b * C
+		end := base + C
+		st := bt.state[base:end]
+		fr := bt.freq[base:end]
+		mf := bt.memFactor[base:end]
+		it := bt.issueThrottle[base:end]
+		lm := bt.lastMIPS[base:end]
+		vmin := bt.voltageMin[base:end]
+		lpw := bt.lastPower[base:end]
+		ctw := bt.coreTempC[base:end]
+		cs := c.cores[:len(st)]
 
 		profiles := bt.profileWindow(b)
-		for i := 0; i < C; i++ {
-			if bt.state[base+i] == power.Active {
-				profiles = append(profiles, bt.didtProfile(c, b, i))
+		for i := range st {
+			if st[i] == power.Active {
+				profiles = append(profiles, didtProfileAt(cs[i], it[i]))
 			}
 		}
-		for i := 0; i < C; i++ {
-			bt.advanceThreads(c, b, i, h)
+		timeEnd := bt.timeSec[b] + h
+		for i := range st {
+			lm[i] = advanceThreadsAt(c, cs[i], st[i], fr[i], mf[i], it[i], timeEnd, h)
 		}
 		sample := c.noise.Step(h, profiles)
 		if sample.Events > 0 {
@@ -972,13 +1086,13 @@ func (bt *Batch) MacroStepRange(lo, hi int, h float64) {
 
 		steps := int(h/DefaultStepSec + 0.5)
 		if steps > 0 {
-			for i := 0; i < C; i++ {
-				idx := base + i
-				if bt.state[idx] == power.Gated {
+			aging := units.Millivolt(bt.agingMV[b])
+			for i := range st {
+				if st[i] == power.Gated {
 					continue
 				}
-				agedMin := bt.voltageMin[idx] - units.Millivolt(bt.agingMV[b])
-				if law.MarginMV(agedMin, bt.freq[idx]) < 0 {
+				agedMin := vmin[i] - aging
+				if law.MarginMV(agedMin, fr[i]) < 0 {
 					bt.marginViolations[b] += steps
 				}
 			}
@@ -990,9 +1104,9 @@ func (bt *Batch) MacroStepRange(lo, hi int, h float64) {
 		decay := 1 - math.Exp(-h/bt.cfg.ThermalTauSec)
 		packageTarget := bt.cfg.AmbientC + units.Celsius(bt.cfg.ThermalResCPerW*float64(bt.lastChipPower[b]))
 		bt.tempC[b] += units.Celsius(decay * float64(packageTarget-bt.tempC[b]))
-		for i := base; i < base+C; i++ {
-			target := packageTarget + units.Celsius(bt.cfg.ThermalResCoreCPerW*float64(bt.lastPower[i]))
-			bt.coreTempC[i] += units.Celsius(decay * float64(target-bt.coreTempC[i]))
+		for i := range ctw {
+			target := packageTarget + units.Celsius(bt.cfg.ThermalResCoreCPerW*float64(lpw[i]))
+			ctw[i] += units.Celsius(decay * float64(target-ctw[i]))
 		}
 
 		bt.timeSec[b] += h

@@ -89,11 +89,22 @@ func (n *Node) capacity() int {
 	return n.cfg.Server.Sockets * n.cfg.Server.CoresPerSocket
 }
 
+// Occupied returns the node's occupied-core count (0 while suspended) —
+// the occupancy signal placement policies read.
+func (n *Node) Occupied() int { return n.occupied }
+
+// Capacity returns the node's total core count.
+func (n *Node) Capacity() int { return n.capacity() }
+
 // Cluster is a set of nodes under the two-level AGS policy.
 type Cluster struct {
 	nodes []*Node
 	mode  firmware.Mode
 	seed  uint64
+
+	// policy decides two-level placement on Submit; ConsolidateFirst by
+	// default, replaceable via SetPolicy.
+	policy Policy
 
 	// pool, when non-serial, steps powered nodes concurrently. Nodes share
 	// no state within a Step call (each server owns its chips, jobs and
@@ -119,7 +130,7 @@ func New(n int, template NodeConfig) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one node")
 	}
-	c := &Cluster{mode: firmware.Undervolt, seed: template.Server.Seed}
+	c := &Cluster{mode: firmware.Undervolt, seed: template.Server.Seed, policy: ConsolidateFirst{}}
 	for i := 0; i < n; i++ {
 		cfg := template
 		cfg.Server.Seed = template.Server.Seed + uint64(i)*104729
@@ -156,6 +167,7 @@ func (c *Cluster) Reset(template NodeConfig) {
 	c.mode = firmware.Undervolt
 	c.seed = template.Server.Seed
 	c.pool = nil
+	c.policy = ConsolidateFirst{}
 	for i, n := range c.nodes {
 		cfg := template
 		cfg.Server.Seed = template.Server.Seed + uint64(i)*104729
@@ -236,7 +248,7 @@ func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGIns
 		return -1, fmt.Errorf("cluster: job %s needs at least one thread", id)
 	}
 	c.flush()
-	node := c.pick(threads)
+	node := c.policy.PickNode(c, threads)
 	if node == nil {
 		return -1, fmt.Errorf("cluster: no node has %d free cores for job %s", threads, id)
 	}
@@ -245,7 +257,7 @@ func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGIns
 			return -1, err
 		}
 	}
-	placements, err := c.placeWithin(node, d, threads)
+	placements, err := c.policy.PlaceWithin(node, freeCores(node), d, threads)
 	if err != nil {
 		return -1, err
 	}
@@ -257,86 +269,6 @@ func (c *Cluster) Submit(id string, d workload.Descriptor, threads int, workGIns
 	node.occupied += len(placements)
 	node.srv.GateUnloadedCores() // power-gate everything unused
 	return node.Index, nil
-}
-
-// pick chooses the target node: consolidation-first means the most-loaded
-// powered node that still fits, before waking a suspended one. One linear
-// scan over the cached occupancy counts — no sort, no per-candidate walk
-// over every core of every socket.
-func (c *Cluster) pick(threads int) *Node {
-	var bestOn *Node
-	bestLoad := -1
-	var firstOff *Node
-	for _, n := range c.nodes {
-		load := n.occupied
-		if n.capacity()-load < threads {
-			continue
-		}
-		if n.on {
-			if load > bestLoad {
-				bestOn, bestLoad = n, load
-			}
-		} else if firstOff == nil {
-			firstOff = n
-		}
-	}
-	if bestOn != nil {
-		return bestOn
-	}
-	return firstOff
-}
-
-// placeWithin selects free cores balanced across the node's sockets —
-// loadline borrowing with respect to existing occupancy. Sharing-heavy jobs
-// stay on one socket when possible (the Fig. 14 lesson encoded in
-// core.ShouldBorrow).
-func (c *Cluster) placeWithin(n *Node, d workload.Descriptor, threads int) ([]server.Placement, error) {
-	srv := n.srv
-	free := make([][]int, srv.Sockets())
-	for si := 0; si < srv.Sockets(); si++ {
-		ch := srv.Chip(si)
-		for core := 0; core < ch.Cores(); core++ {
-			if len(ch.Core(core).Threads()) == 0 {
-				free[si] = append(free[si], core)
-			}
-		}
-	}
-
-	borrow := d.Sharing < 0.6
-	if !borrow {
-		// Try to keep the job on a single socket; fall back to spreading
-		// when no socket has room.
-		for si := range free {
-			if len(free[si]) >= threads {
-				ps := make([]server.Placement, threads)
-				for i := 0; i < threads; i++ {
-					ps[i] = server.Placement{Socket: si, Core: free[si][i]}
-				}
-				return ps, nil
-			}
-		}
-	}
-
-	// Balanced spread: repeatedly take a core from the socket with the
-	// most free cores.
-	ps := make([]server.Placement, 0, threads)
-	for len(ps) < threads {
-		best := -1
-		for si := range free {
-			if len(free[si]) == 0 {
-				continue
-			}
-			if best < 0 || len(free[si]) > len(free[best]) {
-				best = si
-			}
-		}
-		if best < 0 {
-			return nil, fmt.Errorf("cluster: node %d ran out of cores mid-placement", n.Index)
-		}
-		ps = append(ps, server.Placement{Socket: best, Core: free[best][0]})
-		free[best] = free[best][1:]
-	}
-	return ps, nil
 }
 
 // Release removes a finished (or cancelled) job and suspends the node if it

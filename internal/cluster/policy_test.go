@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"agsim/internal/server"
+	"agsim/internal/workload"
+)
+
+// TestConsolidateFirstGolden pins the default policy's exact decisions —
+// node choice and per-thread placements — over a submission sequence that
+// exercises every branch: balanced cross-socket spread, sharing-heavy
+// single-socket packing, consolidation onto the most-loaded fitting node,
+// waking a suspended node only when nothing powered fits, and returning to
+// a powered node once capacity frees up. The Placement seam must never
+// silently change this behavior: it is the baseline every experiment's
+// numbers rest on.
+// at abbreviates a placement so the golden table below stays readable.
+func at(socket, core int) server.Placement {
+	return server.Placement{Socket: socket, Core: core}
+}
+
+func TestConsolidateFirstGolden(t *testing.T) {
+	c := MustNew(3, DefaultNodeConfig(42))
+	spread := workload.MustGet("raytrace")
+	packed := spread
+	packed.Sharing = 0.99 // >= 0.6 defeats borrowing: stay on one socket
+
+	golden := []struct {
+		id         string
+		sharing    bool
+		threads    int
+		node       int
+		placements []server.Placement
+	}{
+		{"j0", false, 4, 0, []server.Placement{at(0, 0), at(1, 0), at(0, 1), at(1, 1)}},
+		{"j1", true, 6, 0, []server.Placement{at(0, 2), at(0, 3), at(0, 4), at(0, 5), at(0, 6), at(0, 7)}},
+		{"j2", false, 3, 0, []server.Placement{at(1, 2), at(1, 3), at(1, 4)}},
+		{"j3", true, 5, 1, []server.Placement{at(0, 0), at(0, 1), at(0, 2), at(0, 3), at(0, 4)}},
+		{"j4", false, 4, 1, []server.Placement{at(1, 0), at(1, 1), at(1, 2), at(1, 3)}},
+		{"j5", true, 2, 0, []server.Placement{at(1, 5), at(1, 6)}},
+	}
+	for _, g := range golden {
+		d := spread
+		if g.sharing {
+			d = packed
+		}
+		node, err := c.Submit(g.id, d, g.threads, 1e9)
+		if err != nil {
+			t.Fatalf("%s: %v", g.id, err)
+		}
+		if node != g.node {
+			t.Fatalf("%s placed on node %d, golden %d", g.id, node, g.node)
+		}
+		j := c.nodes[node].jobs[g.id]
+		if !reflect.DeepEqual(j.Placements, g.placements) {
+			t.Fatalf("%s placements %v, golden %v", g.id, j.Placements, g.placements)
+		}
+	}
+	// Node 2 was never needed: consolidation kept it suspended.
+	if c.nodes[2].On() {
+		t.Fatal("consolidation woke node 2 unnecessarily")
+	}
+}
+
+// A nil SetPolicy restores the default; an explicit ConsolidateFirst is
+// the same policy Submit uses out of the box.
+func TestSetPolicyDefault(t *testing.T) {
+	c := MustNew(2, DefaultNodeConfig(7))
+	c.SetPolicy(nil)
+	d := workload.MustGet("raytrace")
+	node, err := c.Submit("j", d, 2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 0 {
+		t.Fatalf("default policy picked node %d, want 0", node)
+	}
+}
+
+// QueueAware steers load to the shallowest run queue instead of packing.
+func TestQueueAwarePick(t *testing.T) {
+	c := MustNew(3, DefaultNodeConfig(9))
+	depths := map[int]int{0: 6, 1: 1, 2: 3}
+	c.SetPolicy(QueueAware{Depth: func(i int) int { return depths[i] }})
+	d := workload.MustGet("raytrace")
+
+	// All suspended: the policy wakes the first suspended node.
+	node, err := c.Submit("j0", d, 4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 0 {
+		t.Fatalf("first submit picked node %d, want 0", node)
+	}
+	// Node 0 is powered (depth 6), nothing else is: still node 0.
+	if node, _ = c.Submit("j1", d, 4, 1e9); node != 0 {
+		t.Fatalf("second submit picked node %d, want 0", node)
+	}
+	// Power node 1 and 2 by filling node 0 (16 cores: 8 left).
+	if node, _ = c.Submit("j2", d, 8, 1e9); node != 0 {
+		t.Fatalf("third submit picked node %d, want 0", node)
+	}
+	// Node 0 full; wake node 1 (first suspended).
+	if node, _ = c.Submit("j3", d, 4, 1e9); node != 1 {
+		t.Fatalf("fourth submit picked node %d, want 1", node)
+	}
+	// Now release j0: node 0 (depth 6) fits again, node 1 (depth 1) is
+	// powered — queue-aware picks node 1 where consolidation would pick the
+	// more-loaded node 0.
+	if err := c.Release("j0"); err != nil {
+		t.Fatal(err)
+	}
+	if node, _ = c.Submit("j4", d, 4, 1e9); node != 1 {
+		t.Fatalf("post-release submit picked node %d, want 1 (shallowest queue)", node)
+	}
+	// A nil Depth reads every queue as empty: least-index powered fit.
+	c.SetPolicy(QueueAware{})
+	if node, _ = c.Submit("j5", d, 2, 1e9); node != 0 {
+		t.Fatalf("nil-depth submit picked node %d, want 0", node)
+	}
+}

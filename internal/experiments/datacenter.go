@@ -184,31 +184,31 @@ func runNaive(o Options, jobs int) (float64, float64) {
 }
 
 // advanceNaiveBatched covers the settle and measure spans through one
-// single-node batch engine per server, fanned across the worker pool. The
-// naive fleet's servers are independent simulations, so per-server engines
-// (rather than one fleet engine with synchronized leaps) keep each server's
+// pooled fleet-wide engine, each node advancing on its private multi-rate
+// schedule via AdvanceNode, fanned across the worker pool. The naive
+// fleet's servers are independent simulations, so per-node advance loops
+// (rather than Engine.Advance's synchronized leaps) keep each server's
 // macro-step boundaries — and therefore its state — bit-identical to the
-// scalar path. Engines scatter before returning, so the caller's readout
-// runs on object state exactly as the scalar lane does.
+// scalar path. One engine for the whole fleet means one pool lookup and
+// one gather/scatter per sweep point instead of one per server; workers
+// own disjoint node ranges of the arena, so the fan-out stays safe. The
+// engine scatters before returning, so the caller's readout runs on
+// object state exactly as the scalar lane does.
 func advanceNaiveBatched(o Options, srvs []*server.Server) {
-	one := make([][]*server.Server, len(srvs))
-	for i, s := range srvs {
-		one[i] = []*server.Server{s}
+	e, err := batch.Acquire(srvs)
+	if err != nil {
+		panic(err)
 	}
 	parallel.ForEach(o.pool(), len(srvs), func(i int) {
-		e, err := batch.Acquire(one[i])
-		if err != nil {
-			panic(err)
-		}
 		for remaining := o.SettleSec; remaining > settleEps; {
-			remaining -= e.Advance(nil, remaining)
+			remaining -= e.AdvanceNode(i, remaining)
 		}
 		for remaining := o.MeasureSec; remaining > settleEps; {
-			remaining -= e.Advance(nil, remaining)
+			remaining -= e.AdvanceNode(i, remaining)
 		}
-		e.Scatter()
-		batch.Release(e)
 	})
+	e.Scatter()
+	batch.Release(e)
 }
 
 // runCluster uses the cluster layer: consolidation across nodes always;

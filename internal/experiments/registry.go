@@ -427,6 +427,25 @@ func Registry() []Experiment {
 				}
 			},
 		},
+		{
+			ID: "websearch-qos", Title: "Extension: WebSearch QoS at fleet scale",
+			Paper: "§5.2.2/conclusion: AGS under real serving traffic — energy mode cuts Joules/query at held latency, boost mode shortens the tail",
+			Run: func(o Options) Report {
+				r := WebsearchQoS(o)
+				return Report{
+					Headline: []Stat{
+						{"p99 latency, static @ peak load (s)", r.P99StaticSec, "baseline", 0},
+						{"p99 latency, ags-boost @ peak load (s)", r.P99BoostSec, "shorter tail", 0},
+						{"Joules/query, static @ peak load", r.JoulesPerQueryStatic, "baseline", 0},
+						{"Joules/query, ags-energy @ peak load", r.JoulesPerQueryEnergy, "lower", 0},
+						{"AGS energy saving per query (%)", r.EnergySavingPct, "positive (extension)", 0},
+						{"queries served, static @ peak load", r.QueriesServed, "deterministic", 0},
+					},
+					Figures: []*trace.Figure{r.Latency, r.Energy},
+					Tables:  []*trace.Table{r.Table},
+				}
+			},
+		},
 	}
 	for i := range exps {
 		exps[i].Run = runInstrumented(exps[i].Run)

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The acceptance contract: websearch-qos headline stats bit-identical
+// across workers 1/4/8, on both the scalar and batched lanes.
+func TestWebsearchQoSWorkerBitIdentical(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		o := optsWithWorkers(1)
+		o.Batched = batched
+		ref := WebsearchQoS(o)
+		for _, w := range []int{4, 8} {
+			o := optsWithWorkers(w)
+			o.Batched = batched
+			got := WebsearchQoS(o)
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("batched=%v: websearch-qos diverged between workers 1 and %d", batched, w)
+			}
+		}
+	}
+}
+
+// The batched lane must reproduce the scalar lane exactly: fleet advance
+// via engine AdvanceNode is server.Advance on the arrays.
+func TestWebsearchQoSBatchedBitIdentical(t *testing.T) {
+	scalar := WebsearchQoS(optsWithWorkers(2))
+	o := optsWithWorkers(2)
+	o.Batched = true
+	batched := WebsearchQoS(o)
+	if !reflect.DeepEqual(scalar, batched) {
+		t.Errorf("websearch-qos diverged between scalar and batched lanes")
+	}
+}
+
+// Sanity on the physics: boost must not lengthen the tail relative to
+// static, energy mode must not cost more Joules per query, and the served
+// count must be positive with no shedding at sub-saturation loads.
+func TestWebsearchQoSPolicyOrdering(t *testing.T) {
+	r := WebsearchQoS(QuickOptions())
+	if r.QueriesServed <= 0 {
+		t.Fatal("no queries served")
+	}
+	if r.P99BoostSec > r.P99StaticSec*1.001 {
+		t.Errorf("ags-boost p99 %.4f s worse than static %.4f s", r.P99BoostSec, r.P99StaticSec)
+	}
+	if r.JoulesPerQueryEnergy > r.JoulesPerQueryStatic*1.001 {
+		t.Errorf("ags-energy J/query %.4f worse than static %.4f",
+			r.JoulesPerQueryEnergy, r.JoulesPerQueryStatic)
+	}
+	if r.EnergySavingPct <= 0 {
+		t.Errorf("AGS energy saving %.3f%% not positive", r.EnergySavingPct)
+	}
+}

@@ -38,6 +38,12 @@ const (
 	// CSampleSwitches counts sampling-governor fidelity switches
 	// (detailed <-> fast-forward, both directions).
 	CSampleSwitches
+	// CRequestsServed counts traffic-generator requests admitted and
+	// served to completion.
+	CRequestsServed
+	// CRequestsDropped counts traffic-generator requests shed at a full
+	// per-node run queue.
+	CRequestsDropped
 
 	NumCounters int = iota
 )
@@ -57,6 +63,8 @@ var counterMeta = [NumCounters]struct{ name, help string }{
 	CThrottleChanges:  {"throttle_changes", "issue-throttle adjustments"},
 	CFastForwards:     {"fast_forwards", "sampled-lane fast-forward spans taken"},
 	CSampleSwitches:   {"sample_switches", "sampling-governor fidelity switches"},
+	CRequestsServed:   {"requests_served", "traffic requests admitted and served"},
+	CRequestsDropped:  {"requests_dropped", "traffic requests shed at a full run queue"},
 }
 
 // CounterName returns the exposition name of a counter.
@@ -108,6 +116,13 @@ const (
 	HWindowMinCPM
 	// HFastForwardSec distributes sampled-lane fast-forward span lengths.
 	HFastForwardSec
+	// HRequestLatencySec distributes request sojourn times (queue wait plus
+	// service) from the traffic generator. The log-spaced buckets cover
+	// interactive-serving latencies from milliseconds to saturation, and
+	// p50/p95/p99 are read back by in-bucket interpolation — the fixed
+	// bounds keep percentile extraction deterministic across worker counts
+	// and stepping lanes.
+	HRequestLatencySec
 
 	NumHists int = iota
 )
@@ -124,7 +139,16 @@ var histMeta = [NumHists]struct {
 		[]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
 	HFastForwardSec: {"fast_forward_seconds", "sampled-lane fast-forward span lengths",
 		[]float64{0.064, 0.128, 0.256, 0.512, 1.024, 2.048, 4.096, 8.192}},
+	HRequestLatencySec: {"request_latency_seconds", "traffic request sojourn times",
+		[]float64{0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.28, 2.56, 5.12, 10.24, 20.48}},
 }
 
 // HistName returns the exposition name of a histogram.
 func HistName(h HistID) string { return histMeta[h].name }
+
+// HistBuckets returns the fixed upper bounds of a histogram (a +Inf bin is
+// implied above the last bound). Callers that keep private per-worker
+// counts in the same geometry (internal/traffic) read the bounds from here
+// so the obs exposition and their own percentile extraction can never
+// disagree.
+func HistBuckets(h HistID) []float64 { return histMeta[h].buckets }

@@ -27,6 +27,16 @@
 # main pass, so a custom pattern that re-matches them keeps the fleet-pass
 # run (first occurrence wins, as with the micro pass).
 #
+# The fleet-scale benches (FLEETSCALE_BENCHES, default the sharded
+# BenchmarkFleetAdvance{256,1024,4096} ladder plus BenchmarkWebsearchQoS)
+# run in their own pass at FLEETSCALE_BENCHTIME (default 1x) with
+# FLEETSCALE_COUNT repetitions (default 2, min wins): one op advances
+# thousands of request-serving nodes, so even a handful of iterations
+# costs seconds. The FleetAdvance lanes report ns/sim_s_node (wall-clock
+# nanoseconds per simulated second per node), the figure
+# bench_compare.sh's FLEET_SCALING_MAX gate holds near-flat from 256 to
+# 4096 nodes.
+#
 # The sampled-lane benches (SAMPLED_BENCHES, default the two long-horizon
 # macro/sampled pairs) run in a fourth pass at SAMPLED_BENCHTIME (default
 # 1x) with SAMPLED_COUNT repetitions (default 3, min wins): one macro-lane
@@ -54,6 +64,9 @@ micro_count="${MICRO_COUNT:-3}"
 fleet_pattern="${FLEET_BENCHES:-BenchmarkDatacenterSweepParallel64}"
 fleet_benchtime="${FLEET_BENCHTIME:-3x}"
 fleet_count="${FLEET_COUNT:-2}"
+fleetscale_pattern="${FLEETSCALE_BENCHES:-BenchmarkFleetAdvance(256|1024|4096)\$|BenchmarkWebsearchQoS\$}"
+fleetscale_benchtime="${FLEETSCALE_BENCHTIME:-1x}"
+fleetscale_count="${FLEETSCALE_COUNT:-2}"
 sampled_pattern="${SAMPLED_BENCHES:-Benchmark(DatacenterSweep|Sweep)(LongHorizon|Sampled)\$}"
 sampled_benchtime="${SAMPLED_BENCHTIME:-1x}"
 sampled_count="${SAMPLED_COUNT:-3}"
@@ -63,6 +76,7 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$micro_pattern" -benchmem -benchtime "$micro_benchtime" -count "$micro_count" . | tee "$tmp"
 go test -run '^$' -bench "$fleet_pattern" -benchmem -benchtime "$fleet_benchtime" -count "$fleet_count" . | tee -a "$tmp"
+go test -run '^$' -bench "$fleetscale_pattern" -benchmem -benchtime "$fleetscale_benchtime" -count "$fleetscale_count" . | tee -a "$tmp"
 go test -run '^$' -bench "$sampled_pattern" -benchmem -benchtime "$sampled_benchtime" -count "$sampled_count" . | tee -a "$tmp"
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 

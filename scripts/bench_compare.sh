@@ -37,6 +37,21 @@
 # than 2x slower under single-run noise); in between it must at least
 # not lose (>=1.0x).
 #
+# The fleet-scale lanes (BenchmarkFleetAdvance{256,1024,4096}) carry a
+# scaling gate: the 4096-node per-node advance cost (the ns/sim_s_node
+# metric the benchmarks report) must stay within FLEET_SCALING_MAX x the
+# 256-node cost (default 1.5) — sharded execution is supposed to make
+# per-node cost near-flat in fleet size. The gate is enforced only when
+# the recording ran at gomaxprocs >= 4 (like the batched-speedup floor,
+# the lanes run at single-digit iterations and a 1-CPU box swings too
+# much to gate hard; the ratio still prints as advisory). At
+# gomaxprocs 1 the shard fan-out runs serial and the FleetAdvance lanes
+# must instead be allocation-free: pooled arenas and pre-sized run
+# queues leave nothing per epoch, so any allocs/op is a pooling
+# regression. Both fleet-scale lanes are exempt from the percentage
+# regression gate for the same few-iteration reason as the 64-node
+# lanes.
+#
 # The sampled lane carries its own twin gates: each long-horizon pair
 # (BenchmarkXSampled vs BenchmarkXLongHorizon in the new recording) must
 # show sampled >= SAMPLED_SPEEDUP_MIN x macro (default 10: the win is
@@ -71,6 +86,9 @@
 #   BATCH_SPEEDUP_MIN       batched-vs-scalar floor on the fleet pairs
 #                           (default by gomaxprocs: >=4 -> 2.0,
 #                           1 -> 0.5, else 1.0)
+#   FLEET_SCALING_MAX       ceiling on FleetAdvance4096's ns/sim_s_node
+#                           relative to FleetAdvance256's (default 1.5;
+#                           enforced at gomaxprocs >= 4, advisory below)
 #   SAMPLED_SPEEDUP_MIN     sampled-vs-macro floor on the long-horizon
 #                           pairs (default 10)
 #   SAMPLED_ERR_MAX         ceiling on each sampled bench's
@@ -86,6 +104,7 @@ fabudget="${FLEET_ALLOC_BUDGET:-40000}"
 fbbudget="${FLEET_BYTES_BUDGET:-2000000}"
 smin="${SAMPLED_SPEEDUP_MIN:-10}"
 emax="${SAMPLED_ERR_MAX:-0.01}"
+fsmax="${FLEET_SCALING_MAX:-1.5}"
 
 baseline_tmp=""
 cleanup() { [ -z "$baseline_tmp" ] || rm -f "$baseline_tmp"; }
@@ -137,7 +156,7 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 	-v abudget="$abudget" -v bbudget="$bbudget" \
 	-v fabudget="$fabudget" -v fbbudget="$fbbudget" \
 	-v bsmin="$bsmin" -v gmp="$gmp" \
-	-v smin="$smin" -v emax="$emax" '
+	-v smin="$smin" -v emax="$emax" -v fsmax="$fsmax" '
 	/"Benchmark/ {
 		line = $0
 		gsub(/^[ \t]*"/, "", line)
@@ -149,11 +168,13 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 		a = ""
 		bb = ""
 		e = ""
+		nsn = ""
 		for (i = 2; i < n; i++) {
 			if (f[i+1] == "ns/op") v = f[i]
 			if (f[i+1] == "allocs/op") a = f[i]
 			if (f[i+1] == "B/op") bb = f[i]
 			if (f[i+1] == "sampled_err_rel") e = f[i]
+			if (f[i+1] == "ns/sim_s_node") nsn = f[i]
 		}
 		if (v == "") next
 		if (FILENAME == ARGV[1]) {
@@ -163,6 +184,7 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			newa[name] = a
 			newb[name] = bb
 			newerr[name] = e
+			newnsn[name] = nsn
 			order[++cnt] = name
 		}
 	}
@@ -181,6 +203,7 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			# swing well past any useful threshold; their own gates are
 			# below.
 			if (name ~ guard && name !~ /Parallel64/ && \
+			    name !~ /(FleetAdvance|WebsearchQoS)/ && \
 			    name !~ /(LongHorizon|Sampled)$/ && d > threshold) {
 				flag = "  << REGRESSION"
 				status = 1
@@ -318,6 +341,39 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			if (newb[name] != "" && newb[name] + 0 > fbbudget + 0) {
 				printf "FAIL: %s exceeds the fleet bytes budget (%s B/op > %d)\n", name, newb[name], fbbudget
 				status = 1
+			}
+		}
+		# Fleet scaling: the sharded engine is supposed to hold per-node
+		# advance cost near-flat in fleet size, so the 4096-node lane must
+		# stay within the ceiling of the 256-node lane on the metric the
+		# benchmarks report directly (ns/sim_s_node: wall-clock ns per
+		# simulated second per node, invariant to epoch length and b.N).
+		# Enforced at gomaxprocs >= 4; advisory below (see header).
+		b256 = "BenchmarkFleetAdvance256"
+		b4096 = "BenchmarkFleetAdvance4096"
+		if (newnsn[b256] != "" && newnsn[b4096] != "" && newnsn[b256] + 0 > 0) {
+			ratio = (newnsn[b4096] + 0) / (newnsn[b256] + 0)
+			print ""
+			printf "fleet scaling (new recording): 4096-node per-node cost %.2fx the 256-node cost (ceiling %.2fx%s)\n", \
+				ratio, fsmax, (gmp >= 4 ? "" : ", advisory at gomaxprocs<4")
+			if (gmp >= 4 && ratio > fsmax + 0) {
+				printf "FAIL: %s per-node cost is %.2fx %s, above the %.2fx ceiling\n", b4096, ratio, b256, fsmax
+				status = 1
+			}
+		}
+		# At gomaxprocs 1 the shard and traffic fan-outs run serial and the
+		# FleetAdvance lanes must be allocation-free in steady state: the
+		# pooled arenas and pre-sized run queues leave nothing per epoch.
+		# (Parallel fan-out allocates per-epoch goroutine scaffolding, so
+		# the zero gate only applies to serial recordings.)
+		if (gmp <= 1) {
+			for (i = 1; i <= cnt; i++) {
+				name = order[i]
+				if (name !~ /^BenchmarkFleetAdvance/) continue
+				if (newa[name] != "" && newa[name] + 0 > 0) {
+					printf "FAIL: %s allocates (%s allocs/op, want 0 at gomaxprocs=1)\n", name, newa[name]
+					status = 1
+				}
 			}
 		}
 		if (status) {
