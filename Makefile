@@ -26,9 +26,12 @@
 #   make profile       — CPU+heap profile one experiment via cmd/agsim
 #                        (PROFILE_EXP selects it, default fig7 on the mesh lane)
 #   make smoke         — run one quick experiment with every flight-recorder
-#                        exporter enabled, validate the Chrome trace with
-#                        cmd/tracecheck, and grep the Prometheus output for
-#                        the core metric families
+#                        exporter and the telemetry plane enabled, validate
+#                        the Chrome trace (including the guardband-attribution
+#                        counter track) with cmd/tracecheck -attrib, grep the
+#                        Prometheus output for the core metric families, then
+#                        boot amesterd with -http/-timeseries and curl the
+#                        live /health, /timeseries and /stream endpoints
 #   make ci            — everything CI runs: check + race + smoke + bench +
 #                        bench-compare (bench-compare gates both ns/op
 #                        regressions and the recorder's overhead/alloc budget)
@@ -42,6 +45,8 @@ PROFILE_EXP ?= fig7
 PROFILE_FLAGS ?= -quick -mesh
 SMOKE_EXP   ?= fig3
 SMOKE_DIR   ?= /tmp/agsim-smoke
+SMOKE_AMESTER_PORT ?= 7207
+SMOKE_HTTP_PORT    ?= 7208
 
 .PHONY: all build vet test check race bench bench-compare profile smoke ci
 
@@ -75,12 +80,29 @@ profile:
 
 smoke:
 	mkdir -p $(SMOKE_DIR)
-	$(GO) run ./cmd/agsim run $(SMOKE_EXP) -quick -events \
+	$(GO) run ./cmd/agsim run $(SMOKE_EXP) -quick -events -timeseries \
 		-trace-out $(SMOKE_DIR)/trace.json -metrics-out $(SMOKE_DIR)/metrics.prom
-	$(GO) run ./cmd/tracecheck $(SMOKE_DIR)/trace.json
+	$(GO) run ./cmd/tracecheck -attrib $(SMOKE_DIR)/trace.json
 	@grep -q '^agsim_micro_steps_total{' $(SMOKE_DIR)/metrics.prom
 	@grep -q '^# TYPE agsim_macro_leap_seconds histogram' $(SMOKE_DIR)/metrics.prom
 	@grep -q '^agsim_sim_time_seconds{' $(SMOKE_DIR)/metrics.prom
+	@grep -q '^agsim_series_registered ' $(SMOKE_DIR)/metrics.prom
+	$(GO) build -o $(SMOKE_DIR)/amesterd ./cmd/amesterd
+	@set -e; \
+	$(SMOKE_DIR)/amesterd -listen 127.0.0.1:$(SMOKE_AMESTER_PORT) \
+		-http 127.0.0.1:$(SMOKE_HTTP_PORT) -timeseries -seed 1 \
+		>$(SMOKE_DIR)/amesterd.log 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT INT TERM; \
+	url=http://127.0.0.1:$(SMOKE_HTTP_PORT); \
+	i=0; until curl -sf $$url/health >/dev/null 2>&1; do \
+		i=$$((i+1)); [ $$i -lt 50 ] || { cat $(SMOKE_DIR)/amesterd.log; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	curl -sf $$url/timeseries | grep -q '"power_w"'; \
+	curl -sf "$$url/timeseries?name=power_w&res=1" | grep -q '"levels"'; \
+	curl -sf $$url/health | grep -q '"status"'; \
+	curl -sf --max-time 5 $$url/stream | sed -n '/^data:/{p;q;}' | grep -q '"seq"'; \
+	echo "smoke: amesterd endpoints validated on $$url"
 	@echo "smoke: exporters validated in $(SMOKE_DIR)"
 
 ci: check race smoke bench bench-compare

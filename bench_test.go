@@ -25,6 +25,7 @@ import (
 	"agsim/internal/sample"
 	"agsim/internal/server"
 	"agsim/internal/traffic"
+	"agsim/internal/tsdb"
 	"agsim/internal/workload"
 )
 
@@ -208,6 +209,54 @@ func BenchmarkChipStepRecorded(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Step(chip.DefaultStepSec)
+	}
+}
+
+// BenchmarkChipStepTimeseries is BenchmarkChipStepRecorded with the
+// telemetry plane on top: multi-resolution series (power, frequency,
+// rail, margin) plus the per-tick attribution record. The plane's
+// contract is 0 allocs/op and ns/op within a few percent of the plain
+// step loop (scripts/bench_compare.sh gates the ratio via
+// TSDB_THRESHOLD_PCT); every Push is a ring-index fold into storage
+// preallocated when the series was bound.
+func BenchmarkChipStepTimeseries(b *testing.B) {
+	rec := obs.New("bench", obs.DefaultEventCap)
+	rec.EnableTimeSeries(tsdb.DefaultSpec())
+	cfg := chip.DefaultConfig("bench", 1)
+	cfg.Recorder = rec
+	c := chip.MustNew(cfg)
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e12, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	c.Settle(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(chip.DefaultStepSec)
+	}
+}
+
+// TestChipStepTimeseriesZeroAlloc pins the telemetry plane's
+// zero-allocation contract on the instrumented step loop, so `go test`
+// alone catches a regression that puts an allocation on a series push or
+// the attribution emission.
+func TestChipStepTimeseriesZeroAlloc(t *testing.T) {
+	rec := obs.New("alloc", obs.DefaultEventCap)
+	rec.EnableTimeSeries(tsdb.DefaultSpec())
+	cfg := chip.DefaultConfig("alloc", 1)
+	cfg.Recorder = rec
+	c := chip.MustNew(cfg)
+	d := workload.MustGet("raytrace")
+	for i := 0; i < 8; i++ {
+		c.Place(i, workload.NewThread(d, 1e12, nil))
+	}
+	c.SetMode(firmware.Undervolt)
+	c.Settle(1)
+	if got := testing.AllocsPerRun(2000, func() {
+		c.Step(chip.DefaultStepSec)
+	}); got != 0 {
+		t.Errorf("timeseries-instrumented chip step allocates %v allocs/op, want 0", got)
 	}
 }
 
@@ -420,14 +469,20 @@ func BenchmarkDatacenterSweepParallel64Batched(b *testing.B) { benchDatacenterFl
 // the timed epochs measure the multi-rate steady state, and they must not
 // allocate: the advance fan-out and the traffic epoch both run on stored
 // state.
-func benchFleetAdvance(b *testing.B, nodes int) {
+func benchFleetAdvance(b *testing.B, nodes int, timeseries bool) {
 	const epochSec = 0.25
 	cfg := server.DefaultConfig(1)
+	var rec *obs.Recorder
+	if timeseries {
+		rec = obs.New("bench", obs.DefaultEventCap)
+		rec.EnableTimeSeries(tsdb.CompactSpec())
+	}
 	f := fleet.MustNew(fleet.Config{
 		Nodes:    nodes,
 		Template: cfg,
 		Workers:  4,
 		Batched:  true,
+		Recorder: rec,
 	})
 	defer f.Close()
 	ws := workload.MustGet("websearch")
@@ -462,9 +517,15 @@ func benchFleetAdvance(b *testing.B, nodes int) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*epochSec*float64(nodes)), "ns/sim_s_node")
 }
 
-func BenchmarkFleetAdvance256(b *testing.B)  { benchFleetAdvance(b, 256) }
-func BenchmarkFleetAdvance1024(b *testing.B) { benchFleetAdvance(b, 1024) }
-func BenchmarkFleetAdvance4096(b *testing.B) { benchFleetAdvance(b, 4096) }
+func BenchmarkFleetAdvance256(b *testing.B)  { benchFleetAdvance(b, 256, false) }
+func BenchmarkFleetAdvance1024(b *testing.B) { benchFleetAdvance(b, 1024, false) }
+func BenchmarkFleetAdvance4096(b *testing.B) { benchFleetAdvance(b, 4096, false) }
+
+// BenchmarkFleetAdvance256Timeseries is the 256-node fleet advance with
+// the telemetry plane recording (CompactSpec series on every chip plus
+// attribution events); held against BenchmarkFleetAdvance256 it prices
+// the plane at fleet scale.
+func BenchmarkFleetAdvance256Timeseries(b *testing.B) { benchFleetAdvance(b, 256, true) }
 
 // BenchmarkWebsearchQoS runs the registered websearch-qos experiment on
 // the batched fleet lane: the full policy x load grid with open-loop

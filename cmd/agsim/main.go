@@ -29,6 +29,10 @@
 //	-full         also print every series as CSV (run only)
 //	-events       attach the flight recorder and print each experiment's
 //	              event timeline and metric summary
+//	-timeseries   record multi-resolution time-series (1 ms/32 ms/1 s
+//	              rollups of power, frequency, rail and guardband margin),
+//	              per-tick guardband attribution, and run the health
+//	              detectors over the finished log
 //	-trace-out f  write a Chrome trace_event JSON timeline (open in
 //	              Perfetto / chrome://tracing); implies recording
 //	-metrics-out f write the merged metrics in Prometheus text format;
@@ -47,7 +51,9 @@ import (
 	"time"
 
 	"agsim/internal/experiments"
+	"agsim/internal/health"
 	"agsim/internal/obs"
+	"agsim/internal/tsdb"
 	"agsim/internal/workload"
 )
 
@@ -79,36 +85,42 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: agsim {list | run <id|all> [flags] [-full] | report [flags] | workloads}")
 	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-batched] [-sampled] [-ci F] [-nodes N] [-events]")
-	fmt.Fprintln(os.Stderr, "       [-trace-out f] [-metrics-out f] [-cpuprofile f] [-memprofile f]")
+	fmt.Fprintln(os.Stderr, "       [-timeseries] [-trace-out f] [-metrics-out f] [-cpuprofile f] [-memprofile f]")
 }
 
 // recording bundles the flight-recorder outputs requested on the command
 // line.
 type recording struct {
 	events     bool
+	timeseries bool
 	traceOut   string
 	metricsOut string
 }
 
 // enabled reports whether any output wants the recorder attached.
 func (rc recording) enabled() bool {
-	return rc.events || rc.traceOut != "" || rc.metricsOut != ""
+	return rc.events || rc.timeseries || rc.traceOut != "" || rc.metricsOut != ""
 }
 
 // recorder builds a fresh recorder for one experiment. Each experiment
 // gets its own because shard names are salted by workload/mode tags, not
 // figure ids, and two figures measuring the same configuration would
 // collide in a shared recorder. Event rings are only paid for when an
-// event consumer (timeline or Chrome trace) asked for them.
+// event consumer (timeline, Chrome trace, or the attribution stream the
+// telemetry plane rides) asked for them.
 func (rc recording) recorder(id string) *obs.Recorder {
 	if !rc.enabled() {
 		return nil
 	}
 	eventCap := 0
-	if rc.events || rc.traceOut != "" {
+	if rc.events || rc.timeseries || rc.traceOut != "" {
 		eventCap = obs.DefaultEventCap
 	}
-	return obs.New(id, eventCap)
+	r := obs.New(id, eventCap)
+	if rc.timeseries {
+		r.EnableTimeSeries(tsdb.DefaultSpec())
+	}
+	return r
 }
 
 // outPath splices the experiment id into the output file name when several
@@ -122,7 +134,18 @@ func outPath(base, id string, multi bool) string {
 }
 
 // writeRecording renders the snapshot to the requested exporter files.
+// With the telemetry plane on, the health detectors run over the log
+// first and their findings ride into the Chrome trace as instant events
+// (appended at the end of the stream: findings stamp the end of the
+// observation span, so time order is preserved).
 func writeRecording(lg *obs.Log, rc recording, id string, multi bool) error {
+	if rc.timeseries {
+		findings := health.Evaluate(lg, health.Default())
+		lg.Events = append(lg.Events, health.Events(findings)...)
+		for _, f := range findings {
+			fmt.Printf("health: %s %s: %s\n", f.Status, f.Detector, f.Msg)
+		}
+	}
 	write := func(path string, render func(w io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -162,6 +185,7 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	ci := fs.Float64("ci", 0, "sampled lane's relative confidence-interval target (0 = default 0.01)")
 	nodes := fs.Int("nodes", 0, "datacenter sweep fleet size (0 = default 4)")
 	events := fs.Bool("events", false, "attach the flight recorder; print event timeline and metric summary")
+	timeseries := fs.Bool("timeseries", false, "record multi-resolution time-series, guardband attribution and health findings")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event JSON timeline to this file")
 	metricsOut := fs.String("metrics-out", "", "write Prometheus text-format metrics to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -183,7 +207,7 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	o.Sampled = *sampled
 	o.TargetCI = *ci
 	o.Nodes = *nodes
-	rc := recording{events: *events, traceOut: *traceOut, metricsOut: *metricsOut}
+	rc := recording{events: *events, timeseries: *timeseries, traceOut: *traceOut, metricsOut: *metricsOut}
 	return o, rc, startProfiles(*cpuprofile, *memprofile)
 }
 

@@ -15,8 +15,12 @@
 //
 // With -http ADDR the server also exposes the flight recorder over HTTP:
 // GET /metrics returns the merged counters, gauges and histograms in
-// Prometheus text format, and GET /manifest returns the JSON run manifest
-// (workload config, seed, git revision, wall and simulated time).
+// Prometheus text format, GET /manifest the JSON run manifest (workload
+// config, seed, git revision, wall and simulated time), GET /health the
+// watchdog findings, GET /stream a server-sent-event heartbeat per
+// telemetry publish, and /debug/pprof the profiler. With -timeseries the
+// multi-resolution telemetry plane records power, frequency, rail and
+// guardband-margin series, served by GET /timeseries?name=...&res=....
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"agsim/internal/obs"
 	"agsim/internal/server"
 	"agsim/internal/telemetry"
+	"agsim/internal/tsdb"
 	"agsim/internal/workload"
 )
 
@@ -46,7 +51,8 @@ func main() {
 	threads := flag.Int("threads", 8, "thread count (server mode)")
 	mode := flag.String("mode", "undervolt", "guardband mode: static | undervolt | overclock")
 	borrow := flag.Bool("borrow", true, "balance threads across sockets (server mode)")
-	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /manifest (JSON) on this address (server mode)")
+	httpAddr := flag.String("http", "", "serve /metrics, /manifest, /timeseries, /health, /stream and /debug/pprof on this address (server mode)")
+	timeseries := flag.Bool("timeseries", false, "record multi-resolution time-series and guardband attribution (server mode)")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = wall clock, server mode)")
 	watch := flag.String("watch", "", "comma-separated sensors to stream (client mode)")
 	samples := flag.Int("samples", 10, "samples to stream in watch mode")
@@ -54,7 +60,7 @@ func main() {
 
 	switch {
 	case *listen != "" && *connect == "":
-		if err := serve(*listen, *httpAddr, *name, *threads, *mode, *borrow, *seed); err != nil {
+		if err := serve(*listen, *httpAddr, *name, *threads, *mode, *borrow, *seed, *timeseries); err != nil {
 			fmt.Fprintln(os.Stderr, "amesterd:", err)
 			os.Exit(1)
 		}
@@ -69,7 +75,7 @@ func main() {
 	}
 }
 
-func serve(addr, httpAddr, name string, threads int, modeName string, borrow bool, seed uint64) error {
+func serve(addr, httpAddr, name string, threads int, modeName string, borrow bool, seed uint64, timeseries bool) error {
 	d, err := workload.Get(name)
 	if err != nil {
 		return err
@@ -90,6 +96,9 @@ func serve(addr, httpAddr, name string, threads int, modeName string, borrow boo
 		seed = uint64(time.Now().UnixNano())
 	}
 	rec := obs.New("amesterd", obs.DefaultEventCap)
+	if timeseries {
+		rec.EnableTimeSeries(tsdb.DefaultSpec())
+	}
 	cfg := server.DefaultConfig(seed)
 	cfg.Recorder = rec
 	srv := server.MustNew(cfg)
@@ -118,32 +127,21 @@ func serve(addr, httpAddr, name string, threads int, modeName string, borrow boo
 	// same mutex so a snapshot never races a live step. The recorder's hot
 	// path is deliberately unlocked, so this is the only synchronization.
 	var mu sync.Mutex
+	var api *amester.API
 	if httpAddr != "" {
 		manifest := obs.NewManifest("amesterd", seed)
 		manifest.Config = map[string]any{
-			"workload": name,
-			"threads":  threads,
-			"mode":     modeName,
-			"borrow":   borrow,
+			"workload":   name,
+			"threads":    threads,
+			"mode":       modeName,
+			"borrow":     borrow,
+			"timeseries": timeseries,
 		}
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			mu.Lock()
-			lg := rec.Snapshot()
-			mu.Unlock()
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			if err := lg.WriteProm(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-		})
-		mux.HandleFunc("/manifest", func(w http.ResponseWriter, r *http.Request) {
-			mu.Lock()
-			manifest.SimSeconds = srv.Time()
-			mu.Unlock()
-			w.Header().Set("Content-Type", "application/json")
-			if err := manifest.WriteJSON(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
+		api = amester.NewAPI(amester.APIConfig{
+			Recorder: rec,
+			Manifest: manifest,
+			Mu:       &mu,
+			SimTime:  srv.Time,
 		})
 		hl, err := net.Listen("tcp", httpAddr)
 		if err != nil {
@@ -151,12 +149,12 @@ func serve(addr, httpAddr, name string, threads int, modeName string, borrow boo
 		}
 		defer hl.Close()
 		go func() {
-			if err := http.Serve(hl, mux); err != nil {
+			if err := http.Serve(hl, api.Handler()); err != nil {
 				fmt.Fprintln(os.Stderr, "amesterd: http:", err)
 			}
 		}()
-		fmt.Printf("amesterd: metrics on http://%s/metrics, manifest on http://%s/manifest\n",
-			hl.Addr(), hl.Addr())
+		fmt.Printf("amesterd: http api on http://%s/{metrics,manifest,timeseries,health,stream,debug/pprof}\n",
+			hl.Addr())
 	}
 
 	// Run the simulation forever, publishing on the firmware cadence.
@@ -172,6 +170,9 @@ func serve(addr, httpAddr, name string, threads int, modeName string, borrow boo
 		}
 		svc.Publish()
 		mu.Unlock()
+		if api != nil {
+			api.Publish()
+		}
 	}
 	return nil
 }

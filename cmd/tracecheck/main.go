@@ -6,15 +6,24 @@
 // the smoke experiment's trace so a malformed exporter fails the build
 // rather than the first person to open the file.
 //
+// With -attrib the checker additionally validates the telemetry plane's
+// round-trip through the exporter: the guardband-attribution stream must
+// surface as a "margin (bits)" counter track whose every sample carries a
+// numeric "bits" series, and any health-detector firings must surface as
+// "health: <detector>" global instants carrying numeric value/threshold
+// args with a known detector name.
+//
 // Usage:
 //
-//	tracecheck trace.json [more.json ...]
+//	tracecheck [-attrib] trace.json [more.json ...]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // traceDoc mirrors the trace_event JSON Object Format envelope.
@@ -48,13 +57,15 @@ var knownPhases = map[string]bool{
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+	attrib := flag.Bool("attrib", false, "require the guardband-attribution counter track and validate health instants")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-attrib] trace.json [more.json ...]")
 		os.Exit(2)
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	for _, path := range flag.Args() {
+		if err := check(path, *attrib); err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 			failed = true
 		}
@@ -64,7 +75,16 @@ func main() {
 	}
 }
 
-func check(path string) error {
+// healthDetectors are the detector names internal/obs can pack into a
+// KindHealth payload — the only suffixes a well-formed exporter produces.
+var healthDetectors = map[string]bool{
+	"droop-storm":        true,
+	"throttle-residency": true,
+	"margin-exhaustion":  true,
+	"slo-breach":         true,
+}
+
+func check(path string, attrib bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -77,9 +97,41 @@ func check(path string) error {
 		return fmt.Errorf("no traceEvents")
 	}
 	var slices, instants, counters int
+	var marginSamples, healthInstants int
 	for i, ev := range doc.TraceEvents {
 		where := func(field, problem string) error {
 			return fmt.Errorf("traceEvents[%d] (%q): %s %s", i, ev.Name, field, problem)
+		}
+		if ev.Name == "margin (bits)" {
+			if ev.Ph != "C" {
+				return where("ph", "margin track must be a counter event")
+			}
+			var args struct {
+				Bits *float64 `json:"bits"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Bits == nil {
+				return where("args", "margin sample carries no numeric bits series")
+			}
+			marginSamples++
+		}
+		if det, ok := strings.CutPrefix(ev.Name, "health: "); ok {
+			if ev.Ph != "i" && ev.Ph != "I" {
+				return where("ph", "health firing must be an instant event")
+			}
+			if ev.S != "g" {
+				return where("s", "health instant must be global scope")
+			}
+			if !healthDetectors[det] {
+				return where("name", fmt.Sprintf("unknown detector %q", det))
+			}
+			var args struct {
+				Value     *float64 `json:"value"`
+				Threshold *float64 `json:"threshold"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Value == nil || args.Threshold == nil {
+				return where("args", "health instant carries no numeric value/threshold")
+			}
+			healthInstants++
 		}
 		if !knownPhases[ev.Ph] {
 			return where("ph", fmt.Sprintf("unknown phase %q", ev.Ph))
@@ -111,7 +163,10 @@ func check(path string) error {
 			}
 		}
 	}
-	fmt.Printf("tracecheck: %s: ok (%d events: %d slices, %d instants, %d counter samples)\n",
-		path, len(doc.TraceEvents), slices, instants, counters)
+	if attrib && marginSamples == 0 {
+		return fmt.Errorf("no \"margin (bits)\" counter samples: the guardband-attribution stream did not round-trip")
+	}
+	fmt.Printf("tracecheck: %s: ok (%d events: %d slices, %d instants, %d counter samples; %d margin samples, %d health firings)\n",
+		path, len(doc.TraceEvents), slices, instants, counters, marginSamples, healthInstants)
 	return nil
 }

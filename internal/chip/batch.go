@@ -661,6 +661,10 @@ func (bt *Batch) StepRange(lo, hi int, dtSec float64) {
 			r.SetGauge(c.src, obs.GPowerW, float64(chipPower))
 			r.SetGauge(c.src, obs.GTempC, float64(bt.tempC[b]))
 			r.SetGauge(c.src, obs.GFreqMHz, float64(bt.freq[base]))
+			tUS := obs.StampUS(bt.timeSec[b])
+			c.tsPower.Push(tUS, float64(chipPower))
+			c.tsFreq.Push(tUS, float64(bt.freq[base]))
+			c.tsRail.Push(tUS, float64(railV))
 		}
 
 		bt.sinceTick[b] += dtSec
@@ -913,6 +917,7 @@ func (bt *Batch) firmwareTick(b int) {
 			r.Emit(obs.Event{TimeUS: obs.StampUS(bt.timeSec[b]), Kind: obs.KindDVFS,
 				Source: c.src, Core: -1, A: float64(next), B: float64(old), C: -1})
 		}
+		c.emitAttrib(r, obs.StampUS(bt.timeSec[b]), next)
 	}
 	// clearStickies, mirrored: each sensor's StickyReset draws the next
 	// window's noise from its own stream in the scalar order (core-major,
@@ -1120,6 +1125,13 @@ func (bt *Batch) MacroStepRange(lo, hi int, h float64) {
 			r.SetGauge(c.src, obs.GTimeSec, bt.timeSec[b])
 			r.Emit(obs.Event{TimeUS: obs.StampUS(bt.timeSec[b]), Kind: obs.KindLeap,
 				Source: c.src, Core: -1, A: h, C: int64(reason)})
+			// Leap backfill, mirroring Chip.MacroStep's Fill calls exactly
+			// so scalar and batched series stay bit-identical.
+			t1 := obs.StampUS(bt.timeSec[b])
+			t0 := obs.StampUS(bt.timeSec[b] - h)
+			c.tsPower.Fill(t0, t1, float64(bt.lastChipPower[b]), stepGridUS)
+			c.tsFreq.Fill(t0, t1, float64(bt.freq[base]), stepGridUS)
+			c.tsRail.Fill(t0, t1, float64(bt.lastRailV[b]), stepGridUS)
 		}
 
 		bt.stable[b] = 0

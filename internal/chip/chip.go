@@ -21,6 +21,7 @@ import (
 	"agsim/internal/pdn"
 	"agsim/internal/power"
 	"agsim/internal/rng"
+	"agsim/internal/tsdb"
 	"agsim/internal/units"
 	"agsim/internal/vf"
 	"agsim/internal/vrm"
@@ -257,6 +258,17 @@ type Chip struct {
 	rec *obs.Recorder
 	src int32
 
+	// Telemetry time-series handles (see internal/tsdb), nil unless the
+	// recorder has EnableTimeSeries on; every tsdb method is nil-safe, so
+	// the step loop pushes unconditionally. tsPower/tsFreq/tsRail sample
+	// every micro-step (backfilled analytically across leaps and
+	// fast-forwards, where they are constant by construction); tsMargin
+	// samples the sensed margin in CPM bits at every firmware tick.
+	tsPower  *tsdb.Series
+	tsFreq   *tsdb.Series
+	tsRail   *tsdb.Series
+	tsMargin *tsdb.Series
+
 	// lastHorizon* remember what HorizonSec last computed so MacroStep can
 	// attribute the leap: when the server/cluster leaps by a shorter
 	// synchronized minimum, the reason becomes obs.ReasonExternal.
@@ -365,8 +377,23 @@ func New(cfg Config) (*Chip, error) {
 		}
 		ch.cores = append(ch.cores, core)
 	}
+	ch.bindSeries()
 	return ch, nil
 }
+
+// bindSeries registers (or re-registers after Reset) the chip's telemetry
+// time-series on its recorder. No-op handles when the recorder is nil or
+// has no time-series enabled.
+func (c *Chip) bindSeries() {
+	c.tsPower = c.rec.Series(c.src, "power_w")
+	c.tsFreq = c.rec.Series(c.src, "freq_mhz")
+	c.tsRail = c.rec.Series(c.src, "rail_mv")
+	c.tsMargin = c.rec.Series(c.src, "margin_bits")
+}
+
+// stepGridUS is the micro-step telemetry grid in integer microseconds —
+// the stride Fill backfills at across leaps and fast-forwards.
+const stepGridUS = int64(DefaultStepSec * 1e6)
 
 // MustNew is New for static configurations; it panics on error.
 func MustNew(cfg Config) *Chip {

@@ -266,6 +266,15 @@ func (c *Chip) MacroStep(h float64) {
 		r.SetGauge(c.src, obs.GTimeSec, c.timeSec)
 		r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindLeap,
 			Source: c.src, Core: -1, A: h, C: int64(reason)})
+		// Backfill the step-rate series across the leap: the operating
+		// point is frozen for its duration, so every skipped grid sample
+		// is the held value (analytic downsample, bit-equal to pushing
+		// each point).
+		t1 := obs.StampUS(c.timeSec)
+		t0 := obs.StampUS(c.timeSec - h)
+		c.tsPower.Fill(t0, t1, float64(c.lastChipPower), stepGridUS)
+		c.tsFreq.Fill(t0, t1, float64(c.cores[0].dpll.Freq()), stepGridUS)
+		c.tsRail.Fill(t0, t1, float64(c.lastRailV), stepGridUS)
 	}
 
 	// The horizon may coincide with a state change (thread completion,

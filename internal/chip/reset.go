@@ -90,6 +90,7 @@ func (c *Chip) Reset(name string, seed uint64, rec *obs.Recorder) {
 
 	c.rec = rec
 	c.src = rec.Source(name)
+	c.bindSeries()
 	c.lastHorizonSec = 0
 	c.lastHorizonReason = 0
 }

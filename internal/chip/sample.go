@@ -129,6 +129,14 @@ func (c *Chip) FastForward(h float64) {
 		c.timeSec += seg
 		c.sinceTick += seg
 		rem -= seg
+		// Backfill the step-rate series for the segment at the operating
+		// point it actually held (a frozen tick below may re-anchor it for
+		// the next segment). Nil-safe no-ops when telemetry is off.
+		segEnd := obs.StampUS(c.timeSec)
+		segStart := obs.StampUS(c.timeSec - seg)
+		c.tsPower.Fill(segStart, segEnd, float64(c.lastChipPower), stepGridUS)
+		c.tsFreq.Fill(segStart, segEnd, float64(c.cores[0].dpll.Freq()), stepGridUS)
+		c.tsRail.Fill(segStart, segEnd, float64(c.lastRailV), stepGridUS)
 		if c.sinceTick+gridSnapSec >= firmware.TickSeconds {
 			c.sinceTick = 0
 			c.frozenTick()
@@ -257,6 +265,7 @@ func (c *Chip) frozenTick() {
 			r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDVFS,
 				Source: c.src, Core: -1, A: float64(next), B: float64(old), C: -1})
 		}
+		c.emitAttrib(r, obs.StampUS(c.timeSec), next)
 	}
 	c.lastWindowWorstDidt = c.noise.WorstSinceReset()
 	c.noise.StickyReset()

@@ -173,6 +173,10 @@ func (c *Chip) Step(dtSec float64) {
 		r.SetGauge(c.src, obs.GPowerW, float64(chipPower))
 		r.SetGauge(c.src, obs.GTempC, float64(c.tempC))
 		r.SetGauge(c.src, obs.GFreqMHz, float64(c.cores[0].dpll.Freq()))
+		tUS := obs.StampUS(c.timeSec)
+		c.tsPower.Push(tUS, float64(chipPower))
+		c.tsFreq.Push(tUS, float64(c.cores[0].dpll.Freq()))
+		c.tsRail.Push(tUS, float64(railV))
 	}
 
 	// 9. Firmware voltage loop on its 32 ms tick. The slop covers macro-lane
@@ -307,8 +311,20 @@ func (c *Chip) firmwareTick() {
 			r.Emit(obs.Event{TimeUS: obs.StampUS(c.timeSec), Kind: obs.KindDVFS,
 				Source: c.src, Core: -1, A: float64(next), B: float64(old), C: -1})
 		}
+		c.emitAttrib(r, obs.StampUS(c.timeSec), next)
 	}
 	c.clearStickies()
+}
+
+// emitAttrib records the guardband-attribution record the controller just
+// produced: a KindAttrib event plus a margin time-series sample. Shared
+// verbatim by the live tick, the frozen fast-forward tick, and the
+// batched lane's tick so the streams are identical across lanes.
+func (c *Chip) emitAttrib(r *obs.Recorder, tUS int64, next units.Millivolt) {
+	a := c.ctrl.LastAttribution()
+	r.Emit(obs.Event{TimeUS: tUS, Kind: obs.KindAttrib, Source: c.src, Core: -1,
+		A: float64(a.MarginBits), B: float64(next), C: a.Pack()})
+	c.tsMargin.Push(tUS, float64(a.MarginBits))
 }
 
 // marginReading summarizes the worst margin across all clocked cores.

@@ -1,0 +1,165 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"agsim/internal/firmware"
+	"agsim/internal/obs"
+	"agsim/internal/tsdb"
+)
+
+// tsRecorder builds a recorder with the telemetry plane enabled, as the
+// -timeseries flag does.
+func tsRecorder() *obs.Recorder {
+	r := obs.New("rec", 4096)
+	r.EnableTimeSeries(tsdb.DefaultSpec())
+	return r
+}
+
+// TestTimeseriesBatchMatchesScalar pins the telemetry plane's lane
+// identity: with series and attribution enabled, the scalar and batched
+// lanes must produce DeepEqual recorder snapshots — same windows at every
+// resolution (Push and Fill sequences mirror exactly) and same KindAttrib
+// event streams — through micro-steps, firmware ticks, and macro-leaps.
+func TestTimeseriesBatchMatchesScalar(t *testing.T) {
+	var scalar, batched []*Chip
+	var recS, recB []*obs.Recorder
+	for k := 0; k < 2; k++ {
+		seed := uint64(909 + 101*k)
+		rs, rb := tsRecorder(), tsRecorder()
+		scalar = append(scalar, buildIdentityChip("c", seed, k, false, false, firmware.Undervolt, rs))
+		batched = append(batched, buildIdentityChip("c", seed, k, false, false, firmware.Undervolt, rb))
+		recS = append(recS, rs)
+		recB = append(recB, rb)
+	}
+	for _, c := range scalar {
+		c.Settle(1)
+	}
+	for _, c := range batched {
+		c.Settle(1)
+	}
+	bt, err := NewBatch(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-9
+	for i, c := range scalar {
+		remaining := 0.5
+		for remaining > eps {
+			remaining -= c.Advance(remaining)
+		}
+		remaining = 0.5
+		for remaining > eps {
+			remaining -= bt.AdvanceChip(i, remaining)
+		}
+	}
+	bt.Scatter()
+	for i := range scalar {
+		requireRecordersEqual(t, recS[i], recB[i])
+	}
+	// The run must actually have recorded telemetry, not vacuous equality.
+	log := recS[0].Snapshot()
+	if len(log.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+	var attribs int
+	for _, ev := range log.Events {
+		if ev.Kind == obs.KindAttrib {
+			attribs++
+		}
+	}
+	if attribs == 0 {
+		t.Fatal("no guardband-attribution events recorded")
+	}
+}
+
+// TestTimeseriesMacroMatchesExactCoverage pins the leap backfill
+// semantics: the macro lane's Fill calls must land exactly one sample on
+// every 1 ms grid point the exact lane pushes — identical per-window
+// sample counts at every resolution — and the window means must agree
+// within the macro lane's documented accuracy budget.
+func TestTimeseriesMacroMatchesExactCoverage(t *testing.T) {
+	run := func(exact bool) *obs.Log {
+		rec := tsRecorder()
+		c := buildIdentityChip("c", 77, 0, false, exact, firmware.Undervolt, rec)
+		c.Settle(1)
+		c.Settle(0.5)
+		log := rec.Snapshot()
+		return &log
+	}
+	exactLog, macroLog := run(true), run(false)
+	for _, name := range []string{"power_w", "rail_mv", "freq_mhz", "margin_bits"} {
+		_, we, oke := exactLog.MergedSeries(name)
+		_, wm, okm := macroLog.MergedSeries(name)
+		if !oke || !okm {
+			t.Fatalf("series %s missing (exact %v, macro %v)", name, oke, okm)
+		}
+		for li := range we {
+			if len(we[li]) != len(wm[li]) {
+				t.Fatalf("%s level %d: %d exact windows, %d macro windows", name, li, len(we[li]), len(wm[li]))
+			}
+			for i := range we[li] {
+				e, m := we[li][i], wm[li][i]
+				if e.StartUS != m.StartUS || e.Cnt != m.Cnt {
+					t.Fatalf("%s level %d window %d: exact {start %d cnt %d}, macro {start %d cnt %d}",
+						name, li, i, e.StartUS, e.Cnt, m.StartUS, m.Cnt)
+				}
+				if e.Mean() != 0 && math.Abs(m.Mean()-e.Mean())/math.Abs(e.Mean()) > 0.01 {
+					t.Fatalf("%s level %d window %d: mean drift exact %v macro %v", name, li, i, e.Mean(), m.Mean())
+				}
+			}
+		}
+	}
+}
+
+// TestTimeseriesSampledWithinBounds pins the sampled lane's contract: a
+// fast-forward backfills the same grid coverage (sample counts per
+// window) and the tick-rate attribution stream keeps firing; values are
+// statistical, held to a loose band rather than bit equality.
+func TestTimeseriesSampledWithinBounds(t *testing.T) {
+	mkChip := func() (*Chip, *obs.Recorder) {
+		rec := tsRecorder()
+		c := buildIdentityChip("c", 3131, 0, false, false, firmware.Undervolt, rec)
+		c.Settle(1)
+		return c, rec
+	}
+	macro, recM := mkChip()
+	sampled, recS := mkChip()
+	const span = 2.0
+	macro.Settle(span)
+	sampled.FastForward(sampled.SampleHint(span))
+
+	logM, logS := recM.Snapshot(), recS.Snapshot()
+	_, wm, _ := logM.MergedSeries("power_w")
+	_, ws, okS := logS.MergedSeries("power_w")
+	if !okS {
+		t.Fatal("sampled lane recorded no power series")
+	}
+	// Same top-level grid coverage: the fast-forward must backfill every
+	// 1.024 s window the macro lane covered.
+	top := len(wm) - 1
+	if len(wm[top]) != len(ws[top]) {
+		t.Fatalf("top-level windows: macro %d, sampled %d", len(wm[top]), len(ws[top]))
+	}
+	for i := range wm[top] {
+		m, s := wm[top][i], ws[top][i]
+		if m.StartUS != s.StartUS || m.Cnt != s.Cnt {
+			t.Fatalf("top window %d: macro {start %d cnt %d}, sampled {start %d cnt %d}",
+				i, m.StartUS, m.Cnt, s.StartUS, s.Cnt)
+		}
+		if m.Mean() != 0 && math.Abs(s.Mean()-m.Mean())/math.Abs(m.Mean()) > 0.05 {
+			t.Fatalf("top window %d: sampled mean %v strays from macro %v", i, s.Mean(), m.Mean())
+		}
+	}
+	// Frozen ticks must keep producing attribution records.
+	var attribs int
+	for _, ev := range logS.Events {
+		if ev.Kind == obs.KindAttrib {
+			attribs++
+		}
+	}
+	if want := int(span/firmware.TickSeconds+0.5) / 2; attribs < want {
+		t.Fatalf("sampled lane produced %d attribution records, want >= %d", attribs, want)
+	}
+}

@@ -89,6 +89,10 @@ type Controller struct {
 	LoadReserveMilliohm float64
 
 	ticks int
+
+	// attrib is the last tick's guardband-attribution record (attrib.go),
+	// overwritten in place by every VoltageCommand.
+	attrib Attribution
 }
 
 // NewController creates a controller in Static mode with the calibrated
@@ -162,8 +166,11 @@ func (c *Controller) VoltageCommand(current units.Millivolt, r MarginReading) un
 	c.ticks++
 	switch c.mode {
 	case Static, Overclock:
+		c.attrib = Attribution{Decision: DecisionFixed, Bound: BoundMode,
+			StepMV: float64(c.law.VNom - current)}
 		return c.law.VNom
 	case Manual:
+		c.attrib = Attribution{Decision: DecisionFixed, Bound: BoundMode}
 		return current
 	case Undervolt:
 		// fallthrough to the loop below
@@ -175,6 +182,12 @@ func (c *Controller) VoltageCommand(current units.Millivolt, r MarginReading) un
 		// Fail safe: a dead CPM reads 0 and cannot be trusted to report
 		// margin, and a fully gated chip reports nothing at all. Return
 		// to the full static guardband.
+		bound := BoundDeadCPM
+		if r.NoSensors {
+			bound = BoundNoSensors
+		}
+		c.attrib = Attribution{Decision: DecisionFailSafe, Bound: bound,
+			StepMV: float64(c.law.VNom - current)}
 		return c.law.VNom
 	}
 	if r.MVPerBit <= 0 {
@@ -185,32 +198,54 @@ func (c *Controller) VoltageCommand(current units.Millivolt, r MarginReading) un
 	}
 
 	worst := r.MinCPM
+	sticky := false
 	if r.MinStickyCPM < worst {
 		// A droop during the window consumed more margin than the sample
 		// read shows; trust the sticky worst case for the safety check
 		// but only react to it when it is below target.
 		if r.MinStickyCPM < cpm.CalibTarget {
 			worst = r.MinStickyCPM
+			sticky = true
 		}
 	}
 
 	errBits := worst - cpm.CalibTarget
 	next := current
+	decision, bound := DecisionHold, BoundNone
 	switch {
 	case errBits > 0:
+		decision = DecisionBoost
 		step := c.GainDown * float64(errBits) * r.MVPerBit
 		if step > c.MaxStepDownMV {
 			step = c.MaxStepDownMV
+			bound = BoundStepDown
 		}
 		next = current - units.Millivolt(step)
 	case errBits < 0:
+		decision = DecisionThrottle
 		step := float64(-errBits) * r.MVPerBit
 		if step > c.MaxStepUpMV {
 			step = c.MaxStepUpMV
+			bound = BoundStepUp
 		}
 		next = current + units.Millivolt(step)
 	}
-	return units.ClampMV(next, c.Floor(r.CurrentA), c.law.VNom)
+	clamped := units.ClampMV(next, c.Floor(r.CurrentA), c.law.VNom)
+	// The final clamp, when it engages, is the binding constraint.
+	if clamped > next {
+		bound = BoundFloor
+	} else if clamped < next {
+		bound = BoundCeil
+	}
+	c.attrib = Attribution{
+		Decision:   decision,
+		Bound:      bound,
+		Sticky:     sticky,
+		WorstCPM:   worst,
+		MarginBits: errBits,
+		StepMV:     float64(clamped - current),
+	}
+	return clamped
 }
 
 // Floor returns the lowest set point the controller may command at the

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"agsim/internal/obs"
+	"agsim/internal/server"
+	"agsim/internal/tsdb"
+	"agsim/internal/workload"
+)
+
+// telemetryRun drives a telemetry-enabled fleet and returns the merged
+// log: the full observation plane — counters, gauges, histograms, the
+// event ring (attribution records included), multi-resolution series,
+// and per-shard stats — in one snapshot.
+func telemetryRun(t *testing.T, workers int, batched bool) *obs.Log {
+	t.Helper()
+	rec := obs.New("fleet", 2048)
+	rec.EnableTimeSeries(tsdb.DefaultSpec())
+	f, err := New(Config{
+		Nodes:      8,
+		Template:   server.DefaultConfig(20151205),
+		ShardNodes: 4,
+		Workers:    workers,
+		Batched:    batched,
+		Recorder:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.MustGet("raytrace")
+	for i := 0; i < f.Nodes(); i++ {
+		pl := make([]server.Placement, 4)
+		for c := range pl {
+			pl[c] = server.Placement{Socket: c / 8, Core: c % 8}
+		}
+		f.Node(i).MustSubmit(fmt.Sprintf("j%d", i), d, pl, 1e9)
+	}
+	for i := 0; i < 3; i++ {
+		f.Advance(0.4)
+	}
+	f.Close()
+	log := rec.Snapshot()
+	return &log
+}
+
+// TestFleetTelemetryWorkerInvariance pins the telemetry plane's
+// fleet-level determinism contract: the merged log — every series window
+// at every resolution, every guardband-attribution record, every shard
+// stat — is bit-identical across worker counts and across the scalar and
+// batched lanes. Workers own whole shards and every shard owns its
+// recorder subtree, so execution placement can never reorder a fold.
+func TestFleetTelemetryWorkerInvariance(t *testing.T) {
+	ref := telemetryRun(t, 1, false)
+
+	// The reference run must be non-vacuous.
+	if len(ref.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+	var attribs int
+	for _, ev := range ref.Events {
+		if ev.Kind == obs.KindAttrib {
+			attribs++
+		}
+	}
+	if attribs == 0 {
+		t.Fatal("no guardband-attribution events recorded")
+	}
+	if len(ref.Shards) == 0 {
+		t.Fatal("no shard stats recorded")
+	}
+
+	for _, batched := range []bool{false, true} {
+		for _, w := range []int{1, 4, 8} {
+			if w == 1 && !batched {
+				continue // the reference itself
+			}
+			got := telemetryRun(t, w, batched)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("batched=%v workers=%d: merged telemetry log diverged from workers=1 scalar reference",
+					batched, w)
+			}
+		}
+	}
+}
+
+// TestFleetTopology pins the /fleet snapshot shape: layout independent
+// of worker count, lane-aware readouts equal to the accessor folds.
+func TestFleetTopology(t *testing.T) {
+	f := testFleet(t, 10, 4, 4, true)
+	f.Advance(0.5)
+	top := f.Topology()
+	if top.TimeSec != f.Time() || !top.Batched {
+		t.Fatalf("snapshot header %+v", top)
+	}
+	if len(top.Shards) != 3 || len(top.Nodes) != 10 {
+		t.Fatalf("layout %d shards / %d nodes, want 3/10", len(top.Shards), len(top.Nodes))
+	}
+	if s := top.Shards[2]; s.Lo != 8 || s.Hi != 10 || s.Name != "shard002" {
+		t.Fatalf("tail shard %+v", s)
+	}
+	for i, n := range top.Nodes {
+		if n.Index != i || n.Shard != i/4 {
+			t.Fatalf("node %d row %+v", i, n)
+		}
+		if want := fmt.Sprintf("shard%03d/node%04d", i/4, i); n.Name != want {
+			t.Fatalf("node %d name %q, want %q", i, n.Name, want)
+		}
+		if n.PowerW != f.NodePower(i) || n.MIPS != f.NodeMIPS(i) || n.EnergyJ != f.NodeEnergyJ(i) {
+			t.Fatalf("node %d readout %+v diverges from accessors", i, n)
+		}
+	}
+	f.Close()
+}

@@ -92,6 +92,14 @@ func (l *Log) WriteChromeTrace(w io.Writer) error {
 		case KindThreadDone:
 			t.TraceEvents = append(t.TraceEvents, chromeEvent{
 				Name: "thread done", Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t"})
+		case KindAttrib:
+			t.TraceEvents = append(t.TraceEvents, chromeEvent{
+				Name: "margin (bits)", Ph: "C", Ts: ts, Pid: pid,
+				Args: map[string]any{"bits": ev.A}})
+		case KindHealth:
+			t.TraceEvents = append(t.TraceEvents, chromeEvent{
+				Name: "health: " + HealthDetectorName(ev.C), Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "g",
+				Args: map[string]any{"value": ev.A, "threshold": ev.B}})
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -35,6 +35,18 @@ const (
 	// detailed window, C = 1 entering fast-forward, 0 dropping back to
 	// detailed. TimeUS stamps the switch.
 	KindSampleMode
+	// KindAttrib: the guardband-attribution record one firmware tick
+	// produced — why the controller boosted, held, or backed off, and
+	// which input bound the move. Core -1; A = sensed margin in CPM bits
+	// (worst window CPM minus the calibration target), B = the commanded
+	// set point mV, C = the firmware.Attribution packed via its Pack
+	// method (decision, bounding input, sticky-override flag).
+	KindAttrib
+	// KindHealth: a health detector fired when the log was evaluated.
+	// Core -1; A = the observed value, B = the detector's threshold,
+	// C = packed detector id (low 8 bits) and status (next 8 bits).
+	// TimeUS stamps the end of the observation span.
+	KindHealth
 )
 
 // String names the kind for traces and tables.
@@ -54,6 +66,10 @@ func (k Kind) String() string {
 		return "thread-done"
 	case KindSampleMode:
 		return "sample-mode"
+	case KindAttrib:
+		return "guardband-attrib"
+	case KindHealth:
+		return "health"
 	}
 	return "unknown"
 }
@@ -102,6 +118,78 @@ func (r Reason) String() string {
 		return "external"
 	}
 	return "unknown"
+}
+
+// HealthDetector identifies which watchdog produced a KindHealth event
+// (packed into C). Defined here rather than in internal/health so the
+// exporters can name firings without importing the detector logic.
+type HealthDetector uint8
+
+const (
+	// DetDroopStorm: di/dt droop rate far above the calibration regime.
+	DetDroopStorm HealthDetector = iota
+	// DetThrottleResidency: the controller spent too much of its ticks
+	// backing off (restoring margin) instead of holding or boosting.
+	DetThrottleResidency
+	// DetMarginExhaustion: sensed CPM margin pinned at/below the deadband
+	// — the guardband is spent and the controller has nothing to give.
+	DetMarginExhaustion
+	// DetSLOBreach: a serving node missed its p99 latency target or shed
+	// requests.
+	DetSLOBreach
+)
+
+// String names the detector for traces and tables.
+func (d HealthDetector) String() string {
+	switch d {
+	case DetDroopStorm:
+		return "droop-storm"
+	case DetThrottleResidency:
+		return "throttle-residency"
+	case DetMarginExhaustion:
+		return "margin-exhaustion"
+	case DetSLOBreach:
+		return "slo-breach"
+	}
+	return "unknown"
+}
+
+// HealthStatus grades a KindHealth firing.
+type HealthStatus uint8
+
+const (
+	HealthOK HealthStatus = iota
+	HealthWarn
+	HealthCritical
+)
+
+// String names the status.
+func (s HealthStatus) String() string {
+	switch s {
+	case HealthOK:
+		return "ok"
+	case HealthWarn:
+		return "warn"
+	case HealthCritical:
+		return "critical"
+	}
+	return "unknown"
+}
+
+// PackHealth encodes a detector and status into a KindHealth C payload.
+func PackHealth(d HealthDetector, s HealthStatus) int64 {
+	return int64(d) | int64(s)<<8
+}
+
+// UnpackHealth decodes a KindHealth C payload.
+func UnpackHealth(c int64) (HealthDetector, HealthStatus) {
+	return HealthDetector(c & 0xff), HealthStatus(c >> 8 & 0xff)
+}
+
+// HealthDetectorName names the detector inside a packed C payload.
+func HealthDetectorName(c int64) string {
+	d, _ := UnpackHealth(c)
+	return d.String()
 }
 
 // Event is one fixed-size structured record. Payload semantics are per

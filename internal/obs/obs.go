@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"agsim/internal/tsdb"
 )
 
 // DefaultEventCap is the per-shard event-ring capacity commands enable
@@ -66,6 +68,25 @@ type Recorder struct {
 	events []Event
 	next   int
 	lost   uint64
+
+	// Time-series state: tsSpec is inherited by shards like eventCap;
+	// series are registered at construction time (mutex-guarded, like
+	// Source) and written lock-free by the shard's owning goroutine.
+	tsOn    bool
+	tsSpec  tsdb.Spec
+	series  []seriesEntry
+	tsIndex map[seriesKey]*tsdb.Series
+}
+
+// seriesKey identifies a series by emitting source and metric name.
+type seriesKey struct {
+	src  int32
+	name string
+}
+
+type seriesEntry struct {
+	key seriesKey
+	ts  *tsdb.Series
 }
 
 type histogram struct {
@@ -117,8 +138,60 @@ func (r *Recorder) Shard(name string) *Recorder {
 		}
 	}
 	child := New(name, r.eventCap)
+	child.tsOn, child.tsSpec = r.tsOn, r.tsSpec
 	r.children = append(r.children, child)
 	return child
+}
+
+// EnableTimeSeries turns on tsdb series registration for this recorder
+// and every shard created under it afterwards (enable before sharding,
+// exactly like the event capacity). Nil-safe.
+func (r *Recorder) EnableTimeSeries(spec tsdb.Spec) {
+	if r == nil {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	r.tsOn, r.tsSpec = true, spec
+	r.mu.Unlock()
+}
+
+// TimeSeriesEnabled reports whether Series returns live handles.
+func (r *Recorder) TimeSeriesEnabled() bool { return r != nil && r.tsOn }
+
+// TimeSeriesSpec returns the level shape series are built with.
+func (r *Recorder) TimeSeriesSpec() tsdb.Spec {
+	if r == nil {
+		return tsdb.Spec{}
+	}
+	return r.tsSpec
+}
+
+// Series registers (idempotently) a time-series for the given source and
+// metric name and returns its handle. Returns nil — a valid, inert
+// series — on a nil recorder, a negative source, or when time-series
+// recording is not enabled, so call sites push unconditionally.
+// Mutex-guarded like Source: registration happens at construction time,
+// never in the step loop.
+func (r *Recorder) Series(src int32, name string) *tsdb.Series {
+	if r == nil || src < 0 || !r.tsOn {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tsIndex == nil {
+		r.tsIndex = map[seriesKey]*tsdb.Series{}
+	}
+	key := seriesKey{src: src, name: name}
+	if ts, ok := r.tsIndex[key]; ok {
+		return ts
+	}
+	ts := tsdb.NewSeries(name, r.tsSpec)
+	r.tsIndex[key] = ts
+	r.series = append(r.series, seriesEntry{key: key, ts: ts})
+	return ts
 }
 
 // Source registers a named emitter (a chip, typically) and returns its
@@ -221,6 +294,25 @@ type HistSnapshot struct {
 	Count   uint64
 }
 
+// SeriesDump is one time-series' windows in a Snapshot: the source it
+// was registered under (prefixed like SourceMetrics.Name), the metric
+// name, and a copy of every level's live windows, oldest first.
+type SeriesDump struct {
+	Source string
+	Name   string
+	Spec   tsdb.Spec
+	Levels [][]tsdb.Window
+}
+
+// ShardStats is one recorder shard's local (unmerged) bookkeeping — the
+// signal that a wrapped event ring or a series-heavy shard would
+// otherwise hide inside the merged totals.
+type ShardStats struct {
+	Name       string // prefixed shard path; "" is the root recorder
+	EventsLost uint64
+	Series     int
+}
+
 // Log is the merged, deterministic view of a recorder tree: sources in
 // sorted shard-then-registration order, events in stable time order, and
 // histograms summed across shards. Two runs of the same work produce
@@ -231,6 +323,8 @@ type Log struct {
 	Hists     [NumHists]HistSnapshot
 	Events    []Event // Source re-indexed into Sources
 	EventsLost uint64
+	Series    []SeriesDump
+	Shards    []ShardStats
 }
 
 // Snapshot merges the recorder and all its shards into a Log. It must not
@@ -278,6 +372,30 @@ func (r *Recorder) collect(log *Log, prefix string) {
 		log.Hists[i].Count += r.hists[i].n
 	}
 	log.EventsLost += r.lost
+	log.Shards = append(log.Shards, ShardStats{
+		Name:       trimSlash(prefix),
+		EventsLost: r.lost,
+		Series:     len(r.series),
+	})
+	// Series in registration order — per-source construction order, which
+	// is deterministic because construction is (source registration order
+	// x fixed metric order) within one single-threaded work unit.
+	for _, se := range r.series {
+		src := ""
+		if se.key.src >= 0 && int(se.key.src) < len(r.sources) {
+			src = r.sources[se.key.src]
+		}
+		dump := SeriesDump{
+			Source: prefix + src,
+			Name:   se.key.name,
+			Spec:   se.ts.Spec(),
+			Levels: make([][]tsdb.Window, se.ts.Levels()),
+		}
+		for li := range dump.Levels {
+			dump.Levels[li] = se.ts.AppendWindows(nil, li)
+		}
+		log.Series = append(log.Series, dump)
+	}
 	// Ring in chronological order: the wrap point splits oldest from newest.
 	emit := func(ev Event) {
 		if ev.Source >= 0 {
@@ -303,6 +421,14 @@ func (r *Recorder) collect(log *Log, prefix string) {
 	}
 }
 
+// trimSlash drops the trailing separator a shard prefix carries.
+func trimSlash(p string) string {
+	if n := len(p); n > 0 && p[n-1] == '/' {
+		return p[:n-1]
+	}
+	return p
+}
+
 // TotalCounter sums a counter across every source of the log.
 func (l *Log) TotalCounter(c CounterID) uint64 {
 	var total uint64
@@ -310,4 +436,42 @@ func (l *Log) TotalCounter(c CounterID) uint64 {
 		total += l.Sources[i].Counters[c]
 	}
 	return total
+}
+
+// SeriesNames returns the distinct time-series metric names in the log,
+// sorted.
+func (l *Log) SeriesNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for i := range l.Series {
+		if n := l.Series[i].Name; !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MergedSeries folds every dump of the named metric across sources —
+// merge-on-read, in the log's deterministic dump order — into one
+// windows-per-level view. Returns ok=false when no source recorded it.
+func (l *Log) MergedSeries(name string) (spec tsdb.Spec, levels [][]tsdb.Window, ok bool) {
+	for i := range l.Series {
+		d := &l.Series[i]
+		if d.Name != name {
+			continue
+		}
+		if !ok {
+			ok = true
+			spec = d.Spec
+			levels = make([][]tsdb.Window, len(d.Levels))
+		}
+		for li := range d.Levels {
+			if li < len(levels) {
+				levels[li] = tsdb.MergeWindows(levels[li], d.Levels[li])
+			}
+		}
+	}
+	return spec, levels, ok
 }

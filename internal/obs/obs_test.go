@@ -166,6 +166,9 @@ func TestWriteChromeTraceIsValidJSON(t *testing.T) {
 	r.Emit(Event{TimeUS: 4000, Kind: KindDVFS, Source: src, Core: -1, A: 1150, B: 1199, C: -1})
 	r.Emit(Event{TimeUS: 36000, Kind: KindLeap, Source: src, Core: -1, A: 0.032, C: int64(ReasonTick)})
 	r.Emit(Event{TimeUS: 40000, Kind: KindThreadDone, Source: src, Core: 5})
+	r.Emit(Event{TimeUS: 64000, Kind: KindAttrib, Source: src, Core: -1, A: 2, B: 1150, C: 1 << 5})
+	r.Emit(Event{TimeUS: 70000, Kind: KindHealth, Source: src, Core: -1, A: 80, B: 50,
+		C: PackHealth(DetDroopStorm, HealthWarn)})
 	lg := r.Snapshot()
 	var sb strings.Builder
 	if err := lg.WriteChromeTrace(&sb); err != nil {
@@ -189,9 +192,19 @@ func TestWriteChromeTraceIsValidJSON(t *testing.T) {
 	if doc.DisplayTimeUnit != "ms" {
 		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
 	}
-	var leaps, metas int
+	var leaps, metas, margins, healths int
 	for _, ev := range doc.TraceEvents {
 		switch {
+		case ev.Name == "margin (bits)":
+			margins++
+			if ev.Ph != "C" || ev.Args["bits"] != 2.0 {
+				t.Errorf("attribution counter sample malformed: %+v", ev)
+			}
+		case ev.Name == "health: droop-storm":
+			healths++
+			if ev.Ph != "i" || ev.Args["value"] != 80.0 || ev.Args["threshold"] != 50.0 {
+				t.Errorf("health instant malformed: %+v", ev)
+			}
 		case ev.Ph == "M":
 			metas++
 		case ev.Ph == "X":
@@ -210,6 +223,9 @@ func TestWriteChromeTraceIsValidJSON(t *testing.T) {
 	}
 	if leaps != 1 || metas == 0 {
 		t.Errorf("leaps = %d, metadata events = %d", leaps, metas)
+	}
+	if margins != 1 || healths != 1 {
+		t.Errorf("margins = %d, health instants = %d, want 1 each", margins, healths)
 	}
 }
 

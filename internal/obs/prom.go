@@ -70,7 +70,34 @@ func (l *Log) WriteProm(w io.Writer) error {
 	if err := promHeader(w, "agsim_events_lost", "structured events overwritten by ring wrap", "gauge"); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "agsim_events_lost %d\n", l.EventsLost)
+	if _, err := fmt.Fprintf(w, "agsim_events_lost %d\n", l.EventsLost); err != nil {
+		return err
+	}
+	// Per-shard bookkeeping: a single wrapped ring under-reports silently
+	// inside the merged total, so expose where the loss happened and how
+	// many time-series each shard carries.
+	if err := promHeader(w, "agsim_shard_events_lost", "events overwritten by ring wrap, per recorder shard", "gauge"); err != nil {
+		return err
+	}
+	for i := range l.Shards {
+		if _, err := fmt.Fprintf(w, "agsim_shard_events_lost{shard=%s} %d\n",
+			promLabel(l.Shards[i].Name), l.Shards[i].EventsLost); err != nil {
+			return err
+		}
+	}
+	if err := promHeader(w, "agsim_shard_series", "registered time-series, per recorder shard", "gauge"); err != nil {
+		return err
+	}
+	for i := range l.Shards {
+		if _, err := fmt.Fprintf(w, "agsim_shard_series{shard=%s} %d\n",
+			promLabel(l.Shards[i].Name), l.Shards[i].Series); err != nil {
+			return err
+		}
+	}
+	if err := promHeader(w, "agsim_series_registered", "registered time-series across the recorder tree", "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "agsim_series_registered %d\n", len(l.Series))
 	return err
 }
 

@@ -1,0 +1,194 @@
+package tsdb
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func smallSpec() Spec {
+	return Spec{Levels: []LevelSpec{
+		{WidthUS: 1_000, Buckets: 8},
+		{WidthUS: 4_000, Buckets: 8},
+		{WidthUS: 16_000, Buckets: 8},
+	}}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec: %v", err)
+	}
+	if err := CompactSpec().Validate(); err != nil {
+		t.Fatalf("CompactSpec: %v", err)
+	}
+	bad := []Spec{
+		{},
+		{Levels: []LevelSpec{{WidthUS: 0, Buckets: 4}}},
+		{Levels: []LevelSpec{{WidthUS: 1000, Buckets: 0}}},
+		{Levels: []LevelSpec{{WidthUS: 1000, Buckets: 4}, {WidthUS: 1500, Buckets: 4}}},
+		{Levels: []LevelSpec{{WidthUS: 2000, Buckets: 4}, {WidthUS: 1000, Buckets: 4}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestWindowAggregates(t *testing.T) {
+	s := NewSeries("v", smallSpec())
+	// Three samples inside one 1 ms window.
+	s.Push(100, 3.0)
+	s.Push(400, 1.0)
+	s.Push(900, 2.0)
+	w := s.AppendWindows(nil, 0)
+	if len(w) != 1 {
+		t.Fatalf("want 1 window, got %d", len(w))
+	}
+	got := w[0]
+	if got.StartUS != 0 || got.Cnt != 3 || got.Min != 1 || got.Max != 3 || got.Last != 2 || got.LastUS != 900 {
+		t.Fatalf("bad aggregates: %+v", got)
+	}
+	if got.Sum != 6 || got.Mean() != 2 {
+		t.Fatalf("bad sum/mean: %+v", got)
+	}
+}
+
+func TestRollupRetainsEvictedHistory(t *testing.T) {
+	s := NewSeries("v", smallSpec())
+	// 40 samples at 1 ms: level 0 (8 buckets) wraps, level 1 (4 ms x 8 =
+	// 32 ms) retains most, level 2 (16 ms x 8) retains all.
+	for i := 0; i < 40; i++ {
+		s.Push(int64(i)*1_000, float64(i))
+	}
+	l0 := s.AppendWindows(nil, 0)
+	if len(l0) != 8 {
+		t.Fatalf("level 0: want 8 windows, got %d", len(l0))
+	}
+	if l0[0].StartUS != 32_000 || l0[7].StartUS != 39_000 {
+		t.Fatalf("level 0 span wrong: %+v .. %+v", l0[0], l0[7])
+	}
+	l2 := s.AppendWindows(nil, 2)
+	var cnt int64
+	for _, w := range l2 {
+		cnt += w.Cnt
+	}
+	if cnt != 40 {
+		t.Fatalf("level 2 lost history: %d samples retained", cnt)
+	}
+	if l2[0].Min != 0 || l2[len(l2)-1].Max != 39 {
+		t.Fatalf("level 2 aggregates wrong: %+v", l2)
+	}
+}
+
+// TestFillMatchesPushes is the core backfill invariant: Fill over a span
+// produces bit-identical windows to pushing every grid point.
+func TestFillMatchesPushes(t *testing.T) {
+	cases := []struct{ t0, t1 int64 }{
+		{0, 10_000},        // aligned short span
+		{250, 10_250},      // unaligned ends
+		{3_000, 3_900},     // sub-stride span, no grid point
+		{0, 200_000},       // wraps every level-0 ring
+		{7_777, 1_000_000}, // long unaligned span
+	}
+	for _, tc := range cases {
+		a := NewSeries("a", smallSpec())
+		b := NewSeries("b", smallSpec())
+		// Prime both with identical leading samples.
+		a.Push(tc.t0, 5)
+		b.Push(tc.t0, 5)
+		a.Fill(tc.t0, tc.t1, 2.5, 1_000)
+		for g := tc.t0 - tc.t0%1_000 + 1_000; g <= tc.t1; g += 1_000 {
+			b.Push(g, 2.5)
+		}
+		if a.Pushes() != b.Pushes() {
+			t.Fatalf("span (%d,%d]: pushes %d != %d", tc.t0, tc.t1, a.Pushes(), b.Pushes())
+		}
+		for li := 0; li < a.Levels(); li++ {
+			wa := a.AppendWindows(nil, li)
+			wb := b.AppendWindows(nil, li)
+			if !reflect.DeepEqual(wa, wb) {
+				t.Fatalf("span (%d,%d] level %d:\nfill: %+v\npush: %+v", tc.t0, tc.t1, li, wa, wb)
+			}
+		}
+	}
+}
+
+// TestFillThenPushContinues checks a leap followed by detailed stepping
+// lands in the same windows as continuous stepping would.
+func TestFillThenPushContinues(t *testing.T) {
+	a := NewSeries("a", smallSpec())
+	b := NewSeries("b", smallSpec())
+	a.Fill(0, 5_500, 1.0, 1_000)
+	a.Push(6_000, 9.0)
+	for g := int64(1_000); g <= 5_000; g += 1_000 {
+		b.Push(g, 1.0)
+	}
+	b.Push(6_000, 9.0)
+	for li := 0; li < a.Levels(); li++ {
+		if !reflect.DeepEqual(a.AppendWindows(nil, li), b.AppendWindows(nil, li)) {
+			t.Fatalf("level %d diverged", li)
+		}
+	}
+}
+
+func TestMergeWindowsOrderFree(t *testing.T) {
+	mk := func(seed int64) []Window {
+		s := NewSeries("m", smallSpec())
+		for i := int64(0); i < 20; i++ {
+			s.Push(i*1_000+seed*37, float64(seed)+float64(i))
+		}
+		return s.AppendWindows(nil, 1)
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	m1 := MergeWindows(MergeWindows(append([]Window(nil), a...), b), c)
+	m2 := MergeWindows(MergeWindows(append([]Window(nil), c...), a), b)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("merge order changed result:\n%+v\n%+v", m1, m2)
+	}
+	var want, got int64
+	for _, w := range append(append(append([]Window(nil), a...), b...), c...) {
+		want += w.Cnt
+	}
+	for _, w := range m1 {
+		got += w.Cnt
+	}
+	if want != got {
+		t.Fatalf("merge lost samples: %d != %d", got, want)
+	}
+}
+
+func TestNilSeriesSafe(t *testing.T) {
+	var s *Series
+	s.Push(0, 1)
+	s.Fill(0, 1000, 1, 1000)
+	if s.Name() != "" || s.Levels() != 0 || s.Pushes() != 0 {
+		t.Fatal("nil series not inert")
+	}
+	if w := s.AppendWindows(nil, 0); w != nil {
+		t.Fatal("nil series returned windows")
+	}
+	if !reflect.DeepEqual(s.Spec(), Spec{}) {
+		t.Fatal("nil series has a spec")
+	}
+}
+
+func TestPushZeroAlloc(t *testing.T) {
+	s := NewSeries("z", DefaultSpec())
+	var tUS int64
+	allocs := testing.AllocsPerRun(5000, func() {
+		tUS += 1_000
+		s.Push(tUS, math.Sin(float64(tUS)))
+	})
+	if allocs != 0 {
+		t.Fatalf("Push allocates: %v allocs/op", allocs)
+	}
+	allocs = testing.AllocsPerRun(500, func() {
+		t0 := tUS
+		tUS += 500_000
+		s.Fill(t0, tUS, 1.5, 1_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("Fill allocates: %v allocs/op", allocs)
+	}
+}

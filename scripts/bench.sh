@@ -28,7 +28,8 @@
 # run (first occurrence wins, as with the micro pass).
 #
 # The fleet-scale benches (FLEETSCALE_BENCHES, default the sharded
-# BenchmarkFleetAdvance{256,1024,4096} ladder plus BenchmarkWebsearchQoS)
+# BenchmarkFleetAdvance{256,1024,4096} ladder, its telemetry-plane twin
+# BenchmarkFleetAdvance256Timeseries, plus BenchmarkWebsearchQoS)
 # run in their own pass at FLEETSCALE_BENCHTIME (default 1x) with
 # FLEETSCALE_COUNT repetitions (default 2, min wins): one op advances
 # thousands of request-serving nodes, so even a handful of iterations
@@ -64,7 +65,7 @@ micro_count="${MICRO_COUNT:-3}"
 fleet_pattern="${FLEET_BENCHES:-BenchmarkDatacenterSweepParallel64}"
 fleet_benchtime="${FLEET_BENCHTIME:-3x}"
 fleet_count="${FLEET_COUNT:-2}"
-fleetscale_pattern="${FLEETSCALE_BENCHES:-BenchmarkFleetAdvance(256|1024|4096)\$|BenchmarkWebsearchQoS\$}"
+fleetscale_pattern="${FLEETSCALE_BENCHES:-BenchmarkFleetAdvance(256|1024|4096)\$|BenchmarkFleetAdvance256Timeseries\$|BenchmarkWebsearchQoS\$}"
 fleetscale_benchtime="${FLEETSCALE_BENCHTIME:-1x}"
 fleetscale_count="${FLEETSCALE_COUNT:-2}"
 sampled_pattern="${SAMPLED_BENCHES:-Benchmark(DatacenterSweep|Sweep)(LongHorizon|Sampled)\$}"

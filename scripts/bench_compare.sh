@@ -11,7 +11,11 @@
 # The new recording is also checked against the flight recorder's own
 # budget: BenchmarkChipStepRecorded must stay within RECORDER_THRESHOLD_PCT
 # of BenchmarkChipStep ns/op and keep 0 allocs/op, and the batched twin
-# BenchmarkBatchStepRecorded must keep 0 allocs/op too.
+# BenchmarkBatchStepRecorded must keep 0 allocs/op too. The telemetry
+# plane carries the same shape of gate: BenchmarkChipStepTimeseries (the
+# recorder plus multi-resolution series and per-tick attribution) must
+# stay within TSDB_THRESHOLD_PCT of BenchmarkChipStep ns/op and keep 0
+# allocs/op.
 #
 # The sweep lanes carry an absolute allocation budget: arena pooling keeps
 # the Sweep and DatacenterSweep families' steady-state footprint small, and
@@ -73,6 +77,8 @@
 #                           lanes are always exempt, see above)
 #   RECORDER_THRESHOLD_PCT  instrumented-vs-plain step overhead budget in
 #                           percent (default 3)
+#   TSDB_THRESHOLD_PCT      telemetry-plane (series + attribution) step
+#                           overhead budget in percent (default 3)
 #   SWEEP_ALLOC_BUDGET      allocs/op ceiling on the Sweep/DatacenterSweep
 #                           families (default 4500, ~2x the pooled steady
 #                           state; the pre-arena figure was ~82000)
@@ -98,6 +104,7 @@ set -eu
 threshold="${THRESHOLD_PCT:-10}"
 guard="${GUARD_RE:-ChipStep|Sweep}"
 rthreshold="${RECORDER_THRESHOLD_PCT:-3}"
+tthreshold="${TSDB_THRESHOLD_PCT:-3}"
 abudget="${SWEEP_ALLOC_BUDGET:-4500}"
 bbudget="${SWEEP_BYTES_BUDGET:-250000}"
 fabudget="${FLEET_ALLOC_BUDGET:-40000}"
@@ -153,6 +160,7 @@ fi
 echo "comparing $old (old) -> $new (new), threshold ${threshold}% on /$guard/"
 
 awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
+	-v tthreshold="$tthreshold" \
 	-v abudget="$abudget" -v bbudget="$bbudget" \
 	-v fabudget="$fabudget" -v fbbudget="$fbbudget" \
 	-v bsmin="$bsmin" -v gmp="$gmp" \
@@ -285,6 +293,22 @@ awk -v threshold="$threshold" -v guard="$guard" -v rthreshold="$rthreshold" \
 			}
 			if (newa[recd] != "" && newa[recd] + 0 > 0) {
 				printf "FAIL: %s allocates (%s allocs/op, want 0)\n", recd, newa[recd]
+				status = 1
+			}
+		}
+		# Telemetry plane budget: the series + attribution step loop
+		# against the uninstrumented one, same shape as the recorder gate.
+		tsd = "BenchmarkChipStepTimeseries"
+		if ((base in newv) && (tsd in newv) && newv[base] > 0) {
+			ovh = (newv[tsd] - newv[base]) / newv[base] * 100
+			print ""
+			printf "telemetry plane overhead (new recording): %+.1f%% ns/op (budget %s%%)\n", ovh, tthreshold
+			if (ovh > tthreshold + 0) {
+				printf "FAIL: %s exceeds %s by more than %s%% ns/op\n", tsd, base, tthreshold
+				status = 1
+			}
+			if (newa[tsd] != "" && newa[tsd] + 0 > 0) {
+				printf "FAIL: %s allocates (%s allocs/op, want 0)\n", tsd, newa[tsd]
 				status = 1
 			}
 		}
