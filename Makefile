@@ -32,9 +32,18 @@
 #                        Prometheus output for the core metric families, then
 #                        boot amesterd with -http/-timeseries and curl the
 #                        live /health, /timeseries and /stream endpoints
-#   make ci            — everything CI runs: check + race + smoke + bench +
-#                        bench-compare (bench-compare gates both ns/op
-#                        regressions and the recorder's overhead/alloc budget)
+#   make dist-smoke    — the distributed-sweep and checkpoint/replay smoke:
+#                        sweep DIST_SMOKE_UNITS through a two-worker fleet
+#                        and through a single worker and require the merges
+#                        byte-identical, then serve with -snap-dir, SIGTERM
+#                        (graceful shutdown writes a final snapshot) and
+#                        `agsim replay` the newest image to the next
+#                        cpm-window event
+#   make ci            — everything CI runs: check + race + smoke +
+#                        dist-smoke + bench + bench-compare (bench-compare
+#                        gates ns/op regressions, the recorder's
+#                        overhead/alloc budget, the warm-start speedup
+#                        floor and the snapshot-size ceiling)
 #
 # GO selects the toolchain; WORKERS feeds -workers through AGSIM benches.
 
@@ -47,8 +56,10 @@ SMOKE_EXP   ?= fig3
 SMOKE_DIR   ?= /tmp/agsim-smoke
 SMOKE_AMESTER_PORT ?= 7207
 SMOKE_HTTP_PORT    ?= 7208
+DIST_SMOKE_PORT    ?= 7209
+DIST_SMOKE_UNITS   ?= fig3,fig16
 
-.PHONY: all build vet test check race bench bench-compare profile smoke ci
+.PHONY: all build vet test check race bench bench-compare profile smoke dist-smoke ci
 
 all: check
 
@@ -63,8 +74,11 @@ test:
 
 check: build vet test
 
+# The experiments package takes ~10 min under the detector on the 1-CPU
+# reference box (the identity matrices are detector-rate-limited, not
+# hung), so the default 10m go-test timeout is too tight a hair-trigger.
 race:
-	$(GO) test -race ./internal/parallel ./internal/cluster ./internal/experiments \
+	$(GO) test -race -timeout 30m ./internal/parallel ./internal/cluster ./internal/experiments \
 		./internal/fleet ./internal/traffic
 
 bench:
@@ -105,4 +119,48 @@ smoke:
 	echo "smoke: amesterd endpoints validated on $$url"
 	@echo "smoke: exporters validated in $(SMOKE_DIR)"
 
-ci: check race smoke bench bench-compare
+# Distributed-sweep smoke: the same unit list swept by a two-worker fleet
+# and by a single worker must merge byte-identically (the coordinator
+# assembles renders in unit order, so worker count can't show). Then the
+# snapshot/replay loop: serve with periodic snapshots, SIGTERM (graceful
+# shutdown writes a final image), and time-travel from the newest image to
+# the next cpm-window event.
+dist-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(GO) build -o $(SMOKE_DIR)/amesterd ./cmd/amesterd
+	$(GO) build -o $(SMOKE_DIR)/agsim ./cmd/agsim
+	@set -e; \
+	for n in 2 1; do \
+		$(SMOKE_DIR)/amesterd -listen 127.0.0.1:$(DIST_SMOKE_PORT) \
+			-sweep $(DIST_SMOKE_UNITS) -quick \
+			>$(SMOKE_DIR)/dist$$n.out 2>$(SMOKE_DIR)/dist$$n.log & cpid=$$!; \
+		trap 'kill $$cpid 2>/dev/null' EXIT INT TERM; \
+		i=0; until curl -sf http://127.0.0.1:$(DIST_SMOKE_PORT)/status >/dev/null 2>&1; do \
+			i=$$((i+1)); [ $$i -lt 50 ] || { cat $(SMOKE_DIR)/dist$$n.log; exit 1; }; \
+			sleep 0.2; \
+		done; \
+		w=0; while [ $$w -lt $$n ]; do w=$$((w+1)); \
+			$(SMOKE_DIR)/agsim worker http://127.0.0.1:$(DIST_SMOKE_PORT) \
+				2>$(SMOKE_DIR)/dist$$n-w$$w.log & \
+		done; \
+		wait $$cpid; trap - EXIT INT TERM; \
+	done; \
+	cmp $(SMOKE_DIR)/dist2.out $(SMOKE_DIR)/dist1.out; \
+	echo "dist-smoke: two-worker merge byte-identical to single-worker ($$(wc -c <$(SMOKE_DIR)/dist2.out) bytes)"
+	@set -e; \
+	rm -rf $(SMOKE_DIR)/snaps; mkdir -p $(SMOKE_DIR)/snaps; \
+	$(SMOKE_DIR)/amesterd -listen 127.0.0.1:$(DIST_SMOKE_PORT) -seed 7 \
+		-snap-dir $(SMOKE_DIR)/snaps -snap-every 0.5 \
+		>$(SMOKE_DIR)/serve.log 2>&1 & spid=$$!; \
+	trap 'kill $$spid 2>/dev/null' EXIT INT TERM; \
+	i=0; until [ -n "$$(ls $(SMOKE_DIR)/snaps 2>/dev/null)" ]; do \
+		i=$$((i+1)); [ $$i -lt 100 ] || { cat $(SMOKE_DIR)/serve.log; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	kill -TERM $$spid; wait $$spid; trap - EXIT INT TERM; \
+	snap=$$(ls $(SMOKE_DIR)/snaps/*.snap | sort | tail -1); \
+	$(SMOKE_DIR)/agsim replay -from $$snap -until cpm-window | tee $(SMOKE_DIR)/replay.out; \
+	grep -q 'cpm-window #1' $(SMOKE_DIR)/replay.out; \
+	echo "dist-smoke: replayed $$snap to the next cpm-window event"
+
+ci: check race smoke dist-smoke bench bench-compare

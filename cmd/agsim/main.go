@@ -9,6 +9,11 @@
 //	                           statistics against the paper's numbers
 //	agsim report [flags]       emit the full markdown report EXPERIMENTS.md
 //	                           is built from
+//	agsim worker URL           join a distributed sweep as a pull-based
+//	                           worker (URL = the coordinator started by
+//	                           `amesterd -listen ADDR -sweep ...`)
+//	agsim replay -from F.snap  restore an amesterd snapshot and step until
+//	                           a flight-recorder event (-until kind[:N])
 //
 // Flags for run/report:
 //
@@ -21,6 +26,9 @@
 //	-sampled      alternate detailed windows with analytic fast-forwards
 //	              (phase detector + confidence tracker); headline statistics
 //	              carry ± error bars from the stated confidence interval
+//	-warmstart    settle each sweep point once, snapshot it, and restore
+//	              the settled baseline on every later execution of the same
+//	              point key (bit-identical results; wall-clock only)
 //	-ci F         sampled lane's relative confidence-interval target
 //	              (0 = default 0.01)
 //	-nodes N      datacenter sweep fleet size (0 = default 4)
@@ -63,6 +71,10 @@ func main() {
 		os.Exit(2)
 	}
 	switch os.Args[1] {
+	case "worker", "-worker":
+		workerCmd(os.Args[2:])
+	case "replay":
+		replayCmd(os.Args[2:])
 	case "list":
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-7s %s\n        paper: %s\n", e.ID, e.Title, e.Paper)
@@ -83,8 +95,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: agsim {list | run <id|all> [flags] [-full] | report [flags] | workloads}")
-	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-batched] [-sampled] [-ci F] [-nodes N] [-events]")
+	fmt.Fprintln(os.Stderr, "usage: agsim {list | run <id|all> [flags] [-full] | report [flags] | workloads | worker <url> | replay -from <snap> [-until kind[:n]]}")
+	fmt.Fprintln(os.Stderr, "flags: [-quick] [-seed N] [-workers N] [-mesh] [-exact] [-batched] [-sampled] [-warmstart] [-ci F] [-nodes N] [-events]")
 	fmt.Fprintln(os.Stderr, "       [-timeseries] [-trace-out f] [-metrics-out f] [-cpuprofile f] [-memprofile f]")
 }
 
@@ -182,6 +194,7 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	exact := fs.Bool("exact", false, "disable event-horizon macro-stepping; pure 1 ms reference lane")
 	batched := fs.Bool("batched", false, "route fleet-scale drivers through the structure-of-arrays stepping engine")
 	sampled := fs.Bool("sampled", false, "sampled simulation: detailed windows + CI-gated analytic fast-forwards")
+	warm := fs.Bool("warmstart", false, "restore settled sweep baselines from the in-process snapshot cache (bit-identical; repeat sweeps skip the settle span)")
 	ci := fs.Float64("ci", 0, "sampled lane's relative confidence-interval target (0 = default 0.01)")
 	nodes := fs.Int("nodes", 0, "datacenter sweep fleet size (0 = default 4)")
 	events := fs.Bool("events", false, "attach the flight recorder; print event timeline and metric summary")
@@ -205,6 +218,7 @@ func options(fs *flag.FlagSet, args []string) (experiments.Options, recording, f
 	o.Exact = *exact
 	o.Batched = *batched
 	o.Sampled = *sampled
+	o.WarmStart = *warm
 	o.TargetCI = *ci
 	o.Nodes = *nodes
 	rc := recording{events: *events, timeseries: *timeseries, traceOut: *traceOut, metricsOut: *metricsOut}
@@ -353,6 +367,32 @@ func reportCmd(args []string) {
 	fmt.Println("Chrome trace_event timeline (open it in Perfetto) and Prometheus text")
 	fmt.Println("metrics written per experiment. Recording never perturbs results; see")
 	fmt.Println("ARCHITECTURE.md, \"Observability\".")
+	fmt.Println()
+	fmt.Println("Telemetry plane: `-timeseries` additionally records multi-resolution")
+	fmt.Println("per-chip series (`power_w`, `freq_mhz`, `rail_mv` per micro-step,")
+	fmt.Println("`margin_bits` per firmware tick; 1 ms / 32 ms / 1.024 s rollup rings),")
+	fmt.Println("one guardband-attribution event per firmware tick (the `margin (bits)`")
+	fmt.Println("counter track in the Chrome trace), and runs the health detectors over")
+	fmt.Println("the finished run — droop-storm, throttle-residency, margin-exhaustion")
+	fmt.Println("and SLO watchdogs print any warn/critical findings after the summary")
+	fmt.Println("and land in the trace as `health: <detector>` instants. A healthy run")
+	fmt.Println("prints nothing. The same plane is served live by")
+	fmt.Println("`amesterd -listen ADDR -http HADDR -timeseries`: `GET /timeseries`")
+	fmt.Println("(inventory, or `?name=power_w&res=1` for one series' windows),")
+	fmt.Println("`GET /health`, `GET /fleet`, `GET /stream` (one SSE frame per publish)")
+	fmt.Println("alongside `/metrics`, `/manifest` and `/debug/pprof`. Like the")
+	fmt.Println("recorder, the plane never perturbs results and the instrumented step")
+	fmt.Println("stays at 0 allocs/op; see ARCHITECTURE.md, \"Telemetry plane\".")
+	fmt.Println()
+	fmt.Println("Checkpoint/restore: `-warmstart` restores settled baselines from an")
+	fmt.Println("in-memory snapshot cache instead of re-settling each sweep point —")
+	fmt.Println("results are bit-identical warm or cold, only wall clock changes (see")
+	fmt.Println("the warm-lane column in the runtime comparison below). The same")
+	fmt.Println("snapshot engine shards this whole report across processes")
+	fmt.Println("(`amesterd -listen ADDR -sweep all` + N x `agsim worker URL`, merged")
+	fmt.Println("byte-identically to a serial run) and time-travels serving daemons")
+	fmt.Println("(`amesterd -snap-dir` + `agsim replay -from FILE.snap -until kind`).")
+	fmt.Println("See ARCHITECTURE.md, \"Checkpoint/restore and distributed sweeps\".")
 	runtimes := make([]time.Duration, 0, len(experiments.Registry()))
 	for _, e := range experiments.Registry() {
 		o.Recorder = rc.recorder(e.ID)
@@ -414,12 +454,16 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 	fmt.Println("that produced the numbers above, plus the batched lane (`-batched`) —")
 	fmt.Println("the structure-of-arrays stepping engine the fleet-scale drivers ride —")
 	fmt.Println("and the sampled lane (`-sampled`), which extrapolates converged spans")
-	fmt.Println("and reports its worst stated confidence interval. Exact, macro and")
-	fmt.Println("batched report bit-identical experiment results; the sampled lane is")
+	fmt.Println("and reports its worst stated confidence interval, and the warm-start")
+	fmt.Println("lane (`-warmstart`) — the macro lane restoring settled baselines from")
+	fmt.Println("the snapshot cache instead of re-settling (timed on a primed cache;")
+	fmt.Println("the win is largest where settling dominates, e.g. the exact-lane")
+	fmt.Println("steady-state sweeps CI gates at >=2x). Exact, macro, batched and warm")
+	fmt.Println("report bit-identical experiment results; the sampled lane is")
 	fmt.Println("statistical, pinned within its CI by the accuracy harness.")
 	fmt.Println()
-	fmt.Println("| experiment | exact 1 ms lane | macro lane | batched lane | sampled lane | macro speedup | sampled worst CI |")
-	fmt.Println("|---|---|---|---|---|---|---|")
+	fmt.Println("| experiment | exact 1 ms lane | macro lane | batched lane | sampled lane | warm lane | macro speedup | warm speedup | sampled worst CI |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|")
 	exact := o
 	exact.Exact = true
 	// The timing reruns never record: a stale recorder would panic on
@@ -431,7 +475,10 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 	sampled := o
 	sampled.Sampled = true
 	sampled.Recorder = nil
-	var exactTotal, macroTotal, batchedTotal, sampledTotal time.Duration
+	warm := o
+	warm.WarmStart = true
+	warm.Recorder = nil
+	var exactTotal, macroTotal, batchedTotal, sampledTotal, warmTotal time.Duration
 	for i, e := range experiments.Registry() {
 		start := time.Now()
 		e.Run(exact)
@@ -442,6 +489,10 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 		start = time.Now()
 		srep := e.Run(sampled)
 		st := time.Since(start)
+		e.Run(warm) // prime the snapshot cache untimed
+		start = time.Now()
+		e.Run(warm)
+		wt := time.Since(start)
 		worstCI := 0.0
 		if srep.Sampling != nil {
 			worstCI = srep.Sampling.WorstRelCI()
@@ -450,13 +501,16 @@ func reportRuntimeComparison(o experiments.Options, macroRuntimes []time.Duratio
 		macroTotal += macroRuntimes[i]
 		batchedTotal += bt
 		sampledTotal += st
-		fmt.Printf("| %s | %s | %s | %s | %s | %.1fx | %.4f |\n",
+		warmTotal += wt
+		fmt.Printf("| %s | %s | %s | %s | %s | %s | %.1fx | %.1fx | %.4f |\n",
 			e.ID, et.Round(time.Millisecond), macroRuntimes[i].Round(time.Millisecond),
 			bt.Round(time.Millisecond), st.Round(time.Millisecond),
-			float64(et)/float64(macroRuntimes[i]), worstCI)
+			wt.Round(time.Millisecond),
+			float64(et)/float64(macroRuntimes[i]), float64(macroRuntimes[i])/float64(wt), worstCI)
 	}
-	fmt.Printf("| **total** | %s | %s | %s | %s | %.1fx | |\n",
+	fmt.Printf("| **total** | %s | %s | %s | %s | %s | %.1fx | %.1fx | |\n",
 		exactTotal.Round(time.Millisecond), macroTotal.Round(time.Millisecond),
 		batchedTotal.Round(time.Millisecond), sampledTotal.Round(time.Millisecond),
-		float64(exactTotal)/float64(macroTotal))
+		warmTotal.Round(time.Millisecond),
+		float64(exactTotal)/float64(macroTotal), float64(macroTotal)/float64(warmTotal))
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"agsim/internal/amester"
+	"agsim/internal/chip"
+	"agsim/internal/obs"
+	"agsim/internal/snapshot"
+)
+
+// replayCmd is snapshot-anchored time travel: restore an amesterd snapshot
+// into a freshly built identical server (the header's scenario record says
+// how), then step forward until the requested event fires — "show me the
+// next droop after this checkpoint" without re-running the minutes that
+// led up to it.
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	from := fs.String("from", "", "snapshot file written by `amesterd -snap-dir` (required)")
+	until := fs.String("until", "", "stop at the Nth event of this kind, as kind or kind:N (droop, throttle, dvfs, cpm-window, thread-done, guardband-attrib, ...)")
+	maxSec := fs.Float64("max-sec", 10, "give up after this much additional simulated time")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: agsim replay -from FILE.snap [-until kind[:N]] [-max-sec S]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *from == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := replay(*from, *until, *maxSec); err != nil {
+		fmt.Fprintln(os.Stderr, "agsim replay:", err)
+		os.Exit(1)
+	}
+}
+
+// parseUntil splits "kind" or "kind:N" into the event-kind name and the
+// occurrence count.
+func parseUntil(s string) (kind string, n int, err error) {
+	kind, n = s, 1
+	if i := strings.LastIndex(s, ":"); i >= 0 {
+		kind = s[:i]
+		n, err = strconv.Atoi(s[i+1:])
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("bad -until %q: want kind or kind:N with N >= 1", s)
+		}
+	}
+	return kind, n, nil
+}
+
+func replay(path, until string, maxSec float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	meta, err := snapshot.ReadMeta(data)
+	if err != nil {
+		return err
+	}
+	sc, err := amester.ParseScenario(meta.Extra)
+	if err != nil {
+		return fmt.Errorf("%s was not written by amesterd -snap-dir: %w", path, err)
+	}
+	srv, rec, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	if _, err := snapshot.Load(data, srv); err != nil {
+		return err
+	}
+	fmt.Printf("replay: restored %s at t=%.3fs (%d threads of %s, %s, seed %d)\n",
+		path, srv.Time(), sc.Threads, sc.Workload, sc.Mode, sc.Seed)
+
+	if until == "" {
+		// No target: just confirm the restore and report the state.
+		fmt.Printf("replay: power %.1f W at t=%.3fs — pass -until kind[:N] to step forward\n",
+			float64(srv.TotalPower()), srv.Time())
+		return nil
+	}
+	kind, want, err := parseUntil(until)
+	if err != nil {
+		return err
+	}
+
+	// Step forward one firmware tick at a time, scanning only events newer
+	// than the restore point. Event timestamps are on the shared microsecond
+	// grid, so the cut is exact.
+	afterUS := obs.StampUS(srv.Time())
+	deadline := srv.Time() + maxSec
+	seen := 0
+	for srv.Time() < deadline {
+		for i := 0; i < 32; i++ {
+			srv.Step(chip.DefaultStepSec)
+		}
+		for _, ev := range rec.Snapshot().Events {
+			if ev.TimeUS <= afterUS || ev.Kind.String() != kind {
+				continue
+			}
+			seen++
+			if seen < want {
+				afterUS = ev.TimeUS
+				continue
+			}
+			fmt.Printf("replay: %s #%d at t=%.6fs (+%.6fs after snapshot)\n",
+				kind, want, float64(ev.TimeUS)/1e6, float64(ev.TimeUS)/1e6-meta.TimeSec)
+			fmt.Printf("replay:   core=%d A=%.3f B=%.3f C=%d\n", ev.Core, ev.A, ev.B, ev.C)
+			fmt.Printf("replay:   server now at t=%.3fs, power %.1f W\n",
+				srv.Time(), float64(srv.TotalPower()))
+			return nil
+		}
+	}
+	return fmt.Errorf("no %q event #%d within %.1fs of the snapshot (saw %d)", kind, want, maxSec, seen)
+}

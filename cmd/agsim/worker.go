@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"agsim/internal/experiments"
+	"agsim/internal/sweepd"
+)
+
+// workerCmd joins a distributed sweep as a pull-based worker: lease units
+// from the amesterd coordinator, run each registered experiment with the
+// options the lease carries, and post the deterministic render back. The
+// worker exits when the coordinator reports the sweep complete (or
+// draining).
+func workerCmd(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	idle := fs.Duration("idle", 0, "pause between polls when every unit is leased out (0 = 200ms)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: agsim worker [-idle D] http://COORDINATOR")
+		fmt.Fprintln(os.Stderr, "joins the sweep coordinated by `amesterd -listen ADDR -sweep ...`")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	base := fs.Arg(0)
+
+	start := time.Now()
+	stats, err := sweepd.Worker(base, func(unit string, opts json.RawMessage) (string, error) {
+		fmt.Fprintf(os.Stderr, "agsim worker: running %s\n", unit)
+		return experiments.RenderUnit(unit, opts)
+	}, *idle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agsim worker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "agsim worker: done — %d units, %d errors, %s\n",
+		stats.Units, stats.Errors, time.Since(start).Round(time.Millisecond))
+	if stats.Errors > 0 {
+		os.Exit(1)
+	}
+}

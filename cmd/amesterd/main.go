@@ -24,43 +24,69 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"agsim/internal/amester"
 	"agsim/internal/chip"
-	"agsim/internal/firmware"
+	"agsim/internal/experiments"
 	"agsim/internal/obs"
-	"agsim/internal/server"
+	"agsim/internal/snapshot"
+	"agsim/internal/sweepd"
 	"agsim/internal/telemetry"
-	"agsim/internal/tsdb"
-	"agsim/internal/workload"
 )
 
 func main() {
 	listen := flag.String("listen", "", "serve a simulated server's telemetry on this address")
 	connect := flag.String("connect", "", "connect to a running amesterd and read sensors")
+	sweep := flag.String("sweep", "", `coordinate a distributed sweep over these experiment ids ("all" = every registered experiment) on the -listen address`)
+	leaseTTL := flag.Duration("lease-ttl", sweepd.DefaultLeaseTTL, "sweep mode: how long a worker may hold a unit before it is re-queued")
+	quick := flag.Bool("quick", false, "sweep mode: reduced-fidelity sweeps")
+	sweepWorkers := flag.Int("sweep-workers", 1, "sweep mode: per-unit worker pool each agsim worker uses")
+	exact := flag.Bool("exact", false, "sweep mode: pure 1 ms reference lane")
+	warm := flag.Bool("warmstart", false, "sweep mode: workers restore settled baselines from their snapshot caches")
 	name := flag.String("workload", "raytrace", "benchmark to run (server mode)")
 	threads := flag.Int("threads", 8, "thread count (server mode)")
 	mode := flag.String("mode", "undervolt", "guardband mode: static | undervolt | overclock")
 	borrow := flag.Bool("borrow", true, "balance threads across sockets (server mode)")
 	httpAddr := flag.String("http", "", "serve /metrics, /manifest, /timeseries, /health, /stream and /debug/pprof on this address (server mode)")
 	timeseries := flag.Bool("timeseries", false, "record multi-resolution time-series and guardband attribution (server mode)")
+	snapDir := flag.String("snap-dir", "", "write periodic state snapshots into this directory (server mode; replay them with `agsim replay`)")
+	snapEvery := flag.Float64("snap-every", 1.0, "simulated seconds between snapshots when -snap-dir is set")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = wall clock, server mode)")
 	watch := flag.String("watch", "", "comma-separated sensors to stream (client mode)")
 	samples := flag.Int("samples", 10, "samples to stream in watch mode")
 	flag.Parse()
 
 	switch {
+	case *sweep != "" && *listen != "":
+		o := experiments.DefaultOptions()
+		if *quick {
+			o = experiments.QuickOptions()
+		}
+		if *seed != 0 {
+			o.Seed = *seed
+		}
+		o.Workers = *sweepWorkers
+		o.Exact = *exact
+		o.WarmStart = *warm
+		if err := coordinate(*listen, *sweep, o, *leaseTTL); err != nil {
+			fmt.Fprintln(os.Stderr, "amesterd:", err)
+			os.Exit(1)
+		}
 	case *listen != "" && *connect == "":
-		if err := serve(*listen, *httpAddr, *name, *threads, *mode, *borrow, *seed, *timeseries); err != nil {
+		if err := serve(*listen, *httpAddr, *name, *threads, *mode, *borrow, *seed, *timeseries, *snapDir, *snapEvery); err != nil {
 			fmt.Fprintln(os.Stderr, "amesterd:", err)
 			os.Exit(1)
 		}
@@ -71,47 +97,86 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: amesterd -listen ADDR [server flags] | amesterd -connect ADDR [-watch sensors]")
+		fmt.Fprintln(os.Stderr, "       amesterd -listen ADDR -sweep all [-quick] [-seed N] [-exact] [-warmstart] [-lease-ttl D]")
 		os.Exit(2)
 	}
 }
 
-func serve(addr, httpAddr, name string, threads int, modeName string, borrow bool, seed uint64, timeseries bool) error {
-	d, err := workload.Get(name)
+// coordinate runs the distributed-sweep coordinator: lease units to agsim
+// workers over /work, merge their renders from /result, print the
+// assembled sweep (byte-identical to a serial run of the same units) and
+// exit. SIGINT/SIGTERM drains gracefully: no new leases are issued,
+// workers exit on their next poll, and whatever merged so far is printed
+// with the missing units listed — expired leases were already re-queued
+// along the way, so an interrupted sweep never silently drops coverage.
+func coordinate(addr, sweep string, o experiments.Options, ttl time.Duration) error {
+	var units []string
+	if sweep == "all" {
+		units = experiments.UnitIDs()
+	} else {
+		for _, id := range strings.Split(sweep, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.Lookup(id); !ok {
+				return fmt.Errorf("unknown experiment %q (try: agsim list)", id)
+			}
+			units = append(units, id)
+		}
+	}
+	opts, err := json.Marshal(o.Wire())
 	if err != nil {
 		return err
 	}
-	var mode firmware.Mode
-	switch modeName {
-	case "static":
-		mode = firmware.Static
-	case "undervolt":
-		mode = firmware.Undervolt
-	case "overclock":
-		mode = firmware.Overclock
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+	coord := sweepd.New(units, opts, ttl)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
+	defer l.Close()
+	go func() {
+		if err := http.Serve(l, coord.Handler()); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			fmt.Fprintln(os.Stderr, "amesterd: sweep http:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "amesterd: coordinating %d units on http://%s (lease ttl %s)\n", len(units), l.Addr(), ttl)
+	fmt.Fprintf(os.Stderr, "amesterd: start workers with: agsim worker http://%s\n", l.Addr())
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-coord.Done():
+	case s := <-sig:
+		coord.Drain()
+		st := coord.Status()
+		fmt.Fprintf(os.Stderr, "amesterd: %v: draining (%d/%d done, %d leased, %d re-queued)\n",
+			s, st.Done, st.Total, st.Leased, st.Requeued)
+	}
+	// Grace window: keep answering /work with 410 for a beat so workers
+	// mid-poll exit cleanly instead of hitting a closed listener.
+	coord.Drain()
+	defer time.Sleep(1 * time.Second)
+	merged, missing := coord.Merge()
+	fmt.Print(merged)
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "amesterd: sweep %d/%d units merged (%d re-queued after lease expiry)\n",
+		st.Done, st.Total, st.Requeued)
+	if len(missing) > 0 {
+		return fmt.Errorf("sweep incomplete, missing: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func serve(addr, httpAddr, name string, threads int, modeName string, borrow bool, seed uint64, timeseries bool, snapDir string, snapEvery float64) error {
 	if seed == 0 {
 		seed = uint64(time.Now().UnixNano())
 	}
-	rec := obs.New("amesterd", obs.DefaultEventCap)
-	if timeseries {
-		rec.EnableTimeSeries(tsdb.DefaultSpec())
+	scenario := amester.Scenario{
+		Workload: name, Threads: threads, Mode: modeName,
+		Borrow: borrow, Seed: seed, Timeseries: timeseries,
 	}
-	cfg := server.DefaultConfig(seed)
-	cfg.Recorder = rec
-	srv := server.MustNew(cfg)
-	var placements []server.Placement
-	if borrow {
-		placements = server.BorrowedPlacements(threads, srv.Sockets())
-	} else {
-		placements = server.ConsolidatedPlacements(threads)
-	}
-	if _, err := srv.Submit("job", d, placements, 1e9); err != nil {
+	srv, rec, err := scenario.Build()
+	if err != nil {
 		return err
 	}
-	srv.SetMode(mode)
 
 	svc := amester.NewService(telemetry.ServerProbes(srv)...)
 	l, err := net.Listen("tcp", addr)
@@ -160,21 +225,61 @@ func serve(addr, httpAddr, name string, threads int, modeName string, borrow boo
 	// Run the simulation forever, publishing on the firmware cadence.
 	// Wall-clock pacing keeps remote watch output humane: one publish per
 	// 32 ms of real time.
+	// SIGINT/SIGTERM close the telemetry service and listeners cleanly
+	// instead of dying mid-publish; a final snapshot is written when
+	// snapshotting is on, so a restart can replay right up to the kill.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	ticker := time.NewTicker(time.Duration(telemetry.Interval * float64(time.Second)))
 	defer ticker.Stop()
 	stepsPerTick := int(telemetry.Interval / chip.DefaultStepSec)
-	for range ticker.C {
+	nextSnap := snapEvery
+	writeSnap := func() error {
+		img, err := snapshot.Save(srv, snapshot.Meta{
+			Seed: seed, Revision: "amesterd", Extra: scenario.Marshal(), TimeSec: srv.Time(),
+		})
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(snapDir, fmt.Sprintf("amesterd-%012.3fs.snap", srv.Time()))
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("amesterd: snapshot %s (%d bytes)\n", path, len(img))
+		return nil
+	}
+	for {
+		select {
+		case s := <-sig:
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Printf("amesterd: %v: shutting down at t=%.3fs\n", s, srv.Time())
+			if snapDir != "" {
+				if err := writeSnap(); err != nil {
+					return err
+				}
+			}
+			return nil
+		case <-ticker.C:
+		}
 		mu.Lock()
 		for i := 0; i < stepsPerTick; i++ {
 			srv.Step(chip.DefaultStepSec)
 		}
 		svc.Publish()
+		if snapDir != "" && srv.Time() >= nextSnap {
+			if err := writeSnap(); err != nil {
+				mu.Unlock()
+				return err
+			}
+			nextSnap = srv.Time() + snapEvery
+		}
 		mu.Unlock()
 		if api != nil {
 			api.Publish()
 		}
 	}
-	return nil
 }
 
 func client(addr, watch string, samples int) error {

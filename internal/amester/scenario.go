@@ -1,0 +1,87 @@
+// Scenario is the serving-configuration record amesterd stores in every
+// snapshot header (snapshot.Meta.Extra): the constructor arguments of the
+// served simulation, enough to rebuild a bit-identical target for
+// snapshot.Load. `agsim replay` reads it back, rebuilds the server, and
+// restores the image into it — the restore-into-same-shape contract means
+// the scenario, not the image, carries the immutable structure.
+package amester
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agsim/internal/firmware"
+	"agsim/internal/obs"
+	"agsim/internal/server"
+	"agsim/internal/tsdb"
+	"agsim/internal/workload"
+)
+
+// Scenario captures how an amesterd serve loop built its server.
+type Scenario struct {
+	Workload   string `json:"workload"`
+	Threads    int    `json:"threads"`
+	Mode       string `json:"mode"`
+	Borrow     bool   `json:"borrow"`
+	Seed       uint64 `json:"seed"`
+	Timeseries bool   `json:"timeseries"`
+}
+
+// ParseMode maps the flag spelling to the firmware mode.
+func ParseMode(name string) (firmware.Mode, error) {
+	switch name {
+	case "static":
+		return firmware.Static, nil
+	case "undervolt":
+		return firmware.Undervolt, nil
+	case "overclock":
+		return firmware.Overclock, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+// Marshal renders the scenario for a snapshot header.
+func (sc Scenario) Marshal() string {
+	b, _ := json.Marshal(sc)
+	return string(b)
+}
+
+// ParseScenario reads a snapshot header's Extra back.
+func ParseScenario(extra string) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal([]byte(extra), &sc); err != nil {
+		return sc, fmt.Errorf("amester: bad scenario in snapshot header: %w", err)
+	}
+	return sc, nil
+}
+
+// Build constructs the server and recorder exactly as the serve loop
+// does, so a snapshot taken there restores here.
+func (sc Scenario) Build() (*server.Server, *obs.Recorder, error) {
+	d, err := workload.Get(sc.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	mode, err := ParseMode(sc.Mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := obs.New("amesterd", obs.DefaultEventCap)
+	if sc.Timeseries {
+		rec.EnableTimeSeries(tsdb.DefaultSpec())
+	}
+	cfg := server.DefaultConfig(sc.Seed)
+	cfg.Recorder = rec
+	srv := server.MustNew(cfg)
+	var placements []server.Placement
+	if sc.Borrow {
+		placements = server.BorrowedPlacements(sc.Threads, srv.Sockets())
+	} else {
+		placements = server.ConsolidatedPlacements(sc.Threads)
+	}
+	if _, err := srv.Submit("job", d, placements, 1e9); err != nil {
+		return nil, nil, err
+	}
+	srv.SetMode(mode)
+	return srv, rec, nil
+}

@@ -18,6 +18,21 @@ package arena
 
 import "sync"
 
+// FormatVersion is the binary-layout generation of poolable simulation
+// state. It is baked into every arena key (see Versioned) and into the
+// snapshot wire header (internal/snapshot), so pooled or cached state
+// produced by an older struct layout can never be handed to — or restored
+// into — a binary that laid its state out differently. Bump it whenever a
+// Reset-managed or snapshot-walked struct changes shape.
+const FormatVersion byte = 1
+
+// Versioned prefixes a shape key with the format-version byte. Arena
+// methods apply it internally; external caches keyed by shape (the warm
+// snapshot cache) use it directly so their keys age out with the layout.
+func Versioned(key string) string {
+	return string([]byte{'v', FormatVersion, ':'}) + key
+}
+
 // Arena is a keyed pool of reusable objects of type T. It is safe for
 // concurrent use: parallel sweep workers acquire and release through one
 // shared arena.
@@ -38,12 +53,12 @@ func New[T any]() *Arena[T] {
 func (a *Arena[T]) Get(key string) (v T, ok bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	pool := a.pools[key]
+	pool := a.pools[Versioned(key)]
 	if n := len(pool) - 1; n >= 0 {
 		v = pool[n]
 		var zero T
 		pool[n] = zero
-		a.pools[key] = pool[:n]
+		a.pools[Versioned(key)] = pool[:n]
 		a.hits++
 		return v, true
 	}
@@ -58,7 +73,8 @@ func (a *Arena[T]) Get(key string) (v T, ok bool) {
 func (a *Arena[T]) Put(key string, v T) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.pools[key] = append(a.pools[key], v)
+	k := Versioned(key)
+	a.pools[k] = append(a.pools[k], v)
 }
 
 // Stats reports hit and miss counts since construction, for tests and
@@ -83,5 +99,5 @@ func (a *Arena[T]) Drain() {
 func (a *Arena[T]) Len(key string) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.pools[key])
+	return len(a.pools[Versioned(key)])
 }

@@ -192,6 +192,13 @@ func (c *Cluster) ShapeKey() string {
 	return fmt.Sprintf("cluster{%d %s}", len(c.nodes), c.nodes[0].cfg.ShapeKey())
 }
 
+// SnapshotPrepare quiesces the cluster for checkpointing (the
+// snapshot.Preparer seam): any live batch segment scatters back into the
+// per-chip objects and the engine returns to its pool, so the chips are
+// authoritative on both the save and load side of a restore. The next
+// Advance re-gathers lazily, exactly as after a placement boundary.
+func (c *Cluster) SnapshotPrepare() { c.flush() }
+
 // Nodes returns the node count.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 

@@ -63,11 +63,12 @@ func AblationLoadReserve(o Options) AblationLoadReserveResult {
 }
 
 func measureWithReserve(o Options, name string, n int, mode firmware.Mode, reserve float64) float64 {
-	c := newChip(o, fmt.Sprintf("abl-reserve/%s/%d/%v/%.2f", name, n, mode, reserve))
+	tag := fmt.Sprintf("abl-reserve/%s/%d/%v/%.2f", name, n, mode, reserve)
+	c := newChip(o, tag)
 	c.Controller().LoadReserveMilliohm = reserve
 	placeThreads(c, workload.MustGet(name), n)
 	c.SetMode(mode)
-	p := measureChip(o, c).PowerW
+	p := measureChip(o, c, tag).PowerW
 	releaseChip(c)
 	return p
 }
@@ -82,7 +83,7 @@ func serverSteadyWithReserve(o Options, tag string, d workload.Descriptor, pl []
 	s.MustSubmit("j", d, pl, 1e9)
 	s.GateUnloadedCores(keepOn...)
 	s.SetMode(firmware.Undervolt)
-	s.Settle(o.SettleSec)
+	o.settleServer(s, "abl-srv/"+tag)
 	var power float64
 	k := serverMeasureSpan(s, o.MeasureSec, func(dt float64) {
 		power += float64(s.TotalPower()) * dt
@@ -171,13 +172,14 @@ func AblationCPMVariation(o Options) AblationCPMVariationResult {
 		spreads = []float64{0, 10}
 	}
 	uvs := parallel.Sweep(o.pool(), spreads, func(_ int, sp float64) float64 {
+		tag := fmt.Sprintf("abl-cpm/%g", sp)
 		cfg := o.chipConfig("abl-cpm", o.Seed)
 		cfg.CPM.PathOffsetSpreadMV = sp
-		cfg.Recorder = o.Recorder.Shard(fmt.Sprintf("chip/abl-cpm/%g", sp))
+		cfg.Recorder = o.Recorder.Shard("chip/" + tag)
 		c := acquireChip(cfg)
 		placeThreads(c, workload.MustGet("raytrace"), 4)
 		c.SetMode(firmware.Undervolt)
-		uv := measureChip(o, c).UndervoltMV
+		uv := measureChip(o, c, tag).UndervoltMV
 		releaseChip(c)
 		return uv
 	})

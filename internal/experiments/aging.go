@@ -55,11 +55,12 @@ func AgingSweep(o Options) AgingResult {
 	}
 	pts := parallel.Sweep(o.pool(), wears, func(_ int, wear float64) point {
 		run := func(mode firmware.Mode) (violations int, uv, freq float64) {
-			c := newChip(o, fmt.Sprintf("aging/%v/%.0f", mode, wear))
+			tag := fmt.Sprintf("aging/%v/%.0f", mode, wear)
+			c := newChip(o, tag)
 			placeThreads(c, workload.MustGet(bench), threads)
 			c.AgeBy(wear)
 			c.SetMode(mode)
-			c.Settle(o.SettleSec)
+			o.settleChip(c, tag)
 			base := c.MarginViolations()
 			var uvSum, fSum float64
 			k := o.measureSpan(c, o.MeasureSec, func(dt float64) {

@@ -153,8 +153,8 @@ func runNaive(o Options, jobs int) (float64, float64) {
 		// Sampled takes precedence over Batched: settling stays detailed
 		// (scalar), then each independent server gets its own governor for
 		// the measurement span.
-		for _, s := range srvs {
-			s.Settle(o.SettleSec)
+		for i, s := range srvs {
+			o.settleServer(s, fmt.Sprintf("dc/naive/%d/node%02d", jobs, i))
 		}
 		for _, s := range srvs {
 			o.governor(s).Run(o.MeasureSec, nil)
@@ -162,8 +162,8 @@ func runNaive(o Options, jobs int) (float64, float64) {
 	case o.Batched:
 		advanceNaiveBatched(o, srvs)
 	default:
-		for _, s := range srvs {
-			s.Settle(o.SettleSec)
+		for i, s := range srvs {
+			o.settleServer(s, fmt.Sprintf("dc/naive/%d/node%02d", jobs, i))
 		}
 		for _, s := range srvs {
 			for remaining := o.MeasureSec; remaining > settleEps; {
@@ -238,7 +238,7 @@ func runCluster(o Options, jobs int, ags bool) (float64, float64) {
 			panic(err)
 		}
 	}
-	c.Settle(o.SettleSec)
+	o.settleCluster(c, fmt.Sprintf("dc/cluster/%d/ags=%v/batched=%v/w=%d", jobs, ags, o.Batched, o.Workers))
 	if g := o.governor(c); g != nil {
 		g.Run(o.MeasureSec, nil)
 	} else {

@@ -66,10 +66,11 @@ func DroopCensus(o Options) DroopCensusResult {
 		busyWindows, windows int
 	}
 	pts := parallel.Sweep(o.pool(), o.coreCounts(), func(_ int, n int) point {
-		c := newChip(o, fmt.Sprintf("droops/%d", n))
+		tag := fmt.Sprintf("droops/%d", n)
+		c := newChip(o, tag)
 		placeThreads(c, d, n)
 		c.SetMode(firmware.Undervolt)
-		c.Settle(o.SettleSec)
+		o.settleChip(c, tag)
 		c.ResetDroopStats()
 
 		// Multi-rate census: events always fire inside micro-steps and the

@@ -51,7 +51,7 @@ func DVFSComparison(o Options) DVFSResult {
 			c.Place(i, threadsList[i])
 		}
 		configure(c)
-		c.Settle(o.SettleSec)
+		o.settleChip(c, "dvfs/"+tag)
 		for _, th := range threadsList {
 			th.Reset(per)
 		}

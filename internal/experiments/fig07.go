@@ -58,10 +58,11 @@ func Fig07VoltageDrop(o Options) Fig07Result {
 		}
 	}
 	dropPcts := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) []float64 {
-		c := newChip(o, fmt.Sprintf("fig07/%s/%d", pt.d.Name, pt.n))
+		tag := fmt.Sprintf("fig07/%s/%d", pt.d.Name, pt.n)
+		c := newChip(o, tag)
 		placeThreads(c, pt.d, pt.n)
 		c.SetMode(firmware.Static)
-		c.Settle(o.SettleSec)
+		o.settleChip(c, tag)
 		drops := make([]float64, cores)
 		span := o.measureSpan(c, o.MeasureSec, func(dt float64) {
 			for i := 0; i < cores; i++ {

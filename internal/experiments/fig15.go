@@ -54,7 +54,8 @@ func Fig15Colocation(o Options) Fig15Result {
 	}
 	freqs := parallel.Sweep(o.pool(), points, func(_ int, pt gridPoint) float64 {
 		other := workload.MustGet(pt.otherName)
-		c := newChip(o, fmt.Sprintf("fig15/%s/%d", pt.otherName, pt.k))
+		tag := fmt.Sprintf("fig15/%s/%d", pt.otherName, pt.k)
+		c := newChip(o, tag)
 		for i := 0; i < pt.k; i++ {
 			c.Place(i, workload.NewThread(cm, 1e9, nil))
 		}
@@ -62,7 +63,7 @@ func Fig15Colocation(o Options) Fig15Result {
 			c.Place(i, workload.NewThread(other, 1e9, nil))
 		}
 		c.SetMode(firmware.Overclock)
-		f := measureChip(o, c).Freq0MHz
+		f := measureChip(o, c, tag).Freq0MHz
 		releaseChip(c)
 		return f
 	})

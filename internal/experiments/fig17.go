@@ -68,7 +68,7 @@ func colocatedChip(o Options, tag string, r coRunner) *chip.Chip {
 		c.SetIssueThrottle(i, r.throttle)
 	}
 	c.SetMode(firmware.Overclock)
-	c.Settle(o.SettleSec)
+	o.settleChip(c, "fig17/"+tag+fmt.Sprintf("/co=%.2f", r.throttle))
 	return c
 }
 
@@ -152,8 +152,9 @@ func Fig17AdaptiveMapping(o Options) Fig17Result {
 	// predictor observes in input order.
 	predictor := &core.FreqPredictor{}
 	trainSts := parallel.Sweep(o.pool(), []float64{0.1, 0.3, 0.5, 0.7, 0.96}, func(_ int, th float64) steady {
-		c := colocatedChip(o, fmt.Sprintf("train/%.2f", th), coRunner{"train", th})
-		st := measureChip(o, c)
+		tag := fmt.Sprintf("train/%.2f", th)
+		c := colocatedChip(o, tag, coRunner{"train", th})
+		st := measureChip(o, c, tag)
 		releaseChip(c)
 		return st
 	})

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetector reports that this binary was built with -race; see
+// race_on_test.go.
+const raceDetector = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceDetector reports that this binary was built with -race. The
+// exhaustive identity matrices trim to a representative subset under the
+// detector: race coverage needs the concurrency shapes (parallel subtests
+// sharing the warm cache and arenas), not the full numeric sweep the
+// unraced tier-1 run already pins, and the full matrix does not fit the
+// package timeout at detector speed.
+const raceDetector = true

@@ -41,7 +41,8 @@ func SMTScaling(o Options) SMTResult {
 		counts = []int{8, 32}
 	}
 	sts := parallel.Sweep(o.pool(), counts, func(_ int, threads int) steady {
-		c := newChip(o, fmt.Sprintf("smt/%d", threads))
+		tag := fmt.Sprintf("smt/%d", threads)
+		c := newChip(o, tag)
 		perCore := threads / 8
 		for core := 0; core < 8; core++ {
 			for k := 0; k < perCore; k++ {
@@ -49,7 +50,7 @@ func SMTScaling(o Options) SMTResult {
 			}
 		}
 		c.SetMode(firmware.Undervolt)
-		st := measureChip(o, c)
+		st := measureChip(o, c, tag)
 		releaseChip(c)
 		return st
 	})

@@ -1,0 +1,159 @@
+// Warm-started sweeps: every sweep point today pays a settle span —
+// simulated seconds driving the electrical and firmware loops to steady
+// state — before its measurement begins, and with the default fidelity the
+// settle dominates the point's runtime. A point's settled state is a pure
+// function of its cache key (the config prefix adjacent points and repeat
+// runs share: shape key, tag, seed, settle span, lane flags, recorder
+// construction), so the first execution of a key snapshots the settled
+// object (internal/snapshot) into a process-wide cache and every later
+// execution restores it instead of re-settling. Restore is bit-identical
+// to settling — pinned by TestWarmStartExperimentsBitIdentical — so
+// Options.WarmStart changes wall-clock only, never results.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"agsim/internal/arena"
+	"agsim/internal/chip"
+	"agsim/internal/cluster"
+	"agsim/internal/server"
+	"agsim/internal/snapshot"
+)
+
+// warmRoot is what the cache can hold: anything that settles and states
+// its structural identity (chips, servers, clusters).
+type warmRoot interface {
+	Settle(seconds float64)
+	ShapeKey() string
+}
+
+// warmImages is the process-wide settled-state cache. Bounded: once
+// CapBytes of images are resident, new keys settle cold and are not
+// inserted (existing keys keep hitting), so a many-lane report run cannot
+// grow the cache without bound.
+type warmImages struct {
+	mu     sync.Mutex
+	images map[string][]byte
+	bytes  int64
+	cap    int64
+	hits   uint64
+	misses uint64
+	full   uint64
+}
+
+func warmCapBytes() int64 {
+	if s := os.Getenv("AGSIM_WARM_CACHE_MB"); s != "" {
+		if mb, err := strconv.Atoi(s); err == nil && mb >= 0 {
+			return int64(mb) << 20
+		}
+	}
+	return 768 << 20
+}
+
+var warmCache = &warmImages{images: map[string][]byte{}, cap: warmCapBytes()}
+
+func (w *warmImages) get(key string) ([]byte, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	img, ok := w.images[key]
+	if ok {
+		w.hits++
+	} else {
+		w.misses++
+	}
+	return img, ok
+}
+
+func (w *warmImages) put(key string, img []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.images[key]; ok {
+		return
+	}
+	if w.bytes+int64(len(img)) > w.cap {
+		w.full++
+		return
+	}
+	w.images[key] = img
+	w.bytes += int64(len(img))
+}
+
+func (w *warmImages) drop(key string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if img, ok := w.images[key]; ok {
+		w.bytes -= int64(len(img))
+		delete(w.images, key)
+	}
+}
+
+// WarmStats reports the settled-state cache's hit/miss/bytes counters.
+type WarmStats struct {
+	Hits, Misses, Full uint64
+	Entries            int
+	Bytes              int64
+}
+
+// WarmCacheStats returns the process-wide warm cache counters.
+func WarmCacheStats() WarmStats {
+	warmCache.mu.Lock()
+	defer warmCache.mu.Unlock()
+	return WarmStats{
+		Hits: warmCache.hits, Misses: warmCache.misses, Full: warmCache.full,
+		Entries: len(warmCache.images), Bytes: warmCache.bytes,
+	}
+}
+
+// ResetWarmCache empties the settled-state cache and its counters; tests
+// use it to isolate priming from reuse.
+func ResetWarmCache() {
+	warmCache.mu.Lock()
+	defer warmCache.mu.Unlock()
+	warmCache.images = map[string][]byte{}
+	warmCache.bytes = 0
+	warmCache.hits, warmCache.misses, warmCache.full = 0, 0, 0
+}
+
+// warmKey builds the cache key: everything the settled state is a
+// function of. The shape key covers structure (core counts, mesh lane,
+// exact lane, ablation overrides); the tag covers the point's coordinates
+// (workload, thread count, mode, parameter overrides — by the same
+// convention that salts the point's RNG streams and names its recorder
+// shard); the options cover seed, settle span and recorder construction.
+// arena.Versioned folds in the binary-layout generation so images from an
+// older layout can never warm-start a newer binary.
+func (o Options) warmKey(kind, shape, tag string) string {
+	return arena.Versioned(fmt.Sprintf("warm|%s|%s|%s|settle=%g|seed=%d|rec=%s",
+		kind, shape, tag, o.SettleSec, o.Seed, o.Recorder.Fingerprint()))
+}
+
+// warmSettle restores the point's settled baseline from the cache, or
+// settles cold and caches the result. Restore failures (a stale or
+// corrupt image) fall back to the cold path after dropping the entry.
+func (o Options) warmSettle(root warmRoot, kind, tag string) {
+	if !o.WarmStart {
+		root.Settle(o.SettleSec)
+		return
+	}
+	key := o.warmKey(kind, root.ShapeKey(), tag)
+	if img, ok := warmCache.get(key); ok {
+		if _, err := snapshot.Load(img, root); err == nil {
+			return
+		}
+		warmCache.drop(key)
+	}
+	root.Settle(o.SettleSec)
+	if img, err := snapshot.Save(root, snapshot.Meta{Seed: o.Seed, Revision: tag}); err == nil {
+		warmCache.put(key, img)
+	}
+}
+
+func (o Options) settleChip(c *chip.Chip, tag string)       { o.warmSettle(c, "chip", tag) }
+func (o Options) settleServer(s *server.Server, tag string) { o.warmSettle(s, "server", tag) }
+func (o Options) settleCluster(c *cluster.Cluster, tag string) {
+	o.warmSettle(c, "cluster", tag)
+}

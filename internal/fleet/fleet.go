@@ -181,6 +181,30 @@ func (f *Fleet) seal() {
 	f.sealed = true
 }
 
+// SnapshotPrepare quiesces the fleet for checkpointing (the
+// snapshot.Preparer seam): sealed shards scatter their SoA engines back
+// into the authoritative per-chip objects and release them, and the fleet
+// unseals, so a checkpoint never carries gathered state and a restore
+// target never keeps any. The next Advance re-seals from the restored
+// chips.
+func (f *Fleet) SnapshotPrepare() {
+	for si := range f.shards {
+		sh := &f.shards[si]
+		if sh.eng != nil {
+			sh.eng.Scatter()
+			batch.Release(sh.eng)
+			sh.eng = nil
+		}
+	}
+	f.sealed = false
+}
+
+// ShapeKey identifies the fleet's structural identity for snapshot
+// headers: node count, shard width, and the node template's shape.
+func (f *Fleet) ShapeKey() string {
+	return fmt.Sprintf("fleet{%d %d %s}", len(f.servers), f.cfg.ShardNodes, f.cfg.Template.ShapeKey())
+}
+
 // advanceShard runs shard si's nodes through their private multi-rate
 // loops to the current horizon. Allocation-free: engine segments mutate
 // the SoA arrays in place, scalar segments the servers.

@@ -10,6 +10,7 @@
 package rng
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
@@ -57,6 +58,29 @@ func (s *Source) Reseed(seed uint64, name string) {
 // fresh Split(name) would have, without allocating.
 func (s *Source) SplitInto(child *Source, name string) {
 	child.pcg.Seed(s.r.Uint64(), nameSeed(name))
+}
+
+// MarshalBinary captures the stream's exact position: the underlying PCG
+// state. rand.Rand carries no state beyond the generator (see Reseed), so
+// the PCG bytes are the complete stream identity — a restored Source
+// continues the draw sequence bit-identically. This is the hook the
+// snapshot engine (internal/snapshot) serializes Sources through.
+func (s *Source) MarshalBinary() ([]byte, error) {
+	return s.pcg.MarshalBinary()
+}
+
+// UnmarshalBinary rewinds the stream in place to the marshaled position.
+// A zero Source allocates its generator; a live one is reseeded without
+// allocating, exactly like Reseed.
+func (s *Source) UnmarshalBinary(data []byte) error {
+	if s.pcg == nil {
+		s.pcg = rand.NewPCG(0, 0)
+		s.r = rand.New(s.pcg)
+	}
+	if err := s.pcg.UnmarshalBinary(data); err != nil {
+		return fmt.Errorf("rng: restore source: %w", err)
+	}
+	return nil
 }
 
 // Float64 returns a uniform value in [0,1).

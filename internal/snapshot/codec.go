@@ -1,0 +1,149 @@
+// Binary primitives for the snapshot wire format: varint-packed integers,
+// raw IEEE-754 float bits, and length-prefixed byte strings. The encoding
+// is deliberately boring — every value has exactly one representation, so
+// Save→Load→Save is byte-identical by construction and the size budget
+// (SNAP_BYTES_BUDGET in CI) tracks real state growth, not format noise.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// writer appends primitives to a growing buffer.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(b byte)    { w.buf = append(w.buf, b) }
+func (w *writer) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) i64(v int64)  { w.buf = binary.AppendVarint(w.buf, v) }
+
+// f64 writes raw IEEE-754 bits, fixed 8 bytes little-endian: float state
+// must round-trip bit-exactly (including -0 and NaN payloads), and varint
+// packing would bloat typical mantissas.
+func (w *writer) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// f64s bulk-writes a float64 run — the same bytes n f64 calls would
+// produce, without per-element call overhead. Float arrays dominate a
+// chip image, so the walker routes them here.
+func (w *writer) f64s(fs []float64) {
+	off := len(w.buf)
+	w.buf = append(w.buf, make([]byte, 8*len(fs))...)
+	for _, f := range fs {
+		binary.LittleEndian.PutUint64(w.buf[off:], math.Float64bits(f))
+		off += 8
+	}
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// reader consumes the writer's output with a sticky error: after the
+// first malformed read every subsequent read returns zero, so decode
+// loops stay linear and check r.err once per object.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: offset %d: %s", r.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// f64s bulk-reads len(fs) float64 values into fs, the reader twin of
+// writer.f64s.
+func (r *reader) f64s(fs []float64) {
+	if r.err != nil {
+		return
+	}
+	if r.off+8*len(fs) > len(r.buf) {
+		r.fail("truncated %d-float64 run", len(fs))
+		return
+	}
+	for i := range fs {
+		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+		r.off += 8
+	}
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		r.fail("truncated %d-byte string", n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *reader) str() string { return string(r.bytes()) }

@@ -1,0 +1,14 @@
+// Concrete-type registry entries: interface fields whose dynamic value
+// may need to be constructed on restore because the target's differs.
+// The immutable pdn networks are intentionally absent — they are
+// runtime-only skips whose presence is guaranteed by the shape key — and
+// policies carrying closures (QueueAware.Depth) restore with a nil
+// closure; callers that swap policies re-install them after Load.
+package snapshot
+
+import "agsim/internal/cluster"
+
+func init() {
+	RegisterType(cluster.ConsolidateFirst{})
+	RegisterType(cluster.QueueAware{})
+}

@@ -1,0 +1,255 @@
+// Package sweepd shards a sweep across processes: a coordinator leases
+// work units over HTTP (/work), merges returned renders (/result), and
+// re-queues units whose lease expired, so a killed worker never loses
+// sweep coverage. Units are whole registered experiments — each is
+// deterministic given its options, and the merge keys renders by unit id
+// in the coordinator's original order, so an N-worker run assembles
+// byte-identically to a serial one (pinned by the package tests and the
+// two-worker smoke in `make ci`).
+//
+// The protocol is deliberately tiny and pull-based:
+//
+//	POST /work   -> 200 {"lease":n,"unit":"fig3","opts":{...}}
+//	                204 nothing leasable right now (retry after a beat)
+//	                410 sweep complete or draining (worker exits)
+//	POST /result <- {"lease":n,"unit":"fig3","render":"..."}
+//	GET  /status -> {"total":N,"done":M,"leased":K,"requeued":R}
+//
+// Results are idempotent: the first render for a unit wins and later
+// duplicates (a slow worker racing its expired lease's replacement) are
+// acknowledged and dropped — determinism makes them byte-identical
+// anyway, which TestDuplicateResultsIdentical pins.
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultLeaseTTL bounds how long a worker may sit on a unit before the
+// coordinator hands it to someone else.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// WorkResponse is one leased unit.
+type WorkResponse struct {
+	Lease uint64          `json:"lease"`
+	Unit  string          `json:"unit"`
+	Opts  json.RawMessage `json:"opts"`
+}
+
+// ResultRequest is a worker's finished unit.
+type ResultRequest struct {
+	Lease  uint64 `json:"lease"`
+	Unit   string `json:"unit"`
+	Render string `json:"render"`
+}
+
+// Status is the coordinator's progress snapshot.
+type Status struct {
+	Total    int  `json:"total"`
+	Done     int  `json:"done"`
+	Leased   int  `json:"leased"`
+	Requeued int  `json:"requeued"`
+	Draining bool `json:"draining"`
+}
+
+type lease struct {
+	unit     string
+	deadline time.Time
+}
+
+// Coordinator owns the unit queue and the merged results.
+type Coordinator struct {
+	mu       sync.Mutex
+	units    []string // original order: the merge order
+	opts     json.RawMessage
+	queue    []string // units awaiting a lease
+	leases   map[uint64]lease
+	results  map[string]string
+	nextID   uint64
+	ttl      time.Duration
+	requeued int
+	draining bool
+	done     chan struct{} // closed when every unit has a result
+	now      func() time.Time
+}
+
+// New builds a coordinator over the units (in merge order) with the
+// options payload every lease carries. ttl <= 0 selects DefaultLeaseTTL.
+func New(units []string, opts json.RawMessage, ttl time.Duration) *Coordinator {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	c := &Coordinator{
+		units:   append([]string(nil), units...),
+		opts:    opts,
+		queue:   append([]string(nil), units...),
+		leases:  map[uint64]lease{},
+		results: map[string]string{},
+		ttl:     ttl,
+		done:    make(chan struct{}),
+		now:     time.Now,
+	}
+	if len(units) == 0 {
+		close(c.done)
+	}
+	return c
+}
+
+// reap re-queues every expired lease. Caller holds mu.
+func (c *Coordinator) reap() {
+	now := c.now()
+	var expired []uint64
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			expired = append(expired, id)
+		}
+	}
+	// Deterministic re-queue order keeps tests stable; workers see the
+	// same coverage either way.
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		l := c.leases[id]
+		delete(c.leases, id)
+		if _, ok := c.results[l.unit]; !ok {
+			c.queue = append(c.queue, l.unit)
+			c.requeued++
+		}
+	}
+}
+
+// Lease hands out the next unit, reaping expired leases first. ok=false
+// with complete=false means nothing is leasable right now (all units are
+// out with live leases); ok=false with complete=true means the sweep is
+// finished or draining and the worker should exit.
+func (c *Coordinator) Lease() (w WorkResponse, ok, complete bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining || len(c.results) == len(c.units) {
+		return w, false, true
+	}
+	c.reap()
+	for len(c.queue) > 0 {
+		unit := c.queue[0]
+		c.queue = c.queue[1:]
+		if _, dup := c.results[unit]; dup {
+			continue // arrived while queued (duplicate of an expired lease)
+		}
+		c.nextID++
+		c.leases[c.nextID] = lease{unit: unit, deadline: c.now().Add(c.ttl)}
+		return WorkResponse{Lease: c.nextID, Unit: unit, Opts: c.opts}, true, false
+	}
+	return w, false, false
+}
+
+// Complete records a finished unit. Unknown leases are tolerated (the
+// lease may have expired and been re-issued); the first render for a unit
+// wins.
+func (c *Coordinator) Complete(res ResultRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.leases, res.Lease)
+	if _, dup := c.results[res.Unit]; !dup {
+		known := false
+		for _, u := range c.units {
+			if u == res.Unit {
+				known = true
+				break
+			}
+		}
+		if known {
+			c.results[res.Unit] = res.Render
+			if len(c.results) == len(c.units) {
+				close(c.done)
+			}
+		}
+	}
+}
+
+// Drain stops issuing leases: outstanding workers finish their unit (or
+// expire) and every later /work answers 410 so workers exit. Used by
+// amesterd's signal handler.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+}
+
+// Done is closed once every unit has a result.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Status reports progress.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Total: len(c.units), Done: len(c.results), Leased: len(c.leases),
+		Requeued: c.requeued, Draining: c.draining,
+	}
+}
+
+// Merge assembles the renders in the coordinator's original unit order —
+// the same order a serial run produces — and reports any units still
+// missing.
+func (c *Coordinator) Merge() (string, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ""
+	var missing []string
+	for _, u := range c.units {
+		r, ok := c.results[u]
+		if !ok {
+			missing = append(missing, u)
+			continue
+		}
+		out += r
+	}
+	return out, missing
+}
+
+// Handler serves the coordinator's three endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		wr, ok, complete := c.Lease()
+		switch {
+		case complete:
+			w.WriteHeader(http.StatusGone)
+		case !ok:
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(wr); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	})
+	mux.HandleFunc("/result", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var res ResultRequest
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+			http.Error(w, fmt.Sprintf("bad result: %v", err), http.StatusBadRequest)
+			return
+		}
+		c.Complete(res)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(c.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,217 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agsim/internal/experiments"
+)
+
+// fakeRender is a deterministic stand-in for an experiment run.
+func fakeRender(unit string, opts json.RawMessage) (string, error) {
+	return fmt.Sprintf("== %s opts=%s\n", unit, opts), nil
+}
+
+// serialMerge is the reference a distributed run must reproduce: the units
+// rendered in order by one process.
+func serialMerge(t *testing.T, units []string, opts json.RawMessage, run RunUnit) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, u := range units {
+		r, err := run(u, opts)
+		if err != nil {
+			t.Fatalf("serial %s: %v", u, err)
+		}
+		sb.WriteString(r)
+	}
+	return sb.String()
+}
+
+// TestTwoWorkersBitIdenticalToSerial runs the full HTTP protocol — a
+// coordinator behind httptest and two concurrent Worker loops — and pins
+// the merged output byte-identical to the serial reference.
+func TestTwoWorkersBitIdenticalToSerial(t *testing.T) {
+	units := []string{"u0", "u1", "u2", "u3", "u4", "u5", "u6"}
+	opts := json.RawMessage(`{"seed":7}`)
+	want := serialMerge(t, units, opts, fakeRender)
+
+	coord := New(units, opts, time.Minute)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	stats := make([]WorkerStats, 2)
+	errs := make([]error, 2)
+	for i := range stats {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = Worker(ts.URL, fakeRender, time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if stats[0].Units+stats[1].Units != len(units) {
+		t.Fatalf("workers ran %d+%d units, want %d total", stats[0].Units, stats[1].Units, len(units))
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("coordinator not done after workers exited")
+	}
+	got, missing := coord.Merge()
+	if len(missing) > 0 {
+		t.Fatalf("missing units: %v", missing)
+	}
+	if got != want {
+		t.Fatalf("distributed merge differs from serial:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTwoWorkersRealExperiments drives the same protocol with real
+// registered experiments, pinning that a genuine distributed sweep merges
+// byte-identically to a serial run of experiments.RenderUnit.
+func TestTwoWorkersRealExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real experiment units under -short")
+	}
+	units := []string{"fig16", "fig7"}
+	opts, err := json.Marshal(experiments.QuickOptions().Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialMerge(t, units, opts, experiments.RenderUnit)
+
+	coord := New(units, opts, time.Minute)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Worker(ts.URL, experiments.RenderUnit, time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	got, missing := coord.Merge()
+	if len(missing) > 0 {
+		t.Fatalf("missing units: %v", missing)
+	}
+	if got != want {
+		t.Fatal("distributed merge of real experiments differs from serial render")
+	}
+}
+
+// TestLeaseExpiryRequeue pins the fault-tolerance path: a worker that
+// leases a unit and dies never loses sweep coverage — the lease expires
+// and the unit is re-issued.
+func TestLeaseExpiryRequeue(t *testing.T) {
+	now := time.Unix(1000, 0)
+	coord := New([]string{"a", "b"}, nil, 10*time.Second)
+	coord.now = func() time.Time { return now }
+
+	w1, ok, _ := coord.Lease()
+	if !ok || w1.Unit != "a" {
+		t.Fatalf("first lease: got %+v ok=%v, want unit a", w1, ok)
+	}
+	w2, ok, _ := coord.Lease()
+	if !ok || w2.Unit != "b" {
+		t.Fatalf("second lease: got %+v ok=%v, want unit b", w2, ok)
+	}
+	// Nothing leasable while both leases are live.
+	if _, ok, complete := coord.Lease(); ok || complete {
+		t.Fatalf("expected 'nothing leasable', got ok=%v complete=%v", ok, complete)
+	}
+
+	// Worker 1 dies; its lease expires. The unit must come back.
+	now = now.Add(11 * time.Second)
+	w3, ok, _ := coord.Lease()
+	if !ok {
+		t.Fatal("expected re-queued unit after expiry")
+	}
+	if w3.Unit != "a" && w3.Unit != "b" {
+		t.Fatalf("re-queued unexpected unit %q", w3.Unit)
+	}
+	if st := coord.Status(); st.Requeued != 2 {
+		// Both leases expired at +11s; one was immediately re-issued.
+		t.Fatalf("requeued = %d, want 2", st.Requeued)
+	}
+
+	// Complete everything; the re-issued lease and a fresh one for the other
+	// unit finish the sweep.
+	coord.Complete(ResultRequest{Lease: w3.Lease, Unit: w3.Unit, Render: w3.Unit + "\n"})
+	w4, ok, _ := coord.Lease()
+	if !ok {
+		t.Fatal("expected final unit leasable")
+	}
+	coord.Complete(ResultRequest{Lease: w4.Lease, Unit: w4.Unit, Render: w4.Unit + "\n"})
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("sweep not done after all units completed")
+	}
+	got, missing := coord.Merge()
+	if len(missing) > 0 || got != "a\nb\n" {
+		t.Fatalf("merge = %q missing=%v, want a,b in order", got, missing)
+	}
+}
+
+// TestDuplicateResultsIdentical pins idempotency: a slow worker racing the
+// replacement for its expired lease posts a duplicate render, which is
+// acknowledged and dropped — first result wins and the merge is unchanged.
+func TestDuplicateResultsIdentical(t *testing.T) {
+	coord := New([]string{"a"}, nil, time.Minute)
+	w, ok, _ := coord.Lease()
+	if !ok {
+		t.Fatal("lease failed")
+	}
+	coord.Complete(ResultRequest{Lease: w.Lease, Unit: "a", Render: "first\n"})
+	coord.Complete(ResultRequest{Lease: 999, Unit: "a", Render: "second\n"})
+	coord.Complete(ResultRequest{Lease: w.Lease, Unit: "not-a-unit", Render: "noise\n"})
+	got, missing := coord.Merge()
+	if len(missing) > 0 || got != "first\n" {
+		t.Fatalf("merge = %q missing=%v, want first result kept", got, missing)
+	}
+	if st := coord.Status(); st.Done != 1 || st.Total != 1 {
+		t.Fatalf("status = %+v, want 1/1 done", st)
+	}
+}
+
+// TestDrain pins graceful shutdown: after Drain, /work answers complete so
+// workers exit, and the partial merge lists what is missing.
+func TestDrain(t *testing.T) {
+	coord := New([]string{"a", "b"}, nil, time.Minute)
+	w, ok, _ := coord.Lease()
+	if !ok {
+		t.Fatal("lease failed")
+	}
+	coord.Complete(ResultRequest{Lease: w.Lease, Unit: w.Unit, Render: "a-done\n"})
+	coord.Drain()
+	if _, ok, complete := coord.Lease(); ok || !complete {
+		t.Fatalf("after drain: ok=%v complete=%v, want workers told to exit", ok, complete)
+	}
+	got, missing := coord.Merge()
+	if got != "a-done\n" || len(missing) != 1 || missing[0] != "b" {
+		t.Fatalf("partial merge = %q missing=%v, want a-done with b missing", got, missing)
+	}
+	if st := coord.Status(); !st.Draining {
+		t.Fatal("status should report draining")
+	}
+}

@@ -1,0 +1,92 @@
+// The pull-based worker half of the sweep protocol: loop on /work, run
+// the leased unit, post the render to /result, exit when the coordinator
+// answers 410 (complete or draining).
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// RunUnit executes one leased unit and returns its deterministic render.
+type RunUnit func(unit string, opts json.RawMessage) (string, error)
+
+// WorkerStats summarizes one worker's session.
+type WorkerStats struct {
+	Units  int
+	Errors int
+}
+
+// Worker pulls units from a coordinator at base (e.g.
+// "http://127.0.0.1:7117") until the sweep completes. A unit whose run
+// fails is reported and abandoned — its lease expires on the coordinator
+// and another worker (or this one, later) re-runs it. idle is the pause
+// between polls when every unit is leased out; <= 0 selects 200 ms.
+func Worker(base string, run RunUnit, idle time.Duration) (WorkerStats, error) {
+	if idle <= 0 {
+		idle = 200 * time.Millisecond
+	}
+	var stats WorkerStats
+	client := &http.Client{Timeout: 30 * time.Second}
+	dials := 0
+	for {
+		resp, err := client.Post(base+"/work", "application/json", nil)
+		if err != nil {
+			// Transient: the coordinator may be between accept loops, or
+			// already gone after completing the sweep. Retry a few times,
+			// then treat an unreachable coordinator as end-of-sweep if this
+			// worker ever heard from it.
+			dials++
+			if dials <= 5 {
+				time.Sleep(idle)
+				continue
+			}
+			if stats.Units > 0 || stats.Errors > 0 {
+				return stats, nil
+			}
+			return stats, fmt.Errorf("sweepd: lease: %w", err)
+		}
+		dials = 0
+		switch resp.StatusCode {
+		case http.StatusGone:
+			resp.Body.Close()
+			return stats, nil
+		case http.StatusNoContent:
+			resp.Body.Close()
+			time.Sleep(idle)
+			continue
+		case http.StatusOK:
+		default:
+			resp.Body.Close()
+			return stats, fmt.Errorf("sweepd: lease: unexpected status %s", resp.Status)
+		}
+		var w WorkResponse
+		err = json.NewDecoder(resp.Body).Decode(&w)
+		resp.Body.Close()
+		if err != nil {
+			return stats, fmt.Errorf("sweepd: lease: decode: %w", err)
+		}
+		render, err := run(w.Unit, w.Opts)
+		if err != nil {
+			// Abandon the lease; expiry re-queues the unit.
+			stats.Errors++
+			continue
+		}
+		body, err := json.Marshal(ResultRequest{Lease: w.Lease, Unit: w.Unit, Render: render})
+		if err != nil {
+			return stats, fmt.Errorf("sweepd: result: encode: %w", err)
+		}
+		rr, err := client.Post(base+"/result", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return stats, fmt.Errorf("sweepd: result: %w", err)
+		}
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK {
+			return stats, fmt.Errorf("sweepd: result: unexpected status %s", rr.Status)
+		}
+		stats.Units++
+	}
+}
